@@ -1,0 +1,20 @@
+"""Ablation — relax the single shared-memory port.
+
+Quantifies the paper's Amdahl argument: with one port the speedup
+saturates near 1/f_mem; extra ports lift the ceiling.
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import ablations
+
+
+def test_memory_ports(benchmark):
+    data = benchmark.pedantic(ablations.memory_ports, rounds=1,
+                              iterations=1)
+    lines = ["ports=%d  speedup=%.2f" % (p, s)
+             for p, s in zip(data["ports"], data["speedup"])]
+    save_result("ablation_memports", "\n".join(lines))
+    # More ports never hurt, and visibly help somewhere.
+    speedups = data["speedup"]
+    assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > speedups[0] + 0.05

@@ -1,0 +1,16 @@
+"""Ablation — inter-unit communication cost (why many units stop paying:
+section 3.2's register-movement insertion, the prototype's shared buses).
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import ablations
+
+
+def test_inter_unit_moves(benchmark):
+    data = benchmark.pedantic(ablations.inter_unit_moves, rounds=1,
+                              iterations=1)
+    save_result("ablation_moves",
+                "free cross-unit reads:    %.2f\n"
+                "1-cycle cross-unit reads: %.2f"
+                % (data["free"], data["penalty"]))
+    assert data["free"] >= data["penalty"] - 1e-9

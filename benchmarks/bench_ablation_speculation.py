@@ -1,0 +1,14 @@
+"""Ablation — upward code motion past branches (off-live-checked
+speculation).  Without it, global compaction loses most of its edge."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import ablations
+
+
+def test_speculation(benchmark):
+    data = benchmark.pedantic(ablations.speculation, rounds=1,
+                              iterations=1)
+    save_result("ablation_speculation",
+                "speculation on:  %.2f\nspeculation off: %.2f"
+                % (data["spec_on"], data["spec_off"]))
+    assert data["spec_on"] > data["spec_off"]

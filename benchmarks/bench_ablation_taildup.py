@@ -1,0 +1,21 @@
+"""Ablation — tail-duplication budget: the compensation-code trade-off of
+section 4.4 ("disadvantages of a larger code size ... are overcome by the
+advantage of a faster execution of the most frequently executed parts").
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import ablations
+
+
+def test_tail_dup_budget(benchmark):
+    rows = benchmark.pedantic(ablations.tail_dup_budget, rounds=1,
+                              iterations=1)
+    lines = ["budget=%4d  speedup=%.2f  region_length=%.1f"
+             % (row["budget"], row["speedup"], row["length"])
+             for row in rows]
+    save_result("ablation_taildup", "\n".join(lines))
+    # Bigger budgets give longer regions...
+    lengths = [row["length"] for row in rows]
+    assert lengths[0] <= lengths[-1]
+    # ...and at least as much speedup as join-limited traces.
+    assert rows[-1]["speedup"] >= rows[0]["speedup"] - 0.05

@@ -1,0 +1,17 @@
+"""Figure 2 — dynamic instruction mix.
+
+Regenerates the figure into ``results/figure2.txt`` and times the mix
+computation over a cached profile.
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark):
+    data = figure2.compute()
+    save_result("figure2", figure2.render(data))
+    benchmark(figure2.benchmark_mix, "qsort")
+    # Paper: memory ~32%.
+    from repro.intcode.ici import MEM
+    assert 0.25 < data["average"][MEM] < 0.40

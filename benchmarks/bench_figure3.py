@@ -1,0 +1,13 @@
+"""Figure 3 — Amdahl curves for the shared-memory model."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import figure3
+from repro.analysis.amdahl import figure3_series
+
+
+def test_figure3(benchmark):
+    data = figure3.compute()
+    save_result("figure3", figure3.render(data))
+    enhancements = [1 + 0.5 * i for i in range(31)]
+    benchmark(figure3_series, data["mem_fraction"], enhancements)
+    assert 2.5 < data["asymptote"] < 4.0

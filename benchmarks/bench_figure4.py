@@ -1,0 +1,19 @@
+"""Figure 4 — distribution of the faulty-prediction probability."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import figure4
+from repro.analysis.branch_stats import p_fp_histogram, branch_records
+from repro.experiments.data import get_profile
+
+
+def test_figure4(benchmark):
+    data = figure4.compute()
+    save_result("figure4", figure4.render(data))
+
+    program, result = get_profile("sendmore")
+    records = branch_records(program, result.counts, result.taken)
+    benchmark(p_fp_histogram, records, 10)
+
+    assert data["weights"][0] > 0.3   # mass near zero dominates
+    # The 90/50 rule must fail: backward branches are not ~90% taken.
+    assert data["taken_rule"]["backward"]["mean_taken"] < 0.8

@@ -1,0 +1,27 @@
+"""Section 6 future-work projections: dynamic scheduling and
+distributed/banked memory — quantified, since the paper only names them.
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments import future_work
+from repro.evaluation.dynamic import dataflow_limit
+from repro.benchmarks import compile_benchmark
+
+
+def test_future_work(benchmark):
+    text = future_work.render()
+    save_result("future_work", text)
+
+    program = compile_benchmark("nreverse")
+    flow = benchmark(dataflow_limit, program)
+    assert flow.status == 0
+
+    data = future_work.dynamic_vs_static()
+    average = data["average"]
+    # The idealised dynamic machine is an upper bound on static...
+    assert average["dynamic"] >= average["static"]
+    # ...but static compaction captures a substantial fraction of it.
+    assert average["captured"] > 0.5
+
+    banks = future_work.multibank()
+    assert banks["banked4"] >= banks["banked"] >= banks["shared"] - 1e-9

@@ -1,0 +1,40 @@
+"""Throughput of the substrate itself: compiler, emulator, scheduler.
+
+Not a paper artefact, but the numbers downstream users care about when
+sizing their own experiments.
+"""
+
+from repro.benchmarks import PROGRAMS, compile_benchmark
+from repro.emulator import Emulator
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.compaction import vliw
+from repro.compaction.scheduler import schedule_region
+
+
+def test_compiler_throughput(benchmark):
+    source = PROGRAMS["qsort"].source
+    program = benchmark(lambda: translate_module(compile_source(source)))
+    assert len(program) > 100
+
+
+def test_emulator_throughput(benchmark):
+    program = compile_benchmark("nreverse")
+
+    def run():
+        return Emulator(program).run()
+
+    result = benchmark(run)
+    assert result.succeeded
+    benchmark.extra_info["ici_per_second"] = (
+        result.steps / benchmark.stats["mean"])
+
+
+def test_scheduler_throughput(benchmark):
+    program = compile_benchmark("qsort")
+    from repro.analysis.cfg import Cfg
+    cfg = Cfg(program)
+    biggest = max(cfg.blocks, key=lambda b: b.size)
+    ops = program.instructions[biggest.start:biggest.end]
+    schedule = benchmark(schedule_region, ops, vliw(3))
+    assert schedule.length >= 1

@@ -1,0 +1,18 @@
+"""Register-pressure study for the prototype's 16-register bank
+(section 5.2 design validation — beyond the paper's tables)."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import registers
+
+
+def test_register_pressure(benchmark):
+    data = registers.compute()
+    save_result("register_pressure", registers.render(data))
+    benchmark(registers.benchmark_pressure, "serialise")
+
+    average = data["average"]
+    # The prototype's 16 registers hold the vast majority of dynamic
+    # region executions; 8 registers clearly would not.
+    assert average["spill_fraction"][16] < 0.15
+    assert average["spill_fraction"][8] > average["spill_fraction"][16]
+    assert average["spill_fraction"][32] <= average["spill_fraction"][16]

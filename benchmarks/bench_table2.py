@@ -1,0 +1,20 @@
+"""Table 2 — branch-predictability statistics."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import table2
+from repro.experiments.data import get_profile
+from repro.analysis.branch_stats import branch_records, average_p_fp
+
+
+def test_table2(benchmark):
+    data = table2.compute()
+    save_result("table2", table2.render(data))
+
+    program, result = get_profile("queens_8")
+
+    def stats():
+        records = branch_records(program, result.counts, result.taken)
+        return average_p_fp(records)
+
+    benchmark(stats)
+    assert data["average"] < 0.25   # paper: 0.1475

@@ -1,0 +1,12 @@
+"""Table 4 — absolute times against other Prolog machines."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import table4
+
+
+def test_table4(benchmark):
+    data = table4.compute()
+    save_result("table4", table4.render(data))
+    benchmark(table4.logical_inferences, "nreverse")
+    assert 0.5 < data["mean_bam_over_symbol3"] < 1.6
+    assert data["nreverse_mlips"] > 0.3

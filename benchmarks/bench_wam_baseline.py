@@ -1,0 +1,17 @@
+"""Section 2 — the BAM model/compiler improvement over a Warren-style
+baseline, rebuilt on our own substrate."""
+
+from benchmarks.conftest import save_result
+from repro.experiments import wam_baseline
+
+
+def test_wam_baseline(benchmark):
+    data = wam_baseline.compute()
+    save_result("wam_baseline", wam_baseline.render(data))
+    benchmark(wam_baseline.benchmark_ratio, "nreverse")
+    # Indexing + determinism + LCO must be clearly worth it, approaching
+    # the paper's "roughly a factor of three" on the deterministic
+    # structure-matching programs.
+    assert data["average_ratio"] > 1.4
+    best = max(entry["ratio"] for entry in data["benchmarks"].values())
+    assert best > 2.3

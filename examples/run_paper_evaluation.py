@@ -1,0 +1,24 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+The first run emulates and schedules the whole benchmark suite (a few
+minutes); results are cached on disk, so later runs are instant.
+
+Run:  python examples/run_paper_evaluation.py
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+ORDER = ["figure2", "figure3", "table1", "table2", "figure4", "table3",
+         "table4", "table5"]
+
+
+def main():
+    for name in ORDER:
+        print(ALL_EXPERIMENTS[name].render())
+        print()
+        print("-" * 78)
+        print()
+
+
+if __name__ == "__main__":
+    main()

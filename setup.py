@@ -1,0 +1,6 @@
+"""Legacy setuptools entry point (the sandbox lacks the `wheel` package,
+so PEP 517 editable installs are unavailable)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Static and dynamic code analysis: CFG, liveness, dependence, Amdahl."""
+
+from repro.analysis.cfg import Cfg, BasicBlock
+from repro.analysis.liveness import Liveness
+from repro.analysis.dependence import build_dag, DependenceDag
+
+__all__ = [
+    "Cfg",
+    "BasicBlock",
+    "Liveness",
+    "build_dag",
+    "DependenceDag",
+]

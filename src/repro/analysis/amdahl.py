@@ -1,0 +1,65 @@
+"""Amdahl's-law model of the shared-memory speedup bound (section 4.2).
+
+With memory operations taking fraction ``f_mem`` of sequential execution
+and a single shared memory port, speeding up everything *except* memory
+bounds the speedup at ``1 / f_mem`` (about 3 for the measured 32%).
+
+Figure 3 plots speedup against the enhancement factor of non-memory
+operations under two hypotheses:
+
+* *separate*: memory operations execute separately from computation —
+  their time stays on the critical path untouched;
+* *overlapped*: memory operations can be completely overlapped with
+  computation, so once the enhanced computation time drops below the
+  memory time, memory alone is the limit.
+"""
+
+
+def amdahl_speedup(fraction_enhanced, speedup_enhanced):
+    """The classical formula [Amdahl67]."""
+    if speedup_enhanced <= 0:
+        raise ValueError("speedup must be positive")
+    return 1.0 / ((1.0 - fraction_enhanced)
+                  + fraction_enhanced / speedup_enhanced)
+
+
+def memory_bound_speedup(mem_fraction):
+    """Asymptotic speedup when only non-memory work is enhanced."""
+    if not 0.0 < mem_fraction <= 1.0:
+        raise ValueError("memory fraction must be in (0, 1]")
+    return 1.0 / mem_fraction
+
+
+def speedup_separate(mem_fraction, enhancement):
+    """Speedup with memory executing separately from computation (the
+    dotted curve of Figure 3): Amdahl with the non-memory fraction
+    enhanced by *enhancement*."""
+    return amdahl_speedup(1.0 - mem_fraction, enhancement)
+
+
+def speedup_overlapped(mem_fraction, enhancement):
+    """Speedup when memory operations are completely overlapped with
+    computation (the continuous curve of Figure 3): execution time is the
+    larger of the memory time and the enhanced computation time."""
+    if enhancement <= 0:
+        raise ValueError("enhancement must be positive")
+    compute_time = (1.0 - mem_fraction) / enhancement
+    return 1.0 / max(mem_fraction, compute_time)
+
+
+def useful_concurrency_limit(mem_fraction):
+    """The enhancement factor beyond which extra concurrency is useless
+    under the overlapped hypothesis (where the two terms cross): the
+    paper's "factors of concurrency greater than three are useless"."""
+    return (1.0 - mem_fraction) / mem_fraction
+
+
+def figure3_series(mem_fraction, enhancements):
+    """The two Figure 3 curves sampled at *enhancements*."""
+    return {
+        "enhancement": list(enhancements),
+        "separate": [speedup_separate(mem_fraction, e)
+                     for e in enhancements],
+        "overlapped": [speedup_overlapped(mem_fraction, e)
+                       for e in enhancements],
+    }

@@ -1,0 +1,90 @@
+"""Dynamic branch statistics (section 4.4).
+
+From an emulation profile we compute, per static branch, the probability
+of being taken and the *probability of a faulty prediction*
+
+    P_fp(b) = min(P_taken(b), 1 - P_taken(b)),
+
+whose execution-weighted average measures how well trace picking will do:
+"the smallest P_fp, the smallest the probability and the penalty of making
+a wrong choice during trace picking".  The module also evaluates the
+"90/50 branch-taken rule" of numeric code, which the paper shows does not
+hold for Prolog.
+"""
+
+from repro.intcode.ici import BRANCH_OPS
+
+
+class BranchRecord:
+    """One executed static branch."""
+
+    __slots__ = ("pc", "executed", "taken", "backward")
+
+    def __init__(self, pc, executed, taken, backward):
+        self.pc = pc
+        self.executed = executed
+        self.taken = taken
+        self.backward = backward
+
+    @property
+    def p_taken(self):
+        return self.taken / self.executed
+
+    @property
+    def p_fp(self):
+        p = self.p_taken
+        return min(p, 1.0 - p)
+
+
+def branch_records(program, counts, taken):
+    """All executed conditional branches with their statistics."""
+    records = []
+    for pc, instruction in enumerate(program.instructions):
+        if instruction.op not in BRANCH_OPS or counts[pc] == 0:
+            continue
+        target = program.labels[instruction.label]
+        records.append(BranchRecord(pc, counts[pc], taken[pc],
+                                    backward=target <= pc))
+    return records
+
+
+def average_p_fp(records):
+    """Execution-weighted average probability of faulty prediction."""
+    weight = sum(r.executed for r in records)
+    if weight == 0:
+        return 0.0
+    return sum(r.p_fp * r.executed for r in records) / weight
+
+
+def p_fp_histogram(records, bins=10):
+    """Execution-weighted distribution of P_fp over [0, 0.5] (Figure 4).
+
+    Returns (bin_edges, weights) with weights normalised to 1.
+    """
+    width = 0.5 / bins
+    weights = [0.0] * bins
+    total = 0
+    for record in records:
+        index = min(int(record.p_fp / width), bins - 1)
+        weights[index] += record.executed
+        total += record.executed
+    if total:
+        weights = [w / total for w in weights]
+    edges = [i * width for i in range(bins + 1)]
+    return edges, weights
+
+
+def taken_rule_stats(records):
+    """Average taken probability of backward and forward branches,
+    execution-weighted — the quantities behind the 90/50 rule."""
+    stats = {}
+    for direction, selector in (("backward", True), ("forward", False)):
+        subset = [r for r in records if r.backward == selector]
+        weight = sum(r.executed for r in subset)
+        if weight:
+            mean = sum(r.p_taken * r.executed for r in subset) / weight
+        else:
+            mean = 0.0
+        stats[direction] = {"branches": len(subset), "weight": weight,
+                            "mean_taken": mean}
+    return stats

@@ -1,0 +1,181 @@
+"""Data-dependence DAG construction for scheduling regions.
+
+Implements the dependence classes the paper enumerates in section 4.3:
+memory dependency, source-destination (RAW), write-after-read,
+write-after-write, *off-live*, plus the constraint that the sequence of
+branches is preserved "to limit the possibility of code motion" (Ellis'
+rule against exponential compensation growth).
+
+Memory references are never disambiguated — section 4.1 argues Prolog's
+pointer-dominated stack traffic defeats disambiguation — so loads and
+stores are ordered conservatively against every store.
+
+Speculation rules (upward motion past a branch): loads, ALU operations and
+moves may move above a branch unless they write a register that is live on
+the branch's off-trace path; stores and escapes never move above a branch
+(memory and output are visible off-trace).
+"""
+
+from repro.intcode.ici import BRANCH_OPS, CONTROL_OPS
+
+#: static memory-bank classification by base register (the future-work
+#: extension of section 6: the BAM's separate data areas are statically
+#: recognisable whenever the base register is an area pointer)
+_BANK_OF_BASE = {
+    "H": "heap", "HB": "heap",
+    "E": "env", "ES": "env",
+    "B": "choice", "BT": "choice", "B0": "choice",
+    "TR": "trail",
+    "PD": "pdl", "K_PDLB": "pdl",
+}
+_ALL_BANKS = ("heap", "env", "choice", "trail", "pdl", "?")
+
+
+def memory_bank(instruction):
+    """Which data area a memory operation touches, or ``"?"`` when the
+    base register is a computed pointer (dereferenced term addresses —
+    exactly the accesses section 4.1 says cannot be disambiguated)."""
+    base = instruction.ra if instruction.op == "ld" else instruction.rb
+    return _BANK_OF_BASE.get(base, "?")
+
+
+def _conflicting_banks(bank):
+    if bank == "?":
+        return _ALL_BANKS
+    return (bank, "?")
+
+
+class DependenceDag:
+    """Predecessor lists with latencies for one region's operations."""
+
+    def __init__(self, preds, n):
+        self.preds = preds            # position -> list of (pred, latency)
+        self.n = n
+        self.succs = [[] for _ in range(n)]
+        for index in range(n):
+            for pred, latency in preds[index]:
+                self.succs[pred].append((index, latency))
+
+    def heights(self, dur_of_pos):
+        """Critical-path height of each operation (list-scheduler priority)."""
+        heights = [0] * self.n
+        for index in range(self.n - 1, -1, -1):
+            best = dur_of_pos(index)
+            for succ, latency in self.succs[index]:
+                candidate = max(latency, 1) + heights[succ]
+                if candidate > best:
+                    best = candidate
+            heights[index] = best
+        return heights
+
+
+def build_dag(instructions, durations, off_live=None, reg_mask=None,
+              branch_branch_latency=0, bank_disambiguation=False):
+    """Build the dependence DAG of a region.
+
+    * ``instructions`` — region operations in original program order.
+    * ``durations`` — per-position operation duration (for RAW latencies).
+    * ``off_live`` — per-position mask of registers live on the off-trace
+      path of a branch (positions missing or None disable the off-live
+      restriction for that branch).
+    * ``reg_mask`` — function register name -> bitmask (required when
+      off_live is used).
+    * ``bank_disambiguation`` — when True, memory operations on
+      *statically distinct* data areas (heap / environments / choice
+      points / trail, recognised by their base registers) do not
+      conflict; computed-pointer accesses still conflict with everything.
+      This is the multi-bank future-work model; the paper's shared-memory
+      analysis keeps it off.
+    """
+    n = len(instructions)
+    preds = [[] for _ in range(n)]
+
+    last_writer = {}
+    readers_since = {}
+    last_store = {bank: None for bank in _ALL_BANKS}
+    loads_since_store = {bank: [] for bank in _ALL_BANKS}
+    last_branch = None
+    ops_since_branch = []
+    last_esc = None
+    branches = []
+
+    def add(pred, index, latency):
+        preds[index].append((pred, latency))
+
+    for index, instruction in enumerate(instructions):
+        op = instruction.op
+
+        for name in instruction.reads():
+            writer = last_writer.get(name)
+            if writer is not None:
+                add(writer, index, durations[writer])
+            readers_since.setdefault(name, []).append(index)
+        for name in instruction.writes():
+            for reader in readers_since.get(name, []):
+                if reader != index:
+                    add(reader, index, 0)
+            writer = last_writer.get(name)
+            if writer is not None:
+                add(writer, index, 1)
+            last_writer[name] = index
+            readers_since[name] = []
+
+        if op in ("ld", "st"):
+            bank = memory_bank(instruction) if bank_disambiguation else "?"
+            conflicts = _conflicting_banks(bank)
+            if op == "ld":
+                for other in conflicts:
+                    if last_store[other] is not None:
+                        add(last_store[other], index, 1)
+                loads_since_store[bank].append(index)
+            else:
+                for other in conflicts:
+                    if last_store[other] is not None:
+                        add(last_store[other], index, 1)
+                    for load in loads_since_store[other]:
+                        add(load, index, 0)
+                    loads_since_store[other] = []
+                if bank == "?":
+                    for other in _ALL_BANKS:
+                        last_store[other] = index
+                else:
+                    last_store[bank] = index
+
+        if op == "esc":
+            if last_esc is not None:
+                add(last_esc, index, 1)
+            last_esc = index
+
+        if op in CONTROL_OPS:
+            # Branch-order constraint and the issue-order rule: everything
+            # before a control transfer must issue no later than it.
+            for prior in ops_since_branch:
+                add(prior, index, 0)
+            if last_branch is not None:
+                add(last_branch, index,
+                    branch_branch_latency if op in BRANCH_OPS else 0)
+            last_branch = index
+            ops_since_branch = []
+            branches.append(index)
+        else:
+            ops_since_branch.append(index)
+            if last_branch is not None:
+                if op in ("st", "esc"):
+                    # Never above a branch; the branch-order chain makes
+                    # the edge to the newest branch transitively cover all.
+                    add(last_branch, index, 1)
+                elif off_live is not None:
+                    # A register write is pinned below *every* preceding
+                    # branch on whose off-trace path the register is live
+                    # (checking only the newest branch would let the write
+                    # slide above an older branch that needs the old value).
+                    write_mask = 0
+                    for name in instruction.writes():
+                        write_mask |= reg_mask(name)
+                    if write_mask:
+                        for branch in branches:
+                            mask = off_live.get(branch)
+                            if mask and (mask & write_mask):
+                                add(branch, index, 1)
+
+    return DependenceDag(preds, n)

@@ -1,0 +1,133 @@
+"""Global register liveness over the ICI CFG.
+
+Registers are numbered and live sets are Python-int bitmasks, which keeps
+the backward dataflow fixpoint cheap even for programs with thousands of
+virtual registers (arbitrary-precision integers give us free bitsets).
+
+Blocks ending in ``call``/``jmpr`` have no static successors; their
+live-out is the *ABI set*: the machine registers plus argument-passing
+registers.  This is sound for code produced by our compiler because no
+user value ever survives a call in a register (everything live across a
+call sits in an environment slot), and it is what makes off-live analysis
+precise enough for useful speculation.
+"""
+
+from repro.intcode import layout
+
+#: registers assumed live at every indirect control transfer
+_ABI_EXTRA = ["B0", "u0", "u1", "EQR"]
+_MAX_ARG_REGS = 16
+
+
+class Liveness:
+    """Backward liveness analysis; query live-in masks per block."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.reg_ids = {}
+        self._numbers()
+        self.abi_mask = self._abi_mask()
+        self.live_in = {}
+        self.live_out = {}
+        self._solve()
+
+    def reg_id(self, name):
+        index = self.reg_ids.get(name)
+        if index is None:
+            index = len(self.reg_ids)
+            self.reg_ids[name] = index
+        return index
+
+    def _numbers(self):
+        for instruction in self.cfg.program.instructions:
+            for name in instruction.reads():
+                self.reg_id(name)
+            for name in instruction.writes():
+                self.reg_id(name)
+        for name in layout.MACHINE_REGISTERS:
+            self.reg_id(name)
+        for name in _ABI_EXTRA:
+            self.reg_id(name)
+
+    def _abi_mask(self):
+        mask = 0
+        for name in layout.MACHINE_REGISTERS:
+            mask |= 1 << self.reg_ids[name]
+        for name in _ABI_EXTRA:
+            mask |= 1 << self.reg_ids[name]
+        for index in range(_MAX_ARG_REGS):
+            name = "a%d" % index
+            if name in self.reg_ids:
+                mask |= 1 << self.reg_ids[name]
+        return mask
+
+    def _block_flow(self, block):
+        """(gen, kill) masks of a block."""
+        gen = 0
+        kill = 0
+        instructions = self.cfg.program.instructions
+        for pc in range(block.start, block.end):
+            instruction = instructions[pc]
+            for name in instruction.reads():
+                bit = 1 << self.reg_ids[name]
+                if not kill & bit:
+                    gen |= bit
+            for name in instruction.writes():
+                kill |= 1 << self.reg_ids[name]
+        return gen, kill
+
+    def _solve(self):
+        cfg = self.cfg
+        flows = {}
+        terminator_out = {}
+        extra_succs = {}
+        n = len(cfg.program.instructions)
+        for block in cfg.blocks:
+            flows[block.start] = self._block_flow(block)
+            op = cfg.program.instructions[block.end - 1].op
+            if op in ("call", "jmpr"):
+                terminator_out[block.start] = self.abi_mask
+                # Registers live at a call's return point are live across
+                # the call: runtime routines ($unify, $equal) preserve the
+                # caller's temporaries, so their values genuinely flow
+                # around the callee.  (For user predicates this is merely
+                # conservative — the translator keeps cross-call values in
+                # environment slots.)
+                if op == "call" and block.end < n:
+                    extra_succs[block.start] = block.end
+            else:
+                terminator_out[block.start] = 0
+
+        live_in = {block.start: 0 for block in cfg.blocks}
+        live_out = dict(terminator_out)
+
+        changed = True
+        order = [block for block in reversed(cfg.blocks)]
+        while changed:
+            changed = False
+            for block in order:
+                out = terminator_out[block.start]
+                for succ in block.succs:
+                    out |= live_in[succ]
+                extra = extra_succs.get(block.start)
+                if extra is not None:
+                    out |= live_in.get(extra, 0)
+                gen, kill = flows[block.start]
+                new_in = gen | (out & ~kill)
+                if out != live_out[block.start] \
+                        or new_in != live_in[block.start]:
+                    live_out[block.start] = out
+                    live_in[block.start] = new_in
+                    changed = True
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_in_mask(self, start_pc):
+        """Registers live on entry to the block starting at *start_pc*."""
+        return self.live_in.get(start_pc, self.abi_mask)
+
+    def mask_of(self, names):
+        mask = 0
+        for name in names:
+            mask |= 1 << self.reg_id(name)
+        return mask

@@ -1,0 +1,26 @@
+"""BAM-like abstract machine: IR, clause compiler, predicate indexing."""
+
+from repro.bam.compile import compile_source, compile_database, BamModule, \
+    CompileError
+from repro.bam.normalize import Normalizer, NormalizeError
+from repro.bam.clauses import compile_clause, ClauseCompiler
+from repro.bam.predicates import (
+    PredicateCompiler, CompilerOptions, first_arg_pattern)
+from repro.bam import instructions
+from repro.bam import descriptors
+
+__all__ = [
+    "compile_source",
+    "compile_database",
+    "BamModule",
+    "CompileError",
+    "Normalizer",
+    "NormalizeError",
+    "compile_clause",
+    "ClauseCompiler",
+    "PredicateCompiler",
+    "CompilerOptions",
+    "first_arg_pattern",
+    "instructions",
+    "descriptors",
+]

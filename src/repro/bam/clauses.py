@@ -1,0 +1,229 @@
+"""Clause compilation: normalised clauses to BAM instructions.
+
+Performs the WAM/BAM-style variable classification (temporary versus
+permanent, by chunk analysis), descriptor construction with first-occurrence
+marking, environment management, cut-barrier placement and last-call
+optimisation.
+"""
+
+from repro.terms import Atom, Int, Var, Struct, deref
+from repro.bam import instructions as bam
+from repro.bam.descriptors import (
+    VarLoc, DAtom, DInt, DVar, DList, DStruct)
+from repro.bam.normalize import NormalizeError, goal_indicator
+
+#: body goals compiled inline; all others are predicate calls ending a chunk
+_ARITH_TESTS = {"<", ">", "=<", ">=", "=:=", "=\\="}
+_TYPE_TESTS = {"var", "nonvar", "atom", "integer", "atomic", "number"}
+
+
+class ClauseCompileError(Exception):
+    pass
+
+
+def _is_call(goal):
+    indicator = goal_indicator(goal)
+    name, arity = indicator
+    if indicator == ("!", 0) or name in ("true", "fail", "false"):
+        return False
+    if indicator in (("=", 2), ("is", 2), ("==", 2), ("\\==", 2)):
+        return False
+    if arity == 2 and name in _ARITH_TESTS:
+        return False
+    if arity == 1 and name in _TYPE_TESTS:
+        return False
+    if indicator in (("write", 1), ("print", 1), ("nl", 0)):
+        return False
+    return True
+
+
+class _VarInfo:
+    __slots__ = ("chunks", "loc")
+
+    def __init__(self):
+        self.chunks = set()
+        self.loc = None
+
+
+class ClauseCompiler:
+    """Compiles one ``(head, goals)`` clause to a BAM instruction list."""
+
+    def __init__(self, head, goals, first_arg_derefed=False, lco=True):
+        self.head = deref(head)
+        self.goals = [deref(g) for g in goals]
+        #: the predicate's indexing prelude already dereferenced a0
+        self.first_arg_derefed = first_arg_derefed
+        #: last-call optimisation (tail calls become jumps)
+        self.lco = lco
+        self.vars = {}          # id(Var) -> _VarInfo
+        self._var_order = []    # first-occurrence order
+        self._seen = set()      # occurrence marking during descriptor build
+        self._temp_count = 0
+        self.cut_slot = None
+        self.needs_env = False
+        self.nslots = 0
+
+    # -- analysis ---------------------------------------------------------
+
+    def _scan_term(self, term, chunk):
+        term = deref(term)
+        if isinstance(term, Var):
+            info = self.vars.get(id(term))
+            if info is None:
+                info = _VarInfo()
+                self.vars[id(term)] = info
+                self._var_order.append(term)
+            info.chunks.add(chunk)
+        elif isinstance(term, Struct):
+            for arg in term.args:
+                self._scan_term(arg, chunk)
+
+    def analyse(self):
+        """Chunk analysis and slot assignment."""
+        chunk = 0
+        head_args = self.head.args if isinstance(self.head, Struct) else []
+        for arg in head_args:
+            self._scan_term(arg, chunk)
+        calls_seen = 0
+        call_followed_by_goal = False
+        cut_after_call = False
+        for index, goal in enumerate(self.goals):
+            if goal_indicator(goal) == ("!", 0):
+                if chunk > 0:
+                    cut_after_call = True
+                continue
+            self._scan_term(goal, chunk)
+            if _is_call(goal):
+                calls_seen += 1
+                if index < len(self.goals) - 1:
+                    call_followed_by_goal = True
+                chunk += 1
+
+        perms = [v for v in self._var_order
+                 if len(self.vars[id(v)].chunks) > 1]
+        for index, var in enumerate(perms):
+            self.vars[id(var)].loc = VarLoc(VarLoc.PERM, index, var.name)
+        for var in self._var_order:
+            info = self.vars[id(var)]
+            if info.loc is None:
+                info.loc = VarLoc(VarLoc.TEMP, self._temp_count, var.name)
+                self._temp_count += 1
+
+        self.nslots = len(perms)
+        if cut_after_call:
+            self.cut_slot = self.nslots
+            self.nslots += 1
+        self.needs_env = (self.nslots > 0) or call_followed_by_goal
+        if not self.lco and calls_seen > 0:
+            # Without last-call optimisation every call returns here, so
+            # the continuation must be saved in an environment.
+            self.needs_env = True
+        return self
+
+    # -- descriptor construction -------------------------------------------
+
+    def _desc(self, term):
+        term = deref(term)
+        if isinstance(term, Atom):
+            return DAtom(term.name)
+        if isinstance(term, Int):
+            return DInt(term.value)
+        if isinstance(term, Var):
+            first = id(term) not in self._seen
+            self._seen.add(id(term))
+            return DVar(self.vars[id(term)].loc, first)
+        if isinstance(term, Struct):
+            if term.name == "." and term.arity == 2:
+                head = self._desc(term.args[0])
+                tail = self._desc(term.args[1])
+                return DList(head, tail)
+            return DStruct(term.name, [self._desc(a) for a in term.args])
+        raise ClauseCompileError("cannot compile term %r" % (term,))
+
+    # -- emission ------------------------------------------------------------
+
+    def compile(self):
+        self.analyse()
+        out = []
+        if self.needs_env:
+            out.append(bam.Allocate(self.nslots))
+        if self.cut_slot is not None:
+            out.append(bam.StoreCutBarrier(self.cut_slot))
+
+        head_args = self.head.args if isinstance(self.head, Struct) else []
+        for index, arg in enumerate(head_args):
+            derefed = index == 0 and self.first_arg_derefed
+            out.append(bam.Get(self._desc(arg), "a%d" % index, derefed))
+
+        last_index = len(self.goals) - 1
+        for index, goal in enumerate(self.goals):
+            is_last = index == last_index
+            self._compile_goal(goal, is_last, out)
+            if out and isinstance(out[-1], bam.FailInstr):
+                break  # everything after an unconditional fail is dead
+
+        if not out or not isinstance(out[-1], (bam.Execute, bam.Proceed,
+                                               bam.FailInstr)):
+            if self.needs_env:
+                out.append(bam.Deallocate())
+            out.append(bam.Proceed())
+        return out
+
+    def _compile_goal(self, goal, is_last, out):
+        indicator = goal_indicator(goal)
+        name, arity = indicator
+        args = goal.args if isinstance(goal, Struct) else []
+
+        if indicator == ("!", 0):
+            out.append(bam.Cut(self.cut_slot))
+            return
+        if indicator in (("fail", 0), ("false", 0)):
+            out.append(bam.FailInstr())
+            return
+        if indicator == ("true", 0):
+            return
+        if indicator == ("=", 2):
+            out.append(bam.UnifyVals(self._desc(args[0]),
+                                     self._desc(args[1])))
+            return
+        if indicator == ("is", 2):
+            expr = self._desc(args[1])
+            dst = self._desc(args[0])
+            out.append(bam.Arith(dst, expr))
+            return
+        if arity == 2 and name in _ARITH_TESTS:
+            out.append(bam.ArithTest(name, self._desc(args[0]),
+                                     self._desc(args[1])))
+            return
+        if indicator == ("==", 2):
+            out.append(bam.StructEqTest(False, self._desc(args[0]),
+                                        self._desc(args[1])))
+            return
+        if indicator == ("\\==", 2):
+            out.append(bam.StructEqTest(True, self._desc(args[0]),
+                                        self._desc(args[1])))
+            return
+        if arity == 1 and name in _TYPE_TESTS:
+            kind = "integer" if name == "number" else name
+            out.append(bam.TypeTest(kind, self._desc(args[0])))
+            return
+        if indicator in (("write", 1), ("print", 1)):
+            out.append(bam.Escape("write", self._desc(args[0])))
+            return
+        if indicator == ("nl", 0):
+            out.append(bam.Escape("nl"))
+            return
+
+        # A predicate call.
+        for index, arg in enumerate(args):
+            out.append(bam.Put(self._desc(arg), "a%d" % index))
+        if is_last and self.lco:
+            if self.needs_env:
+                out.append(bam.Deallocate())
+            out.append(bam.Execute(name, arity))
+        else:
+            out.append(bam.Call(name, arity))
+
+
+def compile_clause(head, goals, first_arg_derefed=False, lco=True):
+    return ClauseCompiler(head, goals, first_arg_derefed, lco).compile()

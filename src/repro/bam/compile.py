@@ -1,0 +1,84 @@
+"""Front-end driver: Prolog source to a BAM module.
+
+``compile_source`` parses and normalises a program, runs the predicate
+compiler over every predicate, and returns a :class:`BamModule` ready for
+:func:`repro.intcode.translate.translate_module`.
+"""
+
+from repro.terms import SymbolTable
+from repro.interp.database import Database
+from repro.bam.normalize import Normalizer
+from repro.bam.predicates import PredicateCompiler, CompilerOptions
+from repro.bam import instructions as bam
+
+
+class CompileError(Exception):
+    pass
+
+
+class BamModule:
+    """A compiled program at the BAM level."""
+
+    def __init__(self, preds, order, symbols, entry):
+        self.preds = preds      # indicator -> list of BAM instrs / markers
+        self.order = order
+        self.symbols = symbols
+        self.entry = entry      # (name, arity) of the query predicate
+
+    def listing(self):
+        lines = []
+        for indicator in self.order:
+            lines.append("%% %s/%d" % indicator)
+            for item in self.preds[indicator]:
+                if isinstance(item, bam.Label):
+                    lines.append("%s:" % item.name)
+                elif isinstance(item, str):
+                    lines.append("  ; %s" % item)
+                else:
+                    lines.append("    %r" % (item,))
+        return "\n".join(lines)
+
+    def check_calls(self):
+        """Verify that every called predicate is defined."""
+        defined = set(self.order)
+        missing = set()
+        for instrs in self.preds.values():
+            for item in instrs:
+                if isinstance(item, (bam.Call, bam.Execute)):
+                    if (item.name, item.arity) not in defined:
+                        missing.add((item.name, item.arity))
+        if self.entry not in defined:
+            missing.add(self.entry)
+        if missing:
+            raise CompileError(
+                "undefined predicates: "
+                + ", ".join("%s/%d" % m for m in sorted(missing)))
+
+
+def compile_database(db, entry=("main", 0), symbols=None, options=None):
+    """Compile a consulted :class:`~repro.interp.database.Database`."""
+    symbols = symbols if symbols is not None else SymbolTable()
+    options = options or CompilerOptions()
+    normalizer = Normalizer().add_database(db)
+    preds = {}
+    for indicator in normalizer.order:
+        name, arity = indicator
+        clauses = normalizer.predicates[indicator]
+        preds[indicator] = PredicateCompiler(
+            name, arity, clauses, symbols, options).compile()
+    module = BamModule(preds, list(normalizer.order), symbols, entry)
+    module.check_calls()
+    return module
+
+
+def compile_source(text, entry=("main", 0), symbols=None, options=None):
+    """Compile Prolog source text to a :class:`BamModule`.
+
+    Directives in the source are ignored (the suite's programs define a
+    ``main/0`` goal instead).  *options* is a
+    :class:`~repro.bam.predicates.CompilerOptions` (defaults to the full
+    BAM-style feature set).
+    """
+    db = Database()
+    db.consult(text)
+    return compile_database(db, entry, symbols, options)

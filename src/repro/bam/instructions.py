@@ -1,0 +1,262 @@
+"""The BAM-like intermediate representation.
+
+One level above the ICI: instructions still know about Prolog (unification,
+choice points, environments) but all of them expand into short fixed
+sequences of primitive ICIs (:mod:`repro.intcode.translate`).  The set is
+modelled on the Berkeley Abstract Machine's instruction groups — procedural
+control, conditional control (switch/test), unification, choice-point
+management — specialised to what our front-end generates.
+"""
+
+
+class BamInstr:
+    __slots__ = ()
+
+    def __repr__(self):
+        fields = ", ".join("%s=%r" % (name, getattr(self, name))
+                           for name in self.__slots__)
+        return "%s(%s)" % (type(self).__name__, fields)
+
+
+class Label(BamInstr):
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class Jump(BamInstr):
+    __slots__ = ("label",)
+
+    def __init__(self, label):
+        self.label = label
+
+
+class DerefReg(BamInstr):
+    """Dereference an argument register in place (indexing prelude)."""
+
+    __slots__ = ("reg",)
+
+    def __init__(self, reg):
+        self.reg = reg
+
+
+class SwitchOnTag(BamInstr):
+    """Multi-way dispatch on the tag of *reg*; ``cases`` maps tag->label."""
+
+    __slots__ = ("reg", "cases", "default")
+
+    def __init__(self, reg, cases, default):
+        self.reg = reg
+        self.cases = cases
+        self.default = default
+
+
+class SwitchOnConstant(BamInstr):
+    """Dispatch on the full word value of *reg* (atoms/integers)."""
+
+    __slots__ = ("reg", "cases", "default")
+
+    def __init__(self, reg, cases, default):
+        self.reg = reg
+        self.cases = cases  # list of (packed word, label)
+        self.default = default
+
+
+class SwitchOnFunctor(BamInstr):
+    """Dispatch on the functor word of the structure pointed to by *reg*."""
+
+    __slots__ = ("reg", "cases", "default")
+
+    def __init__(self, reg, cases, default):
+        self.reg = reg
+        self.cases = cases  # list of ((name, arity), label)
+        self.default = default
+
+
+class SetB0(BamInstr):
+    """Record the current choice point as the procedure's cut barrier."""
+
+    __slots__ = ()
+
+
+class Try(BamInstr):
+    """Create a choice point saving ``arity`` argument registers; the
+    next alternative is at ``retry_label``."""
+
+    __slots__ = ("arity", "retry_label")
+
+    def __init__(self, arity, retry_label):
+        self.arity = arity
+        self.retry_label = retry_label
+
+
+class RetryStub(BamInstr):
+    """Re-entry stub: restore arguments from the choice point, update the
+    retry slot (or pop the frame when ``next_label`` is None) and jump to
+    ``clause_label``."""
+
+    __slots__ = ("arity", "next_label", "clause_label")
+
+    def __init__(self, arity, next_label, clause_label):
+        self.arity = arity
+        self.next_label = next_label
+        self.clause_label = clause_label
+
+
+class Allocate(BamInstr):
+    """Push an environment frame with *nslots* permanent slots."""
+
+    __slots__ = ("nslots",)
+
+    def __init__(self, nslots):
+        self.nslots = nslots
+
+
+class Deallocate(BamInstr):
+    __slots__ = ()
+
+
+class StoreCutBarrier(BamInstr):
+    """Save the B0 register (choice point at procedure entry) into
+    permanent slot *slot*, for cuts that follow a call."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot):
+        self.slot = slot
+
+
+class Cut(BamInstr):
+    """Discard choice points newer than the procedure entry.  ``slot`` is
+    an environment slot index, or None when B0 is still live in its
+    register."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot):
+        self.slot = slot
+
+
+class Get(BamInstr):
+    """Unify argument register *reg* with the head descriptor *desc*.
+
+    ``derefed`` records that the register is already dereferenced (the
+    predicate's indexing prelude did it), so the expansion skips the
+    redundant pointer-chasing loop.
+    """
+
+    __slots__ = ("desc", "reg", "derefed")
+
+    def __init__(self, desc, reg, derefed=False):
+        self.desc = desc
+        self.reg = reg
+        self.derefed = derefed
+
+
+class Put(BamInstr):
+    """Build/fetch the value of *desc* into register *reg*."""
+
+    __slots__ = ("desc", "reg")
+
+    def __init__(self, desc, reg):
+        self.desc = desc
+        self.reg = reg
+
+
+class UnifyVals(BamInstr):
+    """General unification of two descriptors (the ``=``/2 builtin and
+    non-first variable occurrences)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+class Arith(BamInstr):
+    """``dst_desc is expr`` — evaluate and assign/unify."""
+
+    __slots__ = ("dst", "expr")
+
+    def __init__(self, dst, expr):
+        self.dst = dst
+        self.expr = expr
+
+
+class ArithTest(BamInstr):
+    """Arithmetic comparison; fails to the backtracking handler."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op  # '<', '>', '=<', '>=', '=:=', '=\\='
+        self.left = left
+        self.right = right
+
+
+class TypeTest(BamInstr):
+    """``var/nonvar/atom/integer/atomic`` type test on a descriptor."""
+
+    __slots__ = ("kind", "desc")
+
+    def __init__(self, kind, desc):
+        self.kind = kind
+        self.desc = desc
+
+
+class StructEqTest(BamInstr):
+    """``==``/``\\==`` structural comparison (no binding)."""
+
+    __slots__ = ("negated", "left", "right")
+
+    def __init__(self, negated, left, right):
+        self.negated = negated
+        self.left = left
+        self.right = right
+
+
+class Call(BamInstr):
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.arity = arity
+
+
+class Execute(BamInstr):
+    """Tail call (last-call optimisation)."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.arity = arity
+
+
+class Proceed(BamInstr):
+    """Return through the continuation register."""
+
+    __slots__ = ()
+
+
+class Escape(BamInstr):
+    """Host escape (program output: ``write``, ``nl``)."""
+
+    __slots__ = ("service", "desc")
+
+    def __init__(self, service, desc=None):
+        self.service = service
+        self.desc = desc
+
+
+class FailInstr(BamInstr):
+    """Unconditional failure."""
+
+    __slots__ = ()
+
+
+def predicate_label(name, arity):
+    """The code label of a predicate's entry point."""
+    return "P:%s/%d" % (name, arity)

@@ -1,0 +1,144 @@
+"""Clause normalisation: control constructs to plain clauses.
+
+The BAM clause compiler only understands flat conjunctions of goals.
+Disjunction, if-then-else and negation-as-failure are removed here by
+lifting them into generated auxiliary predicates — the classical
+source-to-source transformation.  The result is a mapping from predicate
+indicator to an ordered list of ``(head, [goal, ...])`` pairs.
+"""
+
+from repro.terms import Atom, Int, Var, Struct, deref
+
+
+class NormalizeError(Exception):
+    """Raised on goals the compiler cannot handle."""
+
+
+#: goals compiled inline (do not end a chunk, never become aux predicates)
+INLINE_GOALS = {
+    ("=", 2), ("\\=", 2), ("is", 2),
+    ("<", 2), (">", 2), ("=<", 2), (">=", 2), ("=:=", 2), ("=\\=", 2),
+    ("==", 2), ("\\==", 2),
+    ("var", 1), ("nonvar", 1), ("atom", 1), ("integer", 1),
+    ("atomic", 1), ("number", 1),
+    ("write", 1), ("print", 1), ("nl", 0),
+    ("true", 0), ("fail", 0), ("false", 0), ("!", 0),
+    ("$cut_barrier", 0),
+}
+
+
+def goal_indicator(goal):
+    goal = deref(goal)
+    if isinstance(goal, Atom):
+        return (goal.name, 0)
+    if isinstance(goal, Struct):
+        return (goal.name, len(goal.args))
+    raise NormalizeError("invalid goal: %r" % (goal,))
+
+
+class Normalizer:
+    """Flattens a database's clauses and lifts control constructs."""
+
+    def __init__(self):
+        self.predicates = {}   # indicator -> list of (head, [goals])
+        self.order = []
+        self._aux_counter = 0
+
+    def add_database(self, db):
+        for indicator in db.order:
+            for clause in db.predicates[indicator]:
+                self.add_clause(clause.head, clause.body)
+        return self
+
+    def add_clause(self, head, body):
+        goals = []
+        self._flatten(body, goals)
+        indicator = goal_indicator(head)
+        if indicator not in self.predicates:
+            self.predicates[indicator] = []
+            self.order.append(indicator)
+        self.predicates[indicator].append((head, goals))
+
+    # -- body flattening --------------------------------------------------
+
+    def _flatten(self, goal, out):
+        goal = deref(goal)
+        if isinstance(goal, Var):
+            raise NormalizeError("unbound goal in clause body")
+        if isinstance(goal, Atom) and goal.name == "true":
+            return
+        if isinstance(goal, Struct) and goal.indicator == (",", 2):
+            self._flatten(goal.args[0], out)
+            self._flatten(goal.args[1], out)
+            return
+        if isinstance(goal, Struct) and goal.indicator == (";", 2):
+            left = deref(goal.args[0])
+            if isinstance(left, Struct) and left.indicator == ("->", 2):
+                out.append(self._lift_ite(left.args[0], left.args[1],
+                                          goal.args[1]))
+            else:
+                out.append(self._lift_disj([goal.args[0], goal.args[1]]))
+            return
+        if isinstance(goal, Struct) and goal.indicator == ("->", 2):
+            out.append(self._lift_ite(goal.args[0], goal.args[1],
+                                      Atom("fail")))
+            return
+        if isinstance(goal, Struct) and goal.indicator in (
+                ("\\+", 1), ("not", 1)):
+            out.append(self._lift_naf(goal.args[0]))
+            return
+        if isinstance(goal, Struct) and goal.indicator == ("\\=", 2):
+            out.append(self._lift_naf(Struct("=", list(goal.args))))
+            return
+        out.append(goal)
+
+    # -- lifting ----------------------------------------------------------
+
+    def _aux_name(self, kind):
+        self._aux_counter += 1
+        return "$%s_%d" % (kind, self._aux_counter)
+
+    def _free_vars(self, term, acc):
+        term = deref(term)
+        if isinstance(term, Var):
+            if term not in acc:
+                acc.append(term)
+        elif isinstance(term, Struct):
+            for arg in term.args:
+                self._free_vars(arg, acc)
+        return acc
+
+    def _make_call(self, name, variables):
+        if variables:
+            return Struct(name, list(variables))
+        return Atom(name)
+
+    def _lift_disj(self, branches):
+        variables = []
+        for branch in branches:
+            self._free_vars(branch, variables)
+        name = self._aux_name("disj")
+        call = self._make_call(name, variables)
+        for branch in branches:
+            self.add_clause(call, branch)
+        return call
+
+    def _lift_ite(self, cond, then, else_):
+        variables = []
+        for part in (cond, then, else_):
+            self._free_vars(part, variables)
+        name = self._aux_name("ite")
+        call = self._make_call(name, variables)
+        self.add_clause(call, Struct(",", [cond, Struct(",", [
+            Atom("!"), then])]))
+        self.add_clause(call, else_)
+        return call
+
+    def _lift_naf(self, goal):
+        variables = self._free_vars(goal, [])
+        name = self._aux_name("naf")
+        call = self._make_call(name, variables)
+        self.add_clause(call, Struct(",", [goal, Struct(",", [
+            Atom("!"), Atom("fail")])]))
+        self.add_clause(call, Atom("true"))
+        return call

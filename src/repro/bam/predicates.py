@@ -1,0 +1,224 @@
+"""Predicate-level compilation: indexing and choice-point chains.
+
+For each predicate we build a dispatch tree on the first argument
+(switch-on-tag, then switch-on-constant / switch-on-functor when it pays),
+which is the determinism-extraction device of the front-end: a dispatch
+leaf containing a single clause runs without creating a choice point.
+Multi-clause leaves get a classical try/retry/trust chain built from a
+:class:`~repro.bam.instructions.Try` plus per-alternative retry stubs.
+"""
+
+from repro.terms import Atom, Int, Var, Struct, deref, tags
+from repro.bam import instructions as bam
+from repro.bam.clauses import compile_clause
+
+#: marker understood by the translator: reset per-clause temp registers
+NEW_CLAUSE = "NEW_CLAUSE"
+
+_TAG_ORDER = (tags.TATM, tags.TINT, tags.TLST, tags.TSTR)
+
+
+def first_arg_pattern(head):
+    """Classify a clause head's first argument for indexing.
+
+    Returns None (variable / no argument), ``('atm', name)``,
+    ``('int', value)``, ``('lst',)`` or ``('str', (name, arity))``.
+    """
+    head = deref(head)
+    if not isinstance(head, Struct):
+        return None
+    arg = deref(head.args[0])
+    if isinstance(arg, Var):
+        return None
+    if isinstance(arg, Atom):
+        return ("atm", arg.name)
+    if isinstance(arg, Int):
+        return ("int", arg.value)
+    if isinstance(arg, Struct):
+        if arg.name == "." and arg.arity == 2:
+            return ("lst",)
+        return ("str", (arg.name, arg.arity))
+    return None
+
+
+class CompilerOptions:
+    """Front-end feature switches.
+
+    The defaults are the BAM-style compiler of the paper.  Disabling
+    ``indexing`` and ``lco`` yields a naive Warren-style baseline (plain
+    try/retry/trust chains, every call returns), used to reproduce the
+    section 2 claim that the BAM's "model improvement ... and more
+    sophisticated compiler optimizations" buy a substantial factor.
+    """
+
+    def __init__(self, indexing=True, lco=True):
+        self.indexing = indexing
+        self.lco = lco
+
+
+class PredicateCompiler:
+    """Compiles all clauses of one predicate into a BAM stream."""
+
+    def __init__(self, name, arity, clauses, symbols, options=None):
+        self.name = name
+        self.arity = arity
+        self.clauses = clauses            # list of (head, goals)
+        self.symbols = symbols
+        self.options = options or CompilerOptions()
+        self.out = []
+        self._chain_labels = {}           # tuple(indices) -> label
+        self._chains_pending = []
+        self._deferred = []               # second-level dispatch code
+        self._stub_counter = 0
+
+    def _label(self, suffix):
+        return "%s:%s/%d" % (suffix, self.name, self.arity)
+
+    def clause_label(self, index):
+        return "C%d:%s/%d" % (index, self.name, self.arity)
+
+    # -- chains ------------------------------------------------------------
+
+    def chain_label(self, indices):
+        """Label of the code trying clauses *indices* in order, creating
+        the chain lazily (chains are shared between dispatch leaves)."""
+        indices = tuple(indices)
+        if not indices:
+            return "$fail"
+        if len(indices) == 1:
+            return self.clause_label(indices[0])
+        label = self._chain_labels.get(indices)
+        if label is None:
+            label = "H%d:%s/%d" % (len(self._chain_labels), self.name,
+                                   self.arity)
+            self._chain_labels[indices] = label
+            self._chains_pending.append((label, indices))
+        return label
+
+    def _emit_chain(self, label, indices):
+        stubs = []
+        for position in range(1, len(indices)):
+            self._stub_counter += 1
+            stubs.append("R%d:%s/%d" % (self._stub_counter, self.name,
+                                        self.arity))
+        self.out.append(bam.Label(label))
+        self.out.append(bam.Try(self.arity, stubs[0]))
+        self.out.append(bam.Jump(self.clause_label(indices[0])))
+        for position in range(1, len(indices)):
+            next_label = stubs[position] if position < len(indices) - 1 \
+                else None
+            self.out.append(bam.Label(stubs[position - 1]))
+            self.out.append(bam.RetryStub(
+                self.arity, next_label,
+                self.clause_label(indices[position])))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def compile(self):
+        entry = bam.predicate_label(self.name, self.arity)
+        self.out.append(bam.Label(entry))
+        self.out.append(bam.SetB0())
+
+        patterns = [first_arg_pattern(head) for head, _ in self.clauses]
+        all_indices = list(range(len(self.clauses)))
+        indexable = (self.options.indexing
+                     and self.arity > 0 and len(self.clauses) > 1
+                     and any(p is not None for p in patterns))
+
+        if not indexable:
+            target = self.chain_label(all_indices)
+            if target != "$fail":
+                self.out.append(bam.Jump(target))
+        else:
+            self._emit_dispatch(patterns, all_indices)
+
+        self._flush_chains()
+        for index, (head, goals) in enumerate(self.clauses):
+            self.out.append(bam.Label(self.clause_label(index)))
+            self.out.append(NEW_CLAUSE)
+            self.out.extend(compile_clause(head, goals,
+                                           first_arg_derefed=indexable,
+                                           lco=self.options.lco))
+            self._flush_chains()
+        return self.out
+
+    def _flush_chains(self):
+        while self._chains_pending:
+            label, indices = self._chains_pending.pop(0)
+            self._emit_chain(label, indices)
+
+    def _emit_dispatch(self, patterns, all_indices):
+        self.out.append(bam.DerefReg("a0"))
+        var_indices = [i for i, p in enumerate(patterns) if p is None]
+
+        tag_of_kind = {"atm": tags.TATM, "int": tags.TINT,
+                       "lst": tags.TLST, "str": tags.TSTR}
+        by_tag = {tag: [] for tag in _TAG_ORDER}
+        for index, pattern in enumerate(patterns):
+            if pattern is None:
+                for tag in _TAG_ORDER:
+                    by_tag[tag].append(index)
+            else:
+                by_tag[tag_of_kind[pattern[0]]].append(index)
+
+        cases = [(tags.TREF, self.chain_label(all_indices))]
+        for tag in _TAG_ORDER:
+            indices = by_tag[tag]
+            if not indices:
+                continue
+            if tag in (tags.TATM, tags.TINT):
+                label = self._constant_dispatch(tag, patterns, indices,
+                                                var_indices)
+            elif tag == tags.TSTR:
+                label = self._functor_dispatch(patterns, indices,
+                                               var_indices)
+            else:
+                label = self.chain_label(indices)
+            cases.append((tag, label))
+        self.out.append(bam.SwitchOnTag("a0", cases, "$fail"))
+        self.out.extend(self._deferred)
+        self._deferred = []
+
+    def _constant_dispatch(self, tag, patterns, indices, var_indices):
+        """Second-level dispatch on the atom/integer value, when several
+        distinct constants appear."""
+        constants = []
+        for index in indices:
+            pattern = patterns[index]
+            if pattern is not None and pattern[1] not in constants:
+                constants.append(pattern[1])
+        if len(constants) < 2:
+            return self.chain_label(indices)
+        label = self._label("S%d" % tag)
+        self._deferred.append(bam.Label(label))
+        cases = []
+        for constant in constants:
+            chain = [i for i in indices
+                     if patterns[i] is None or patterns[i][1] == constant]
+            if tag == tags.TATM:
+                word = tags.pack(self.symbols.atom(constant), tags.TATM)
+            else:
+                word = tags.pack(constant, tags.TINT)
+            cases.append((word, self.chain_label(chain)))
+        self._deferred.append(bam.SwitchOnConstant(
+            "a0", cases, self.chain_label(var_indices)))
+        return label
+
+    def _functor_dispatch(self, patterns, indices, var_indices):
+        functors = []
+        for index in indices:
+            pattern = patterns[index]
+            if pattern is not None and pattern[1] not in functors:
+                functors.append(pattern[1])
+        if len(functors) < 2:
+            return self.chain_label(indices)
+        label = self._label("SF")
+        self._deferred.append(bam.Label(label))
+        cases = []
+        for functor in functors:
+            chain = [i for i in indices
+                     if patterns[i] is None or patterns[i][1] == functor]
+            cases.append((functor, self.chain_label(chain)))
+        self._deferred.append(bam.SwitchOnFunctor(
+            "a0", cases, self.chain_label(var_indices)))
+        return label

@@ -1,0 +1,23 @@
+"""The Aquarius-style benchmark programs and suite driver."""
+
+from repro.benchmarks.programs import (
+    PROGRAMS, ALL_PROGRAMS, TABLE_BENCHMARKS, BenchmarkProgram)
+from repro.benchmarks.extended import EXTENDED_PROGRAMS
+from repro.benchmarks.suite import (
+    compile_benchmark, run_benchmark, run_program_cached,
+    interpret_benchmark, validate_benchmark, program_fingerprint, cache_dir)
+
+__all__ = [
+    "PROGRAMS",
+    "ALL_PROGRAMS",
+    "TABLE_BENCHMARKS",
+    "EXTENDED_PROGRAMS",
+    "BenchmarkProgram",
+    "compile_benchmark",
+    "run_benchmark",
+    "run_program_cached",
+    "interpret_benchmark",
+    "validate_benchmark",
+    "program_fingerprint",
+    "cache_dir",
+]

@@ -1,0 +1,107 @@
+"""Extended benchmark set.
+
+Classical Prolog workloads beyond the paper's Aquarius subset.  They are
+not part of any reproduced table — the paper's suite is fixed — but they
+broaden compiler coverage (deep deterministic recursion, structure-heavy
+arithmetic, accumulator idioms) and give downstream users more workloads
+to experiment with.  All are registered in
+:data:`repro.benchmarks.extended.EXTENDED_PROGRAMS` and validated against
+the reference interpreter by the test suite.
+"""
+
+from repro.benchmarks.programs import BenchmarkProgram
+
+FIB = BenchmarkProgram("fib", "naive doubly-recursive Fibonacci", """
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,
+             fib(N1, F1), fib(N2, F2), F is F1 + F2.
+main :- fib(17, F), write(F), nl.
+""", in_table1=False)
+
+HANOI = BenchmarkProgram("hanoi", "towers of Hanoi move list", """
+hanoi(0, _, _, _, []) :- !.
+hanoi(N, A, B, C, Moves) :-
+    M is N - 1,
+    hanoi(M, A, C, B, M1),
+    hanoi(M, C, B, A, M2),
+    app(M1, [mv(A, B)|M2], Moves).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+main :- hanoi(8, left, right, mid, Moves), len(Moves, N),
+        write(N), nl.
+""", in_table1=False)
+
+PRIMES = BenchmarkProgram("primes", "sieve of Eratosthenes", """
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+sieve([], []).
+sieve([P|Xs], [P|Ps]) :- strike(P, Xs, Ys), sieve(Ys, Ps).
+strike(_, [], []).
+strike(P, [X|Xs], Ys) :- X mod P =:= 0, !, strike(P, Xs, Ys).
+strike(P, [X|Xs], [X|Ys]) :- strike(P, Xs, Ys).
+main :- range(2, 200, L), sieve(L, Ps), last(Ps, Biggest),
+        len(Ps, N), write(N-Biggest), nl.
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+""", in_table1=False)
+
+POLY = BenchmarkProgram("poly", "symbolic polynomial power (1+x)^12", """
+% Polynomials are coefficient lists, lowest degree first.
+poly_add([], Q, Q).
+poly_add(P, [], P) :- P = [_|_].
+poly_add([A|P], [B|Q], [C|R]) :- C is A + B, poly_add(P, Q, R).
+poly_scale(_, [], []).
+poly_scale(K, [A|P], [B|Q]) :- B is K * A, poly_scale(K, P, Q).
+poly_mul([], _, []).
+poly_mul([A|P], Q, R) :-
+    poly_scale(A, Q, AQ),
+    poly_mul(P, Q, PQ),
+    poly_add(AQ, [0|PQ], R).
+poly_pow(0, _, [1]) :- !.
+poly_pow(N, P, R) :- M is N - 1, poly_pow(M, P, R1), poly_mul(P, R1, R).
+nth(1, [X|_], X) :- !.
+nth(N, [_|T], X) :- N > 1, M is N - 1, nth(M, T, X).
+main :- poly_pow(12, [1, 1], R), nth(7, R, Middle),
+        write(Middle), nl.
+""", in_table1=False)
+
+BTREE = BenchmarkProgram("btree", "ordered binary tree insert + walk", """
+insert(X, void, tree(void, X, void)).
+insert(X, tree(L, Y, R), tree(L1, Y, R)) :-
+    X < Y, !, insert(X, L, L1).
+insert(X, tree(L, Y, R), tree(L, Y, R1)) :-
+    X > Y, !, insert(X, R, R1).
+insert(_, T, T).
+build([], T, T).
+build([X|Xs], T0, T) :- insert(X, T0, T1), build(Xs, T1, T).
+walk(void, A, A).
+walk(tree(L, X, R), A0, A) :- walk(R, A0, A1), walk(L, [X|A1], A).
+main :- build([17,4,23,8,42,1,15,30,11,2,28,5,19,3,35,7], void, T),
+        walk(T, [], Sorted), write(Sorted), nl.
+""", in_table1=False)
+
+ACKERMANN = BenchmarkProgram("ackermann", "Ackermann function a(2,6)", """
+ack(0, N, R) :- !, R is N + 1.
+ack(M, 0, R) :- !, M1 is M - 1, ack(M1, 1, R).
+ack(M, N, R) :- M1 is M - 1, N1 is N - 1, ack(M, N1, R1),
+                ack(M1, R1, R).
+main :- ack(2, 6, R), write(R), nl.
+""", in_table1=False)
+
+EXTENDED_LIST = [FIB, HANOI, PRIMES, POLY, BTREE, ACKERMANN]
+EXTENDED_PROGRAMS = {p.name: p for p in EXTENDED_LIST}
+
+#: expected outputs (strong known-answer checks)
+EXPECTED_OUTPUT = {
+    "fib": "1597\n",
+    "hanoi": "255\n",
+    "primes": "-(46,199)\n",
+    "poly": "924\n",      # C(12,6)
+    "btree": "[1,2,3,4,5,7,8,11,15,17,19,23,28,30,35,42]\n",
+    "ackermann": "15\n",
+}

@@ -1,0 +1,340 @@
+"""The benchmark programs.
+
+Re-implementations of the classical Warren / Aquarius benchmark set used
+in the paper (section 1: "Prolog benchmarks extracted from the Aquarius
+Benchmark Suite").  The original suite is not redistributable, so each
+program is written from its well-known published formulation; input sizes
+are chosen so the Python-hosted ICI emulation of every program completes
+in seconds (the paper's observables are ratios and distributions, not
+absolute cycle counts).
+
+Every program defines ``main/0``, prints its result (so compiled code can
+be validated against the reference interpreter) and succeeds exactly when
+the computation finds its expected answer.
+"""
+
+
+class BenchmarkProgram:
+    """One benchmark: source text plus catalogue metadata."""
+
+    def __init__(self, name, description, source, in_table1=True):
+        self.name = name
+        self.description = description
+        self.source = source
+        #: benchmarks appearing in the paper's Tables 1/3/4 (crypt and
+        #: query appear only in the branch-prediction study, Table 2)
+        self.in_table1 = in_table1
+
+    def __repr__(self):
+        return "BenchmarkProgram(%r)" % self.name
+
+
+_LIST_LIB = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+"""
+
+_DERIV_LIB = """
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(U ^ N, X, DU * N * U ^ N1) :- !, integer(N), N1 is N - 1, d(U, X, DU).
+d(- U, X, - DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+"""
+
+CONC30 = BenchmarkProgram("conc30", "concatenate a 30-element list", """
+conc([], L, L).
+conc([H|T], L, [H|R]) :- conc(T, L, R).
+main :-
+    conc([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,
+          21,22,23,24,25,26,27,28,29,30], [a,b,c], R),
+    write(R), nl.
+""")
+
+NREVERSE = BenchmarkProgram("nreverse", "naive reverse of a 30-element list",
+                            _LIST_LIB + """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+main :-
+    nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,
+          21,22,23,24,25,26,27,28,29,30], R),
+    write(R), nl.
+""")
+
+QSORT = BenchmarkProgram("qsort", "quicksort of Warren's 50-element list", """
+qsort([], R, R).
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+main :-
+    qsort([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11,
+           55,29,39,81,90,37,10,0,66,51,7,21,85,27,31,63,75,4,95,99,
+           11,28,61,74,18,92,40,53,59,8], S, []),
+    write(S), nl.
+""")
+
+OPS8 = BenchmarkProgram("ops8", "symbolic differentiation: operator mix",
+                        _DERIV_LIB + """
+main :- d((x + 1) * ((x ^ 2 + 2) * (x ^ 3 + 3)), x, E), write(E), nl.
+""")
+
+DIVIDE10 = BenchmarkProgram("divide10", "symbolic differentiation: quotients",
+                            _DERIV_LIB + """
+main :-
+    d(((((((((x / x) / x) / x) / x) / x) / x) / x) / x) / x, x, E),
+    write(E), nl.
+""")
+
+LOG10 = BenchmarkProgram("log10", "symbolic differentiation: logarithms",
+                         _DERIV_LIB + """
+main :-
+    d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, E),
+    write(E), nl.
+""")
+
+TIMES10 = BenchmarkProgram("times10", "symbolic differentiation: products",
+                           _DERIV_LIB + """
+main :-
+    d(((((((((x * x) * x) * x) * x) * x) * x) * x) * x) * x, x, E),
+    write(E), nl.
+""")
+
+TAK = BenchmarkProgram("tak", "Takeuchi function (heavy integer recursion)", """
+tak(X, Y, Z, A) :- X =< Y, !, Z = A.
+tak(X, Y, Z, A) :-
+    X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+    tak(X1, Y, Z, A1),
+    tak(Y1, Z, X, A2),
+    tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).
+main :- tak(12, 6, 0, A), write(A), nl.
+""")
+
+SERIALISE = BenchmarkProgram("serialise", "Warren's palin25 serialiser", """
+serialise(L, R) :-
+    pairlists(L, R, A),
+    arrange(A, T),
+    numbered(T, 1, _).
+pairlists([X|L], [Y|R], [pair(X,Y)|A]) :- pairlists(L, R, A).
+pairlists([], [], []).
+arrange([X|L], tree(T1, X, T2)) :-
+    split(L, X, L1, L2),
+    arrange(L1, T1),
+    arrange(L2, T2).
+arrange([], void).
+split([X|L], X, L1, L2) :- !, split(L, X, L1, L2).
+split([X|L], Y, [X|L1], L2) :- before(X, Y), !, split(L, Y, L1, L2).
+split([X|L], Y, L1, [X|L2]) :- before(Y, X), !, split(L, Y, L1, L2).
+split([], _, [], []).
+before(pair(X1, _), pair(X2, _)) :- X1 < X2.
+numbered(tree(T1, pair(_, N1), T2), N0, N) :-
+    numbered(T1, N0, N1),
+    N2 is N1 + 1,
+    numbered(T2, N2, N).
+numbered(void, N, N).
+main :- serialise("ABLE WAS I ERE I SAW ELBA", R), write(R), nl.
+""")
+
+MU = BenchmarkProgram("mu", "Hofstadter's MU puzzle (depth-bounded search)",
+                      _LIST_LIB + """
+theorem(D, R) :- derive([m, i], R, D).
+derive(S, S, _).
+derive(S, T, D) :-
+    D > 0, D1 is D - 1,
+    rewrite(S, S1),
+    derive(S1, T, D1).
+rewrite(S, S1) :- rule1(S, S1).
+rewrite(S, S1) :- rule2(S, S1).
+rewrite(S, S1) :- rule3(S, S1).
+rewrite(S, S1) :- rule4(S, S1).
+rule1(S, S1) :- app(X, [i], S), app(X, [i, u], S1).
+rule2([m|X], [m|S1]) :- app(X, X, S1).
+rule3(S, S1) :- app(X, T, S), app([i, i, i], Y, T), app(X, [u|Y], S1).
+rule4(S, S1) :- app(X, T, S), app([u, u], Y, T), app(X, Y, S1).
+main :- theorem(5, [m, u, i, i, u]), !, write(proved), nl.
+""")
+
+QUEENS8 = BenchmarkProgram("queens_8", "first solution of 8 queens", """
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    sel(Q, Unplaced, Rest),
+    \\+ attack(Q, Safe),
+    place(Rest, [Q|Safe], Qs).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+attack(X, Xs) :- attack(X, 1, Xs).
+attack(X, N, [Y|_]) :- X =:= Y + N.
+attack(X, N, [Y|_]) :- X =:= Y - N.
+attack(X, N, [_|Ys]) :- N1 is N + 1, attack(X, N1, Ys).
+main :- queens(8, Qs), !, write(Qs), nl.
+""")
+
+QUERY = BenchmarkProgram("query", "Warren's database query benchmark", """
+main :- query(Q), write(Q), nl, fail.
+main.
+query([C1, D1, C2, D2]) :-
+    density(C1, D1),
+    density(C2, D2),
+    D1 > D2,
+    20 * D1 < 21 * D2.
+density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.
+pop(china, 8250).       area(china, 3380).
+pop(india, 5863).       area(india, 1139).
+pop(ussr, 2521).        area(ussr, 8708).
+pop(usa, 2119).         area(usa, 3609).
+pop(indonesia, 1276).   area(indonesia, 570).
+pop(japan, 1097).       area(japan, 148).
+pop(brazil, 1042).      area(brazil, 3288).
+pop(bangladesh, 750).   area(bangladesh, 55).
+pop(pakistan, 682).     area(pakistan, 311).
+pop(w_germany, 620).    area(w_germany, 96).
+pop(nigeria, 613).      area(nigeria, 373).
+pop(mexico, 581).       area(mexico, 764).
+pop(uk, 559).           area(uk, 86).
+pop(italy, 554).        area(italy, 116).
+pop(france, 525).       area(france, 213).
+pop(philippines, 415).  area(philippines, 90).
+pop(thailand, 410).     area(thailand, 200).
+pop(turkey, 383).       area(turkey, 296).
+pop(egypt, 364).        area(egypt, 386).
+pop(spain, 352).        area(spain, 190).
+pop(poland, 337).       area(poland, 121).
+pop(s_korea, 335).      area(s_korea, 37).
+pop(iran, 320).         area(iran, 628).
+pop(ethiopia, 272).     area(ethiopia, 350).
+pop(argentina, 251).    area(argentina, 1080).
+""", in_table1=False)
+
+CRYPT = BenchmarkProgram("crypt", "cryptomultiplication puzzle", """
+odd(1). odd(3). odd(5). odd(7). odd(9).
+even(0). even(2). even(4). even(6). even(8).
+crypt([A, B, C, D, E]) :-
+    odd(A), even(B), even(C),
+    even(D), D =\\= 0,
+    even(E), E =\\= 0,
+    N is A * 100 + B * 10 + C,
+    P1 is N * E,
+    P1 >= 1000, P1 =< 9999,
+    F is P1 // 1000, even(F), F =\\= 0,
+    G is P1 // 100 mod 10, odd(G),
+    H is P1 // 10 mod 10, even(H),
+    I is P1 mod 10, even(I),
+    P2 is N * D,
+    P2 >= 100, P2 =< 999,
+    J is P2 // 100, even(J), J =\\= 0,
+    K is P2 // 10 mod 10, odd(K),
+    L is P2 mod 10, even(L),
+    T is P1 + P2 * 10,
+    T >= 1000, T =< 9999,
+    M is T // 1000, odd(M),
+    N2 is T // 100 mod 10, odd(N2),
+    O is T // 10 mod 10, even(O),
+    P is T mod 10, even(P).
+main :- crypt(S), !, write(S), nl.
+""", in_table1=False)
+
+SENDMORE = BenchmarkProgram("sendmore", "SEND + MORE = MONEY", """
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+solve([S, E, N, D, M, O, R, Y]) :-
+    sel(D, [0,1,2,3,4,5,6,7,8,9], R1),
+    sel(E, R1, R2),
+    Y0 is D + E, Y is Y0 mod 10, C1 is Y0 // 10,
+    sel(Y, R2, R3),
+    sel(N, R3, R4),
+    sel(R, R4, R5),
+    E0 is N + R + C1, E =:= E0 mod 10, C2 is E0 // 10,
+    sel(O, R5, R6),
+    N0 is E + O + C2, N =:= N0 mod 10, C3 is N0 // 10,
+    sel(S, R6, R7), S =\\= 0,
+    sel(M, R7, _), M =\\= 0,
+    O0 is S + M + C3, O =:= O0 mod 10, M =:= O0 // 10.
+main :- solve(L), !, write(L), nl.
+""")
+
+ZEBRA = BenchmarkProgram("zebra", "the five-houses puzzle", """
+memb(X, [X|_]).
+memb(X, [_|T]) :- memb(X, T).
+nextto(A, B, [A, B|_]).
+nextto(A, B, [_|T]) :- nextto(A, B, T).
+right_of(A, B, L) :- nextto(B, A, L).
+beside(A, B, L) :- nextto(A, B, L).
+beside(A, B, L) :- nextto(B, A, L).
+zebra(Zebra, Water) :-
+    Houses = [house(norwegian, _, _, _, _), _,
+              house(_, _, _, milk, _), _, _],
+    memb(house(englishman, _, _, _, red), Houses),
+    right_of(house(_, _, _, _, green),
+             house(_, _, _, _, ivory), Houses),
+    beside(house(norwegian, _, _, _, _),
+           house(_, _, _, _, blue), Houses),
+    memb(house(_, kools, _, _, yellow), Houses),
+    memb(house(spaniard, _, dog, _, _), Houses),
+    memb(house(_, _, _, coffee, green), Houses),
+    memb(house(ukrainian, _, _, tea, _), Houses),
+    memb(house(_, luckystrike, _, orangejuice, _), Houses),
+    memb(house(japanese, parliaments, _, _, _), Houses),
+    memb(house(_, oldgold, snails, _, _), Houses),
+    beside(house(_, chesterfields, _, _, _),
+           house(_, _, fox, _, _), Houses),
+    beside(house(_, kools, _, _, _),
+           house(_, _, horse, _, _), Houses),
+    memb(house(Zebra, _, zebra, _, _), Houses),
+    memb(house(Water, _, _, water, _), Houses).
+main :- zebra(Z, W), !, write(Z), write(W), nl.
+""")
+
+PROVER = BenchmarkProgram("prover", "propositional sequent prover", """
+prove(F) :- pr([], [F]).
+pr(L, R) :- memb(X, L), memb(X, R), !.
+pr(L, R) :- sel(and(A, B), L, L1), !, pr([A, B|L1], R).
+pr(L, R) :- sel(or(A, B), R, R1), !, pr(L, [A, B|R1]).
+pr(L, R) :- sel(imp(A, B), R, R1), !, pr([A|L], [B|R1]).
+pr(L, R) :- sel(neg(A), L, L1), !, pr(L1, [A|R]).
+pr(L, R) :- sel(neg(A), R, R1), !, pr([A|L], R1).
+pr(L, R) :- sel(and(A, B), R, R1), !, pr(L, [A|R1]), pr(L, [B|R1]).
+pr(L, R) :- sel(or(A, B), L, L1), !, pr([A|L1], R), pr([B|L1], R).
+pr(L, R) :- sel(imp(A, B), L, L1), !, pr(L1, [A|R]), pr([B|L1], R).
+memb(X, [X|_]).
+memb(X, [_|T]) :- memb(X, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+theorem(1, imp(and(p, q), p)).
+theorem(2, imp(p, or(p, q))).
+theorem(3, imp(imp(imp(p, q), p), p)).
+theorem(4, imp(and(imp(p, q), imp(q, r)), imp(p, r))).
+theorem(5, imp(neg(neg(p)), p)).
+theorem(6, imp(and(or(p, q), and(or(neg(p), r), or(neg(q), r))), r)).
+theorem(7, or(p, neg(p))).
+theorem(8, imp(and(p, imp(p, q)), q)).
+theorem(9, imp(neg(and(p, q)), or(neg(p), neg(q)))).
+theorem(10, imp(or(neg(p), neg(q)), neg(and(p, q)))).
+main :- check(1), check(2), check(3), check(4), check(5),
+        check(6), check(7), check(8), check(9), check(10),
+        write(proved), nl.
+check(N) :- theorem(N, F), prove(F).
+""")
+
+
+ALL_PROGRAMS = [
+    CONC30, CRYPT, DIVIDE10, LOG10, MU, NREVERSE, OPS8, PROVER, QSORT,
+    QUEENS8, QUERY, SENDMORE, SERIALISE, TAK, TIMES10, ZEBRA,
+]
+
+PROGRAMS = {program.name: program for program in ALL_PROGRAMS}
+
+#: the benchmark set of the paper's Tables 1 and 3 (crypt/query appear
+#: only in the predictability study, section 4.4)
+TABLE_BENCHMARKS = [p.name for p in ALL_PROGRAMS if p.in_table1]

@@ -1,0 +1,101 @@
+"""Benchmark suite driver: compile, emulate, validate, cache.
+
+Emulating the larger benchmarks costs seconds of host CPU, and the
+evaluation pipeline needs each dynamic profile several times (instruction
+mix, branch statistics, compaction input).  ``run_benchmark`` therefore
+memoises :class:`~repro.emulator.machine.EmulationResult` data on disk,
+keyed by a hash of the generated code, so a profile is computed once per
+compiled program ever.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.benchmarks.programs import PROGRAMS, TABLE_BENCHMARKS
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import Emulator, EmulationResult
+from repro.interp import Engine
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_dir():
+    path = os.environ.get(_CACHE_ENV)
+    if path is None:
+        path = os.path.join(os.path.expanduser("~"), ".cache",
+                            "repro-symbol")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def program_fingerprint(program):
+    """Stable hash of a compiled ICI program."""
+    digest = hashlib.sha256()
+    for instruction in program.instructions:
+        digest.update(repr(instruction).encode())
+    for name in sorted(program.labels):
+        digest.update(("%s=%d" % (name, program.labels[name])).encode())
+    return digest.hexdigest()[:24]
+
+
+def compile_benchmark(name):
+    """Compile benchmark *name* to an ICI program."""
+    return translate_module(compile_source(PROGRAMS[name].source))
+
+
+def run_program_cached(program, key_hint=""):
+    """Emulate *program*, consulting the on-disk profile cache first."""
+    key = key_hint + program_fingerprint(program)
+    path = os.path.join(cache_dir(), key + ".json")
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            return EmulationResult(program, data["status"], data["steps"],
+                                   data["output"], data["counts"],
+                                   data["taken"])
+        except (ValueError, KeyError):
+            os.remove(path)
+    result = Emulator(program).run()
+    with open(path, "w") as handle:
+        json.dump({"status": result.status, "steps": result.steps,
+                   "output": result.output, "counts": result.counts,
+                   "taken": result.taken}, handle)
+    return result
+
+
+def run_benchmark(name):
+    """Compile and emulate benchmark *name* (cached)."""
+    return run_program_cached(compile_benchmark(name), name + "-")
+
+
+def interpret_benchmark(name):
+    """Run benchmark *name* on the reference interpreter.
+
+    Returns ``(succeeded, output_text)``.
+    """
+    engine = Engine()
+    engine.consult(PROGRAMS[name].source)
+    return engine.run_query("main"), engine.output_text()
+
+
+def validate_benchmark(name):
+    """Check compiled execution against the reference interpreter."""
+    result = run_benchmark(name)
+    ok, text = interpret_benchmark(name)
+    return (result.succeeded == ok) and (result.output == text)
+
+
+__all__ = [
+    "PROGRAMS",
+    "TABLE_BENCHMARKS",
+    "compile_benchmark",
+    "run_benchmark",
+    "run_program_cached",
+    "interpret_benchmark",
+    "validate_benchmark",
+    "program_fingerprint",
+    "cache_dir",
+]

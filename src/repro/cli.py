@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run program.pl            # compile + emulate
+    python -m repro listing program.pl        # BAM and ICI listings
+    python -m repro speedup program.pl -m vliw3
+    python -m repro analyze program.pl        # mix + branch statistics
+    python -m repro bench qsort               # one suite benchmark
+    python -m repro evaluate [--extras]       # the paper's tables/figures
+"""
+
+import argparse
+import sys
+
+from repro.bam import compile_source, CompilerOptions
+from repro.intcode import translate_module, optimize_program
+from repro.emulator import run_program
+from repro.compaction import (
+    sequential, bam_like, vliw, ideal, symbol3)
+from repro.intcode.ici import OP_CLASS, MEM, ALU, MOVE, CTRL
+
+_MACHINES = {
+    "seq": sequential,
+    "bam": bam_like,
+    "vliw1": lambda: vliw(1), "vliw2": lambda: vliw(2),
+    "vliw3": lambda: vliw(3), "vliw4": lambda: vliw(4),
+    "vliw5": lambda: vliw(5),
+    "ideal": ideal,
+    "symbol3": symbol3,
+}
+
+
+def _load(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    options = CompilerOptions(indexing=not args.no_indexing,
+                              lco=not args.no_lco)
+    module = compile_source(source, entry=(args.entry, 0),
+                            options=options)
+    program = translate_module(module)
+    if args.optimize:
+        program, _ = optimize_program(program)
+    return module, program
+
+
+def _add_compile_flags(parser):
+    parser.add_argument("file", help="Prolog source file")
+    parser.add_argument("--entry", default="main",
+                        help="entry predicate (arity 0; default main)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="run the block-local ICI optimiser")
+    parser.add_argument("--no-indexing", action="store_true",
+                        help="disable first-argument indexing")
+    parser.add_argument("--no-lco", action="store_true",
+                        help="disable last-call optimisation")
+
+
+def cmd_run(args, out):
+    _, program = _load(args)
+    result = run_program(program, max_steps=args.max_steps)
+    out.write(result.output)
+    if args.stats:
+        out.write("%% status=%d steps=%d code=%d ops\n"
+                  % (result.status, result.steps, len(program)))
+    return result.status
+
+
+def cmd_listing(args, out):
+    module, program = _load(args)
+    if args.level in ("bam", "both"):
+        out.write(module.listing() + "\n")
+    if args.level in ("ici", "both"):
+        out.write(program.listing() + "\n")
+    return 0
+
+
+def cmd_speedup(args, out):
+    import repro
+    _, program = _load(args)
+    for name in args.machine:
+        config = _MACHINES[name]()
+        regioning = "bb" if name in ("seq", "bam") else "trace"
+        value = repro.measure_speedup(program, config,
+                                      regioning=regioning)
+        out.write("%-8s %.2fx\n" % (name, value))
+    return 0
+
+
+def cmd_analyze(args, out):
+    from repro.analysis.branch_stats import branch_records, average_p_fp
+    _, program = _load(args)
+    result = run_program(program, max_steps=args.max_steps)
+    totals = {MEM: 0, ALU: 0, MOVE: 0, CTRL: 0}
+    for pc, count in enumerate(result.counts):
+        if count:
+            totals[OP_CLASS[program.instructions[pc].op]] += count
+    steps = sum(totals.values())
+    out.write("dynamic operations: %d\n" % steps)
+    for cls in (MEM, ALU, MOVE, CTRL):
+        out.write("  %-5s %5.1f%%\n" % (cls, 100 * totals[cls] / steps))
+    records = branch_records(program, result.counts, result.taken)
+    out.write("branches: %d static, %d dynamic, average P_fp %.3f\n"
+              % (len(records), sum(r.executed for r in records),
+                 average_p_fp(records)))
+    return 0
+
+
+def cmd_bench(args, out):
+    from repro.benchmarks import PROGRAMS, run_benchmark
+    if args.name not in PROGRAMS:
+        out.write("unknown benchmark %r; available: %s\n"
+                  % (args.name, ", ".join(sorted(PROGRAMS))))
+        return 2
+    result = run_benchmark(args.name)
+    out.write(result.output)
+    out.write("%% %s: status=%d steps=%d\n"
+              % (args.name, result.status, result.steps))
+    return result.status
+
+
+def cmd_evaluate(args, out):
+    from repro.experiments import run_all
+    for name, text in run_all(extras=args.extras).items():
+        out.write(text + "\n\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SYMBOL: instruction-level parallelism in Prolog")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="compile and emulate a program")
+    _add_compile_flags(p)
+    p.add_argument("--stats", action="store_true")
+    p.add_argument("--max-steps", type=int, default=500_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("listing", help="show compiled code")
+    _add_compile_flags(p)
+    p.add_argument("--level", choices=("bam", "ici", "both"),
+                   default="both")
+    p.set_defaults(func=cmd_listing)
+
+    p = sub.add_parser("speedup", help="measure machine speedups")
+    _add_compile_flags(p)
+    p.add_argument("-m", "--machine", action="append",
+                   choices=sorted(_MACHINES),
+                   help="machine model (repeatable; default vliw3)")
+    p.set_defaults(func=cmd_speedup)
+
+    p = sub.add_parser("analyze", help="instruction mix + branch stats")
+    _add_compile_flags(p)
+    p.add_argument("--max-steps", type=int, default=500_000_000)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("bench", help="run one suite benchmark")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("evaluate", help="regenerate the paper's tables")
+    p.add_argument("--extras", action="store_true",
+                   help="include ablations / future-work studies")
+    p.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "speedup" and not args.machine:
+        args.machine = ["vliw3"]
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Compaction back-end: machine models, trace picking, scheduling."""
+
+from repro.compaction.machine_model import (
+    MachineConfig, sequential, bam_like, vliw, ideal, symbol3,
+    symbol3_sequential)
+from repro.compaction.trace import Trace, pick_traces, edge_counts, \
+    interior_joins
+from repro.compaction.transform import (
+    form_superblocks, TransformResult, Region)
+from repro.compaction.scheduler import Schedule, schedule_region
+
+__all__ = [
+    "MachineConfig",
+    "sequential",
+    "bam_like",
+    "vliw",
+    "ideal",
+    "symbol3",
+    "symbol3_sequential",
+    "Trace",
+    "pick_traces",
+    "edge_counts",
+    "interior_joins",
+    "form_superblocks",
+    "TransformResult",
+    "Region",
+    "Schedule",
+    "schedule_region",
+]

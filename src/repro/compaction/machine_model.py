@@ -1,0 +1,145 @@
+"""Machine models: the architecture family of Figure 5 plus baselines.
+
+All models are *parallel synchronous non-homogeneous architectures* in the
+paper's sense: one program counter, several functional units, statically
+predictable operation times, one instruction issued per cycle.  Each basic
+unit "can execute in the same cycle a memory access, a control operation,
+an ALU operation and a local data movement"; memory is shared, so the
+whole machine issues at most ``mem_ports`` memory operations per cycle —
+the resource that Amdahl's law says bounds the speedup near 3.
+
+Baselines:
+
+* ``sequential()`` — one operation per cycle, original order, interlock
+  stalls, untaken-branch-style penalties on every taken transfer.
+* ``bam_like()`` — the BAM processor stand-in: still one operation per
+  cycle but basic-block scheduled (stall filling) with one delay slot
+  filled, matching the paper's observation that the BAM sits near the
+  basic-block compaction limit.
+
+The SYMBOL-3 prototype (section 5) adds the two 64-bit instruction
+formats (format A: memory+ALU+move, format B: control+memory) and the
+three-cycle memory and control pipelines.
+"""
+
+from repro.intcode.ici import OP_CLASS, MEM, ALU, MOVE, CTRL
+
+
+class MachineConfig:
+    """A point in the architecture space."""
+
+    def __init__(self, name, n_units, mem_ports=1, mem_latency=2,
+                 ctrl_latency=2, alu_latency=1, move_latency=1,
+                 issue_width=None, multiway=True, delay_slots_filled=1,
+                 formats=None, in_order=False, inter_unit_penalty=0,
+                 speculation=True, bank_disambiguation=False):
+        self.name = name
+        self.n_units = n_units
+        self.mem_ports = mem_ports
+        self.latencies = {MEM: mem_latency, CTRL: ctrl_latency,
+                          ALU: alu_latency, MOVE: move_latency}
+        #: total operations issued per cycle (None = slot-limited only)
+        self.issue_width = issue_width
+        #: may several branches issue in one cycle (priority-resolved)?
+        self.multiway = multiway
+        #: delay slots assumed filled on a taken transfer
+        self.delay_slots_filled = delay_slots_filled
+        #: None, or "prototype" for the 2-format SYMBOL encoding
+        self.formats = formats
+        #: original program order (no compaction at all)
+        self.in_order = in_order
+        #: extra cycles to read an operand produced on another unit
+        self.inter_unit_penalty = inter_unit_penalty
+        #: allow upward code motion past branches (off-live-checked)
+        self.speculation = speculation
+        #: treat statically-distinct data areas as independent memory
+        #: banks (section 6's distributed-memory direction; off in the
+        #: paper's shared-memory model)
+        self.bank_disambiguation = bank_disambiguation
+
+    def duration(self, op):
+        return self.latencies[OP_CLASS[op]]
+
+    @property
+    def branch_branch_latency(self):
+        return 0 if self.multiway else 1
+
+    def taken_cost(self):
+        """Extra cycles charged when control transfers off the fall-through
+        path: pipeline refill minus filled delay slots."""
+        penalty = self.latencies[CTRL] - 1 - self.delay_slots_filled
+        return max(penalty, 0)
+
+    def slots_feasible(self, class_counts):
+        """Can this cycle's operation mix issue together?"""
+        mem = class_counts.get(MEM, 0)
+        alu = class_counts.get(ALU, 0)
+        move = class_counts.get(MOVE, 0)
+        ctrl = class_counts.get(CTRL, 0)
+        total = mem + alu + move + ctrl
+        if self.issue_width is not None and total > self.issue_width:
+            return False
+        if mem > min(self.mem_ports, self.n_units):
+            return False
+        if alu > self.n_units or move > self.n_units:
+            return False
+        if ctrl > (self.n_units if self.multiway else 1):
+            return False
+        if self.formats == "prototype":
+            # Each unit issues one instruction: format A (mem, ALU, move)
+            # or format B (control or immediate, mem).  A feasible split
+            # needs ctrl units for every control op and format-A units for
+            # the widest of the ALU/move demands.
+            if ctrl + max(alu, move) > self.n_units:
+                return False
+        return True
+
+    def __repr__(self):
+        return "MachineConfig(%r, units=%d)" % (self.name, self.n_units)
+
+
+def sequential():
+    """The pure sequential reference machine of Tables 1/3."""
+    return MachineConfig("seq", n_units=1, issue_width=1, multiway=False,
+                         delay_slots_filled=0, in_order=True,
+                         speculation=False)
+
+
+def bam_like():
+    """The BAM processor stand-in: one unit whose instruction set packs
+    some parallelism (the BAM's compound instructions), basic-block
+    scheduled with filled delay slots.  The paper observes the BAM sits
+    "very close to the limit of basic blocks" — this model reproduces
+    that structural relationship."""
+    return MachineConfig("bam", n_units=1, multiway=False,
+                         delay_slots_filled=1, speculation=False)
+
+
+def vliw(n_units, name=None, **overrides):
+    """An n-unit configuration of the Figure 5 architecture."""
+    return MachineConfig(name or ("vliw%d" % n_units), n_units=n_units,
+                         **overrides)
+
+
+def ideal(name="ideal"):
+    """Unbounded units (64 is past any region's width); only the shared
+    memory port constrains issue.  Used for the Table 1 concurrency
+    limits."""
+    return MachineConfig(name, n_units=64)
+
+
+def symbol3(n_units=3):
+    """The VLSI prototype: two instruction formats, 3-cycle memory and
+    control pipelines, two squashed delay cycles on taken jumps."""
+    return MachineConfig("symbol%d" % n_units, n_units=n_units,
+                         mem_latency=3, ctrl_latency=3,
+                         delay_slots_filled=0, formats="prototype")
+
+
+def symbol3_sequential():
+    """Sequential machine under the prototype's operation durations
+    (the Table 5 comparison baseline)."""
+    return MachineConfig("symbol-seq", n_units=1, issue_width=1,
+                         mem_latency=3, ctrl_latency=3, multiway=False,
+                         delay_slots_filled=0, in_order=True,
+                         speculation=False)

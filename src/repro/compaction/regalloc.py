@@ -1,0 +1,134 @@
+"""Register pressure analysis and linear-scan binding.
+
+The SYMBOL prototype has a 16-register bank with "no reserved registers
+(apart from the Program Counter)", so "the code generator is free to
+decide where to store a variable" (section 5.2).  ICIs, by design, name
+unboundedly many virtual registers; this module measures what that
+freedom costs: given a region's schedule, it computes live intervals,
+peak pressure (MAXLIVE), and a greedy linear-scan binding onto a bank of
+``k`` registers, counting the values that would have to spill.
+
+Interface registers — the abstract machine state (H, E, B, ...) and the
+argument/linkage registers live across region boundaries — are treated as
+*reserved*: they occupy bank slots for the whole region, exactly the
+pressure a real allocator for this compiler would face.
+"""
+
+from repro.intcode import layout
+
+#: registers with cross-region lifetimes (always live, bank-resident)
+INTERFACE_PREFIXES = ("a",)
+INTERFACE_REGS = set(layout.MACHINE_REGISTERS) | {"B0", "u0", "u1", "EQR"}
+
+
+def is_interface(name):
+    if name in INTERFACE_REGS:
+        return True
+    return (name[0] in ("a",) and name[1:].isdigit())
+
+
+class Interval:
+    """Live range of one local virtual register within a region."""
+
+    __slots__ = ("reg", "start", "end")
+
+    def __init__(self, reg, start, end):
+        self.reg = reg
+        self.start = start
+        self.end = end
+
+    @property
+    def length(self):
+        return self.end - self.start + 1
+
+    def __repr__(self):
+        return "Interval(%s, [%d,%d])" % (self.reg, self.start, self.end)
+
+
+class PressureReport:
+    """Pressure and allocation summary for one scheduled region."""
+
+    def __init__(self, intervals, reserved, length):
+        self.intervals = intervals
+        self.reserved = reserved          # interface registers seen
+        self.length = length
+
+    @property
+    def max_live(self):
+        """Peak simultaneous live values (locals + reserved)."""
+        if self.length == 0:
+            return len(self.reserved)
+        deltas = [0] * (self.length + 1)
+        for interval in self.intervals:
+            deltas[interval.start] += 1
+            deltas[interval.end + 1 if interval.end + 1 <= self.length
+                   else self.length] -= 1
+        live = 0
+        peak = 0
+        for cycle in range(self.length):
+            live += deltas[cycle]
+            if live > peak:
+                peak = live
+        return peak + len(self.reserved)
+
+    def spills_for(self, bank_size):
+        """Linear-scan allocation: values that do not fit in the bank.
+
+        Reserved registers are pinned; locals compete for the rest.
+        Returns the number of spilled intervals.
+        """
+        available = bank_size - len(self.reserved)
+        if available < 0:
+            # Even the machine state exceeds the bank: everything local
+            # spills, plus the shortfall is unrepresentable.
+            return len(self.intervals) + (-available)
+        active = []                      # end cycles of bank-resident
+        spills = 0
+        for interval in sorted(self.intervals, key=lambda i: i.start):
+            active = [end for end in active if end >= interval.start]
+            if len(active) < available:
+                active.append(interval.end)
+            else:
+                # Spill the interval ending furthest away.
+                active.sort()
+                if active and active[-1] > interval.end:
+                    active[-1] = interval.end
+                spills += 1
+        return spills
+
+
+def region_pressure(instructions, schedule):
+    """Build the :class:`PressureReport` of a scheduled region."""
+    cycles = schedule.cycles
+    first_def = {}
+    last_use = {}
+    reserved = set()
+
+    for index, instruction in enumerate(instructions):
+        cycle = cycles[index]
+        for reg in instruction.writes():
+            if is_interface(reg):
+                reserved.add(reg)
+                continue
+            if reg not in first_def or cycle < first_def[reg]:
+                first_def[reg] = cycle
+            duration = schedule.config.duration(instruction.op)
+            end = cycle + duration - 1
+            if reg not in last_use or end > last_use[reg]:
+                last_use[reg] = end
+        for reg in instruction.reads():
+            if is_interface(reg):
+                reserved.add(reg)
+                continue
+            if reg not in first_def:
+                # Live-in local (defined upstream in the region's past or
+                # a scheduling artefact): live from region start.
+                first_def[reg] = 0
+            if reg not in last_use or cycle > last_use[reg]:
+                last_use[reg] = cycle
+
+    intervals = [Interval(reg, first_def[reg],
+                          max(last_use.get(reg, first_def[reg]),
+                              first_def[reg]))
+                 for reg in first_def]
+    return PressureReport(intervals, reserved, schedule.length)

@@ -1,0 +1,188 @@
+"""Region scheduling: greedy list scheduling onto a machine model.
+
+The code generator follows the Bottom-Up-Greedy spirit (section 3.2):
+operations are picked by critical-path priority; functional units are
+chosen by estimated completion cycle, preferring the unit that already
+holds an operand when inter-unit communication has a cost; resource
+feasibility covers the shared memory port, per-unit slot classes and the
+prototype's two instruction formats.
+
+A :class:`Schedule` knows the issue cycle of every operation, so the
+timing replay can charge each dynamic region exit its exact cost.
+"""
+
+import heapq
+
+from repro.intcode.ici import OP_CLASS, CONTROL_OPS, MEM, ALU, MOVE, CTRL
+from repro.analysis.dependence import build_dag
+
+
+class Schedule:
+    """The static schedule of one region."""
+
+    def __init__(self, instructions, cycles, config, units=None):
+        self.instructions = instructions
+        self.cycles = cycles
+        self.config = config
+        self.units = units
+        self.length = (max(cycles) + 1) if cycles else 0
+
+    def exit_cost(self, position):
+        """Cycles consumed when the region is exited by the control
+        operation at *position* (issue cycle + transfer penalty)."""
+        return self.cycles[position] + 1 + self.config.taken_cost()
+
+    @property
+    def fall_through_cost(self):
+        """Cycles consumed when execution falls off the region's end."""
+        return self.length
+
+    def utilisation(self):
+        """Operations per cycle actually achieved."""
+        return len(self.instructions) / self.length if self.length else 0.0
+
+
+def _durations(instructions, config):
+    return [config.duration(i.op) for i in instructions]
+
+
+def schedule_region(instructions, config, off_live=None, reg_mask=None):
+    """Schedule one region's operations under *config*.
+
+    ``off_live``/``reg_mask`` enable the off-live speculation rule for
+    multi-block regions (see :mod:`repro.analysis.dependence`).
+    """
+    if not instructions:
+        return Schedule(instructions, [], config)
+    durations = _durations(instructions, config)
+    if not config.speculation and off_live is None:
+        # Forbid any motion above branches: every register is off-live.
+        off_live = {i: -1 for i, ins in enumerate(instructions)
+                    if ins.op in CONTROL_OPS}
+        reg_mask = lambda name: 1
+    dag = build_dag(instructions, durations, off_live, reg_mask,
+                    config.branch_branch_latency,
+                    config.bank_disambiguation)
+    if config.in_order:
+        return _schedule_in_order(instructions, durations, config, dag)
+    return _schedule_greedy(instructions, durations, config, dag)
+
+
+def _schedule_in_order(instructions, durations, config, dag):
+    """Single-issue, original order, interlock stalls (the sequential
+    reference machine)."""
+    cycles = [0] * len(instructions)
+    clock = 0
+    for index in range(len(instructions)):
+        earliest = clock
+        for pred, latency in dag.preds[index]:
+            ready = cycles[pred] + latency
+            if ready > earliest:
+                earliest = ready
+        cycles[index] = earliest
+        clock = earliest + 1
+    return Schedule(instructions, cycles, config)
+
+
+def _schedule_greedy(instructions, durations, config, dag):
+    n = len(instructions)
+    heights = dag.heights(lambda i: durations[i])
+    indegree = [len(dag.preds[i]) for i in range(n)]
+    earliest = [0] * n
+    cycles = [None] * n
+    units = [0] * n
+
+    heap = []
+    for index in range(n):
+        if indegree[index] == 0:
+            heapq.heappush(heap, (-heights[index], index))
+
+    penalty = config.inter_unit_penalty
+    scheduled = 0
+    clock = 0
+    while scheduled < n:
+        class_counts = {MEM: 0, ALU: 0, MOVE: 0, CTRL: 0}
+        unit_usage = {}
+        placed_in_cycle = False
+        # Zero-latency edges (branch chains under multiway issue, WAR,
+        # issue-order) allow producer and consumer in the same cycle, so
+        # keep sweeping the ready set until a fixpoint for this cycle.
+        while True:
+            candidates = []
+            deferred = []
+            while heap:
+                priority, index = heapq.heappop(heap)
+                if earliest[index] <= clock:
+                    candidates.append((priority, index))
+                else:
+                    deferred.append((priority, index))
+            for item in deferred:
+                heapq.heappush(heap, item)
+
+            placed_in_sweep = False
+            for priority, index in candidates:
+                op_class = OP_CLASS[instructions[index].op]
+                class_counts[op_class] += 1
+                if not config.slots_feasible(class_counts):
+                    class_counts[op_class] -= 1
+                    heapq.heappush(heap, (priority, index))
+                    continue
+                unit = 0
+                if penalty:
+                    unit = _pick_unit(instructions, dag, cycles, units,
+                                      durations, index, clock, config,
+                                      unit_usage, op_class)
+                    if unit is None:
+                        class_counts[op_class] -= 1
+                        heapq.heappush(heap, (priority, index))
+                        continue
+                    unit_usage[(unit, op_class)] = True
+                cycles[index] = clock
+                units[index] = unit
+                scheduled += 1
+                placed_in_sweep = True
+                placed_in_cycle = True
+                for succ, latency in dag.succs[index]:
+                    ready = clock + latency
+                    if ready > earliest[succ]:
+                        earliest[succ] = ready
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        heapq.heappush(heap, (-heights[succ], succ))
+            if not placed_in_sweep:
+                break
+        clock += 1
+        if not placed_in_cycle and heap:
+            # Nothing could issue: jump to the next readiness time.
+            next_ready = min(earliest[i] for _, i in heap)
+            if next_ready > clock:
+                clock = next_ready
+    return Schedule(instructions, cycles, config, units)
+
+
+def _pick_unit(instructions, dag, cycles, units, durations, index, clock,
+               config, unit_usage, op_class):
+    """BUG-style unit choice: the unit where the operation can start at
+    this cycle, preferring one that already holds an operand."""
+    penalty = config.inter_unit_penalty
+    preferred = []
+    for pred, latency in dag.preds[index]:
+        if cycles[pred] is not None and latency > 0:
+            preferred.append(units[pred])
+    order = preferred + [u for u in range(config.n_units)
+                         if u not in preferred]
+    for unit in order:
+        if unit >= config.n_units or unit_usage.get((unit, op_class)):
+            continue
+        start = 0
+        for pred, latency in dag.preds[index]:
+            if latency <= 0 or cycles[pred] is None:
+                continue
+            ready = cycles[pred] + latency
+            if units[pred] != unit:
+                ready += penalty
+            if ready > start:
+                start = ready
+        if start <= clock:
+            return unit
+    return None

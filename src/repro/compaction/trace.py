@@ -1,0 +1,137 @@
+"""Trace picking.
+
+"Trace choice is based on the statistical information about execution
+frequency extracted by preliminary simulation" (section 3.1).  A trace is
+grown forward from the hottest unassigned block, following the most
+frequently executed successor edge, and stops at: an already-traced block,
+a loop back into the trace, an indirect entry point (procedure entries,
+retry addresses, return points — traces never cross calls or indirect
+jumps), or a join whose tail duplication would exceed the budget.
+
+The result partitions every basic block into exactly one trace.
+"""
+
+
+class Trace:
+    """An ordered list of basic blocks forming one scheduling region."""
+
+    __slots__ = ("blocks",)
+
+    def __init__(self, blocks):
+        self.blocks = blocks
+
+    @property
+    def head(self):
+        return self.blocks[0]
+
+    def __len__(self):
+        return len(self.blocks)
+
+    def __repr__(self):
+        return "Trace(%r)" % [b.start for b in self.blocks]
+
+
+def edge_counts(cfg, counts, taken):
+    """Dynamic count of every CFG edge ``(src_start, dst_start)``."""
+    edges = {}
+    instructions = cfg.program.instructions
+    for block in cfg.blocks:
+        if not block.succs:
+            continue
+        terminator = instructions[block.end - 1]
+        executed = counts[block.end - 1]
+        if terminator.is_branch:
+            taken_count = taken[block.end - 1]
+            edges[(block.start, block.succs[0])] = taken_count
+            if len(block.succs) > 1:
+                edges[(block.start, block.succs[1])] = \
+                    executed - taken_count
+        else:
+            edges[(block.start, block.succs[0])] = executed
+    return edges
+
+
+def pick_traces(cfg, counts, taken, tail_dup_budget=48):
+    """Partition the CFG into traces using the dynamic profile.
+
+    ``tail_dup_budget`` bounds the length (in operations) of a duplicated
+    tail: absorbing a join block into a trace is only allowed while the
+    tail that side entrances would need stays within the budget; larger
+    joins start their own trace instead (section 4.3's guard against
+    exponential growth of instruction copies).
+    """
+    edges = edge_counts(cfg, counts, taken)
+    assigned = set()
+    traces = []
+
+    order = sorted(cfg.blocks,
+                   key=lambda b: (-counts[b.start], b.start))
+    for seed in order:
+        if seed.start in assigned:
+            continue
+        blocks = [seed]
+        assigned.add(seed.start)
+        current = seed
+        while True:
+            best = None
+            best_count = 0
+            for succ in current.succs:
+                count = edges.get((current.start, succ), 0)
+                if count > best_count:
+                    best, best_count = succ, count
+            if best is None:
+                break
+            if best in assigned:
+                break
+            if best in cfg.indirect_entries:
+                break
+            candidate = cfg.block_at[best]
+            has_side_entrance = any(p != current.start
+                                    for p in cfg.predecessors(candidate))
+            if has_side_entrance and candidate.size > tail_dup_budget:
+                break
+            blocks.append(candidate)
+            assigned.add(candidate.start)
+            current = candidate
+        traces.append(Trace(blocks))
+
+    _split_oversized_tails(cfg, traces, tail_dup_budget)
+    return traces
+
+
+def _split_oversized_tails(cfg, traces, budget):
+    """Enforce the duplication budget exactly: any interior join whose
+    tail (join..trace end) exceeds *budget* starts a new trace."""
+    index = 0
+    while index < len(traces):
+        trace = traces[index]
+        split_at = None
+        for position in range(1, len(trace.blocks)):
+            block = trace.blocks[position]
+            prev = trace.blocks[position - 1]
+            side = any(p != prev.start for p in cfg.predecessors(block))
+            if not side:
+                continue
+            tail_ops = sum(b.size for b in trace.blocks[position:])
+            if tail_ops > budget:
+                split_at = position
+                break
+        if split_at is None:
+            index += 1
+            continue
+        suffix = Trace(trace.blocks[split_at:])
+        trace.blocks = trace.blocks[:split_at]
+        traces.insert(index + 1, suffix)
+        index += 1
+
+
+def interior_joins(cfg, trace):
+    """Positions of interior blocks with side entrances (these need a
+    duplicated tail so the trace has a single entry)."""
+    joins = []
+    for position in range(1, len(trace.blocks)):
+        block = trace.blocks[position]
+        prev = trace.blocks[position - 1]
+        if any(p != prev.start for p in cfg.predecessors(block)):
+            joins.append(position)
+    return joins

@@ -1,0 +1,236 @@
+"""Code layout transformation: traces to single-entry regions.
+
+Rewrites an ICI program so every trace is laid out contiguously with the
+on-trace direction falling through (branches inverted where the trace
+follows the taken edge, unconditional jumps along the trace deleted), and
+side entrances into trace interiors redirected to duplicated tails
+(superblock tail duplication — our bookkeeping variant of Trace
+Scheduling's compensation code).
+
+The transformed program is *semantically identical* to the original — the
+test suite re-executes it and compares status and output — and is executed
+once more by the sequential emulator to obtain exact per-region entry and
+exit counts for the timing replay.
+"""
+
+from repro.intcode.ici import Ici
+from repro.intcode.program import Program
+from repro.analysis.cfg import Cfg
+from repro.compaction.trace import pick_traces, interior_joins
+
+_INVERT = {
+    "btag": "bntag", "bntag": "btag",
+    "beq": "bne", "bne": "beq",
+    "bltv": "bgev", "bgev": "bltv",
+    "blev": "bgtv", "bgtv": "blev",
+}
+
+
+class Region:
+    """A contiguous single-entry scheduling region in the new program."""
+
+    __slots__ = ("start", "end", "is_dup")
+
+    def __init__(self, start, end, is_dup=False):
+        self.start = start
+        self.end = end
+        self.is_dup = is_dup
+
+    @property
+    def size(self):
+        return self.end - self.start
+
+    def __repr__(self):
+        return "Region([%d,%d)%s)" % (self.start, self.end,
+                                      " dup" if self.is_dup else "")
+
+
+class TransformResult:
+    """The superblock-formed program plus its region table."""
+
+    def __init__(self, program, regions, duplicated_ops):
+        self.program = program
+        self.regions = regions
+        self.duplicated_ops = duplicated_ops
+
+    @property
+    def code_growth(self):
+        """Static code growth factor due to tail duplication."""
+        original = len(self.program) - self.duplicated_ops
+        return len(self.program) / original if original else 1.0
+
+
+def _block_label(pc):
+    return "B@%d" % pc
+
+
+class _Layout:
+    """Assembles the transformed instruction stream."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.program = cfg.program
+        self.instructions = []
+        self.labels = {}
+        self.regions = []
+        self.duplicated_ops = 0
+
+    def define_label(self, name):
+        if name not in self.labels:
+            self.labels[name] = len(self.instructions)
+
+    def attach_block_labels(self, block, original_names=True):
+        self.define_label(_block_label(block.start))
+        if original_names:
+            for name, target in self.program.labels.items():
+                if target == block.start:
+                    self.define_label(name)
+
+    def emit_trace(self, trace, is_dup=False, attach_head=True):
+        """Emit the blocks of *trace* contiguously; returns the Region."""
+        start = len(self.instructions)
+        blocks = trace if isinstance(trace, list) else trace.blocks
+        if attach_head:
+            self.attach_block_labels(blocks[0])
+        instructions = self.program.instructions
+        for position, block in enumerate(blocks):
+            on_trace_next = blocks[position + 1].start \
+                if position + 1 < len(blocks) else None
+            body_end = block.end - 1
+            terminator = instructions[body_end]
+            if terminator.is_control:
+                for pc in range(block.start, body_end):
+                    self.instructions.append(instructions[pc])
+                self._emit_terminator(block, terminator, on_trace_next)
+            else:
+                for pc in range(block.start, block.end):
+                    self.instructions.append(instructions[pc])
+                # Fall-through block: make the transfer explicit when the
+                # successor is not laid out next.
+                succ = block.succs[0] if block.succs else None
+                if succ is not None and succ != on_trace_next:
+                    self.instructions.append(
+                        Ici("jmp", label=_block_label(succ)))
+        end = len(self.instructions)
+        region = Region(start, end, is_dup)
+        self.regions.append(region)
+        if is_dup:
+            self.duplicated_ops += end - start
+        return region
+
+    def _emit_terminator(self, block, terminator, on_trace_next):
+        if terminator.is_branch:
+            taken_target = self.program.labels[terminator.label]
+            fall_target = block.succs[1] if len(block.succs) > 1 else None
+            if on_trace_next is not None and on_trace_next == taken_target \
+                    and on_trace_next != fall_target:
+                # Trace follows the taken edge: invert so it falls through.
+                inverted = Ici(_INVERT[terminator.op],
+                               ra=terminator.ra, rb=terminator.rb,
+                               tag=terminator.tag,
+                               label=_block_label(fall_target))
+                self.instructions.append(inverted)
+            else:
+                self.instructions.append(
+                    Ici(terminator.op, ra=terminator.ra, rb=terminator.rb,
+                        tag=terminator.tag,
+                        label=_block_label(taken_target)))
+                if fall_target is not None and fall_target != on_trace_next:
+                    self.instructions.append(
+                        Ici("jmp", label=_block_label(fall_target)))
+        elif terminator.op == "jmp":
+            target = self.program.labels[terminator.label]
+            if target == on_trace_next:
+                pass  # redundant along the trace: deleted
+            else:
+                self.instructions.append(
+                    Ici("jmp", label=_block_label(target)))
+        else:
+            # call / jmpr / halt: keep verbatim (call labels are symbolic
+            # and resolved against the new label table).
+            self.instructions.append(terminator)
+
+
+def _call_return_pc(program, blocks):
+    """If the trace's last block ends in ``call``, the original pc the
+    callee will return to (the instruction after the call)."""
+    last = blocks[-1]
+    if program.instructions[last.end - 1].op == "call":
+        return last.end
+    return None
+
+
+def form_superblocks(program, counts, taken, tail_dup_budget=48):
+    """Transform *program* into superblock form using its profile.
+
+    A ``call`` links to the *new* pc following it, so the region holding a
+    call's return point must be laid out immediately after the call.  The
+    emitter therefore chains each trace with its return trace; when the
+    return trace was already placed (a predicate called from several
+    duplicated sites), a one-instruction ``jmp`` stub restores control —
+    honest compensation-code cost on the duplicated path.
+    """
+    cfg = Cfg(program)
+    traces = pick_traces(cfg, counts, taken, tail_dup_budget)
+    layout = _Layout(cfg)
+
+    head_trace = {trace.head.start: trace for trace in traces}
+    return_heads = set()
+    for trace in traces:
+        ret = _call_return_pc(program, trace.blocks)
+        if ret is not None and ret in head_trace:
+            return_heads.add(ret)
+
+    emitted = set()
+    pending_dups = []
+
+    def emit_chain(trace):
+        while True:
+            layout.emit_trace(trace)
+            emitted.add(trace.head.start)
+            for join in interior_joins(cfg, trace):
+                pending_dups.append(trace.blocks[join:])
+            ret = _call_return_pc(program, trace.blocks)
+            if ret is None:
+                return
+            next_trace = head_trace.get(ret)
+            if next_trace is not None and ret not in emitted:
+                trace = next_trace
+                continue
+            # Return point already placed elsewhere: bridge with a stub.
+            start = len(layout.instructions)
+            layout.instructions.append(
+                Ici("jmp", label=_block_label(ret)))
+            layout.regions.append(Region(start, start + 1))
+            return
+
+    for trace in traces:
+        if trace.head.start in emitted or trace.head.start in return_heads:
+            continue
+        emit_chain(trace)
+    for trace in traces:
+        # Return traces whose caller chain was cut short by a stub.
+        if trace.head.start not in emitted:
+            emit_chain(trace)
+
+    for blocks in pending_dups:
+        # Side entrances land on a duplicate of the tail; the joined
+        # block's labels resolve to the duplicate's head.
+        layout.emit_trace(blocks, is_dup=True)
+        ret = _call_return_pc(program, blocks)
+        if ret is not None:
+            start = len(layout.instructions)
+            layout.instructions.append(
+                Ici("jmp", label=_block_label(ret)))
+            layout.regions.append(Region(start, start + 1, is_dup=True))
+            layout.duplicated_ops += 1
+
+    new_program = Program(layout.instructions, layout.labels,
+                          program.symbols, program.entry)
+    for instruction in layout.instructions:
+        if instruction.label is not None \
+                and instruction.label not in layout.labels:
+            raise AssertionError("transform lost label %r"
+                                 % instruction.label)
+    return TransformResult(new_program, layout.regions,
+                           layout.duplicated_ops)

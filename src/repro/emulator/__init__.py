@@ -1,0 +1,21 @@
+"""Sequential ICI emulator and dynamic statistics."""
+
+from repro.emulator.machine import (
+    Emulator,
+    EmulationResult,
+    EmulatorError,
+    run_program,
+    render_term,
+    decode,
+)
+from repro.emulator.debug import DebugMachine
+
+__all__ = [
+    "Emulator",
+    "EmulationResult",
+    "EmulatorError",
+    "run_program",
+    "render_term",
+    "decode",
+    "DebugMachine",
+]

@@ -1,0 +1,155 @@
+"""Single-step debug executor.
+
+A slow, instrumentable twin of the production emulator loop: it exposes
+machine state (registers, memory, pc) after every instruction, which the
+test suite and interactive exploration use to probe compiled code.  The
+production loop in :mod:`repro.emulator.machine` stays monolithic for
+speed; this one trades speed for visibility.  Both implement the same
+semantics, and the test suite cross-checks them.
+"""
+
+from repro.terms import tags
+from repro.intcode import layout
+from repro.emulator.machine import (
+    decode, EmulatorError,
+    _LD, _ST, _BTAG, _BNTAG, _MOV, _LEA, _LDI, _BEQ, _BNE, _JMP, _CALL,
+    _JMPR, _ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SLL, _SRA,
+    _BLTV, _BLEV, _BGTV, _BGEV, _MKTAG, _GETTAG, _ESC, _HALT,
+    render_term)
+
+
+class DebugMachine:
+    """Steppable machine state for one program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.code, self.reg_index = decode(program)
+        self.regs = [tags.pack(0, tags.TRAW)] * len(self.reg_index)
+        for name, value in layout.MACHINE_REGISTERS.items():
+            tag = tags.TCOD if name in ("CP", "RL") else tags.TRAW
+            self.regs[self.reg_index[name]] = tags.pack(value, tag)
+        self.mem = {}
+        for index in range(program.symbols.functor_count):
+            self.mem[layout.FTAB_BASE + index] = tags.pack(
+                program.symbols.functor_arity(index), tags.TINT)
+        self.pc = program.entry_pc
+        self.steps = 0
+        self.output = []
+        self.status = None
+
+    @property
+    def halted(self):
+        return self.status is not None
+
+    def register(self, name):
+        """Current whole-word value of a register by name."""
+        return self.regs[self.reg_index[name]]
+
+    def render(self, word):
+        """Reconstruct and render the term a word denotes."""
+        return render_term(self.mem, self.program.symbols, word)
+
+    def step(self):
+        """Execute one instruction; returns the pc that was executed."""
+        if self.halted:
+            raise EmulatorError("machine has halted")
+        regs = self.regs
+        mem = self.mem
+        pc = self.pc
+        ins = self.code[pc]
+        op = ins[0]
+        self.steps += 1
+        next_pc = pc + 1
+
+        if op == _LD:
+            regs[ins[1]] = mem[(regs[ins[2]] >> 4) + ins[3]]
+        elif op == _ST:
+            mem[(regs[ins[2]] >> 4) + ins[3]] = regs[ins[1]]
+        elif op == _MOV:
+            regs[ins[1]] = regs[ins[2]]
+        elif op == _LDI:
+            regs[ins[1]] = ins[2]
+        elif op == _LEA:
+            regs[ins[1]] = (((regs[ins[2]] >> 4) + ins[3]) << 4) \
+                | (ins[4] << 1)
+        elif op == _MKTAG:
+            regs[ins[1]] = (regs[ins[2]] & ~0b1110) | (ins[3] << 1)
+        elif op == _GETTAG:
+            regs[ins[1]] = (((regs[ins[2]] >> 1) & 7) << 4) | 4
+        elif op in (_ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR,
+                    _SLL, _SRA):
+            a = regs[ins[2]] >> 4
+            b = regs[ins[3]] >> 4
+            if op == _ADD:
+                v = a + b
+            elif op == _SUB:
+                v = a - b
+            elif op == _MUL:
+                v = a * b
+            elif op in (_DIV, _MOD):
+                if b == 0:
+                    raise EmulatorError("division by zero at pc=%d" % pc)
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                v = q if op == _DIV else a - q * b
+            elif op == _AND:
+                v = a & b
+            elif op == _OR:
+                v = a | b
+            elif op == _XOR:
+                v = a ^ b
+            elif op == _SLL:
+                v = a << b
+            else:
+                v = a >> b
+            regs[ins[1]] = (v << 4) | 4
+        elif op == _BTAG:
+            if ((regs[ins[1]] >> 1) & 7) == ins[2]:
+                next_pc = ins[3]
+        elif op == _BNTAG:
+            if ((regs[ins[1]] >> 1) & 7) != ins[2]:
+                next_pc = ins[3]
+        elif op == _BEQ:
+            if regs[ins[1]] == regs[ins[2]]:
+                next_pc = ins[3]
+        elif op == _BNE:
+            if regs[ins[1]] != regs[ins[2]]:
+                next_pc = ins[3]
+        elif op in (_BLTV, _BLEV, _BGTV, _BGEV):
+            a = regs[ins[1]] >> 4
+            b = regs[ins[2]] >> 4
+            taken = {_BLTV: a < b, _BLEV: a <= b,
+                     _BGTV: a > b, _BGEV: a >= b}[op]
+            if taken:
+                next_pc = ins[3]
+        elif op == _JMP:
+            next_pc = ins[1]
+        elif op == _CALL:
+            regs[ins[1]] = ((pc + 1) << 4) | (tags.TCOD << 1)
+            next_pc = ins[2]
+        elif op == _JMPR:
+            next_pc = regs[ins[1]] >> 4
+        elif op == _ESC:
+            if ins[1] == "write":
+                self.output.append(self.render(regs[ins[2]]))
+            elif ins[1] == "nl":
+                self.output.append("\n")
+            else:
+                raise EmulatorError("unknown escape %r" % ins[1])
+        elif op == _HALT:
+            self.status = ins[1]
+            return pc
+        else:
+            raise EmulatorError("bad opcode %d" % op)
+        self.pc = next_pc
+        return pc
+
+    def run(self, max_steps=1_000_000):
+        """Step until halt; returns (status, output_text)."""
+        while not self.halted:
+            if self.steps >= max_steps:
+                raise EmulatorError("debug run exceeded %d steps"
+                                    % max_steps)
+            self.step()
+        return self.status, "".join(self.output)

@@ -1,0 +1,338 @@
+"""Sequential ICI emulator.
+
+Executes a compiled :class:`~repro.intcode.program.Program` against the
+shared data memory, collecting the statistics the back-end needs: per-
+instruction execution counts (the paper's *Expect*) and per-branch taken
+counts (from which branch *Probability* follows).  It also captures program
+output so compiled code can be validated against the reference interpreter.
+
+The emulator is a straight interpreter loop over pre-decoded instruction
+tuples; correctness and statistics, not speed, are its contract, but it is
+written to stay around a few million ICIs per second on CPython.
+"""
+
+from repro.terms import tags, Atom, Int, Var, Struct, term_to_string
+from repro.intcode import layout
+
+# Pre-decoded opcode numbers, ordered roughly by expected frequency.
+_LD, _ST, _BTAG, _BNTAG, _MOV, _LEA, _LDI, _BEQ, _BNE, _JMP, _CALL, \
+    _JMPR, _ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SLL, _SRA, \
+    _BLTV, _BLEV, _BGTV, _BGEV, _MKTAG, _GETTAG, _ESC, _HALT = range(30)
+
+_OPCODE = {
+    "ld": _LD, "st": _ST, "btag": _BTAG, "bntag": _BNTAG, "mov": _MOV,
+    "lea": _LEA, "ldi": _LDI, "beq": _BEQ, "bne": _BNE, "jmp": _JMP,
+    "call": _CALL, "jmpr": _JMPR, "add": _ADD, "sub": _SUB, "mul": _MUL,
+    "div": _DIV, "mod": _MOD, "and": _AND, "or": _OR, "xor": _XOR,
+    "sll": _SLL, "sra": _SRA, "bltv": _BLTV, "blev": _BLEV,
+    "bgtv": _BGTV, "bgev": _BGEV, "mktag": _MKTAG, "gettag": _GETTAG,
+    "esc": _ESC, "halt": _HALT,
+}
+
+_ALU_BINARY = {_ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SLL, _SRA}
+_CMP_BRANCH = {_BEQ, _BNE, _BLTV, _BLEV, _BGTV, _BGEV}
+
+
+class EmulatorError(Exception):
+    """Raised on machine faults (bad address, step limit, ...)."""
+
+
+class EmulationResult:
+    """Outcome of one program run."""
+
+    def __init__(self, program, status, steps, output, counts, taken):
+        self.program = program
+        self.status = status        # halt code: 0 success, 1 query failure
+        self.steps = steps
+        self.output = output        # program output text
+        self.counts = counts        # per-pc execution counts
+        self.taken = taken          # per-pc branch-taken counts
+
+    @property
+    def succeeded(self):
+        return self.status == 0
+
+    def branch_probability(self, pc):
+        """Probability that the branch at *pc* was taken."""
+        if self.counts[pc] == 0:
+            return 0.0
+        return self.taken[pc] / self.counts[pc]
+
+
+def decode(program):
+    """Pre-decode a program into dense tuples and a register map."""
+    reg_index = {}
+
+    def reg(name):
+        if name is None:
+            return None
+        index = reg_index.get(name)
+        if index is None:
+            index = len(reg_index)
+            reg_index[name] = index
+        return index
+
+    for name in layout.MACHINE_REGISTERS:
+        reg(name)
+
+    code = []
+    labels = program.labels
+    for instruction in program.instructions:
+        op = _OPCODE[instruction.op]
+        if op == _LD:
+            code.append((op, reg(instruction.rd), reg(instruction.ra),
+                         instruction.imm or 0))
+        elif op == _ST:
+            code.append((op, reg(instruction.ra), reg(instruction.rb),
+                         instruction.imm or 0))
+        elif op in _ALU_BINARY:
+            code.append((op, reg(instruction.rd), reg(instruction.ra),
+                         reg(instruction.rb)))
+        elif op == _LEA:
+            code.append((op, reg(instruction.rd), reg(instruction.ra),
+                         instruction.imm or 0, instruction.tag))
+        elif op == _MKTAG:
+            code.append((op, reg(instruction.rd), reg(instruction.ra),
+                         instruction.tag))
+        elif op == _GETTAG:
+            code.append((op, reg(instruction.rd), reg(instruction.ra)))
+        elif op == _MOV:
+            code.append((op, reg(instruction.rd), reg(instruction.ra)))
+        elif op == _LDI:
+            if instruction.label is not None:
+                word = tags.pack(labels[instruction.label], tags.TCOD)
+            else:
+                word = instruction.imm
+            code.append((op, reg(instruction.rd), word))
+        elif op in (_BTAG, _BNTAG):
+            code.append((op, reg(instruction.ra), instruction.tag,
+                         labels[instruction.label]))
+        elif op in _CMP_BRANCH:
+            code.append((op, reg(instruction.ra), reg(instruction.rb),
+                         labels[instruction.label]))
+        elif op == _JMP:
+            code.append((op, labels[instruction.label]))
+        elif op == _CALL:
+            code.append((op, reg(instruction.rd),
+                         labels[instruction.label]))
+        elif op == _JMPR:
+            code.append((op, reg(instruction.ra)))
+        elif op == _ESC:
+            code.append((op, instruction.esc, reg(instruction.ra)))
+        elif op == _HALT:
+            code.append((op, instruction.imm or 0))
+        else:
+            raise EmulatorError("cannot decode %r" % (instruction,))
+    return code, reg_index
+
+
+class Emulator:
+    """Runs an ICI program and gathers dynamic statistics."""
+
+    def __init__(self, program, max_steps=500_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.code, self.reg_index = decode(program)
+
+    def _initial_registers(self):
+        regs = [tags.pack(0, tags.TRAW)] * len(self.reg_index)
+        for name, value in layout.MACHINE_REGISTERS.items():
+            tag = tags.TCOD if name in ("CP", "RL") else tags.TRAW
+            regs[self.reg_index[name]] = tags.pack(value, tag)
+        return regs
+
+    def _initial_memory(self):
+        memory = {}
+        symbols = self.program.symbols
+        for index in range(symbols.functor_count):
+            memory[layout.FTAB_BASE + index] = tags.pack(
+                symbols.functor_arity(index), tags.TINT)
+        return memory
+
+    def run(self, collect_stats=True):
+        code = self.code
+        regs = self._initial_registers()
+        mem = self._initial_memory()
+        counts = [0] * len(code)
+        taken = [0] * len(code)
+        output = []
+        symbols = self.program.symbols
+
+        pc = self.program.entry_pc
+        steps = 0
+        limit = self.max_steps
+        status = None
+
+        try:
+            while True:
+                ins = code[pc]
+                counts[pc] += 1
+                steps += 1
+                if steps > limit:
+                    raise EmulatorError("step limit exceeded (%d)" % limit)
+                op = ins[0]
+                if op == _LD:
+                    regs[ins[1]] = mem[(regs[ins[2]] >> 4) + ins[3]]
+                elif op == _ST:
+                    mem[(regs[ins[2]] >> 4) + ins[3]] = regs[ins[1]]
+                elif op == _BTAG:
+                    if ((regs[ins[1]] >> 1) & 7) == ins[2]:
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _BNTAG:
+                    if ((regs[ins[1]] >> 1) & 7) != ins[2]:
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _MOV:
+                    regs[ins[1]] = regs[ins[2]]
+                elif op == _LEA:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4) + ins[3]) << 4) \
+                        | (ins[4] << 1)
+                elif op == _LDI:
+                    regs[ins[1]] = ins[2]
+                elif op == _BEQ:
+                    if regs[ins[1]] == regs[ins[2]]:
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _BNE:
+                    if regs[ins[1]] != regs[ins[2]]:
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _JMP:
+                    pc = ins[1]
+                    continue
+                elif op == _CALL:
+                    regs[ins[1]] = ((pc + 1) << 4) | (tags.TCOD << 1)
+                    pc = ins[2]
+                    continue
+                elif op == _JMPR:
+                    pc = regs[ins[1]] >> 4
+                    continue
+                elif op == _BLTV:
+                    if (regs[ins[1]] >> 4) < (regs[ins[2]] >> 4):
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _BLEV:
+                    if (regs[ins[1]] >> 4) <= (regs[ins[2]] >> 4):
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _BGTV:
+                    if (regs[ins[1]] >> 4) > (regs[ins[2]] >> 4):
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _BGEV:
+                    if (regs[ins[1]] >> 4) >= (regs[ins[2]] >> 4):
+                        taken[pc] += 1
+                        pc = ins[3]
+                        continue
+                elif op == _ADD:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     + (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _SUB:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     - (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _MUL:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     * (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _DIV:
+                    a = regs[ins[2]] >> 4
+                    b = regs[ins[3]] >> 4
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    regs[ins[1]] = (q << 4) | 4
+                elif op == _MOD:
+                    a = regs[ins[2]] >> 4
+                    b = regs[ins[3]] >> 4
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    regs[ins[1]] = ((a - q * b) << 4) | 4
+                elif op == _AND:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     & (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _OR:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     | (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _XOR:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     ^ (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _SLL:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     << (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _SRA:
+                    regs[ins[1]] = (((regs[ins[2]] >> 4)
+                                     >> (regs[ins[3]] >> 4)) << 4) | 4
+                elif op == _MKTAG:
+                    regs[ins[1]] = (regs[ins[2]] & ~0b1110) | (ins[3] << 1)
+                elif op == _GETTAG:
+                    regs[ins[1]] = (((regs[ins[2]] >> 1) & 7) << 4) | 4
+                elif op == _ESC:
+                    if ins[1] == "write":
+                        output.append(render_term(mem, symbols,
+                                                  regs[ins[2]]))
+                    elif ins[1] == "nl":
+                        output.append("\n")
+                    else:
+                        raise EmulatorError("unknown escape %r" % ins[1])
+                elif op == _HALT:
+                    status = ins[1]
+                    break
+                else:
+                    raise EmulatorError("bad opcode %d" % op)
+                pc += 1
+        except KeyError as exc:
+            raise EmulatorError(
+                "uninitialised memory read at pc=%d (%r): address %s"
+                % (pc, self.program.instructions[pc], exc)) from exc
+        except ZeroDivisionError as exc:
+            raise EmulatorError(
+                "division by zero at pc=%d (%r)"
+                % (pc, self.program.instructions[pc])) from exc
+
+        return EmulationResult(self.program, status, steps,
+                               "".join(output), counts, taken)
+
+
+def render_term(mem, symbols, word, depth=0):
+    """Reconstruct a source-level term from tagged memory and render it."""
+    return term_to_string(_reify(mem, symbols, word, set()))
+
+
+def _reify(mem, symbols, word, seen, depth=0):
+    if depth > 10_000:
+        raise EmulatorError("term too deep to render")
+    tag = (word >> 1) & 7
+    value = word >> 4
+    if tag == tags.TREF:
+        target = mem.get(value, word)
+        if target == word:
+            return Var("_A%d" % value)
+        return _reify(mem, symbols, target, seen, depth + 1)
+    if tag == tags.TATM:
+        return Atom(symbols.atom_name(value))
+    if tag == tags.TINT:
+        return Int(value)
+    if tag == tags.TLST:
+        head = _reify(mem, symbols, mem[value], seen, depth + 1)
+        tail = _reify(mem, symbols, mem[value + 1], seen, depth + 1)
+        return Struct(".", [head, tail])
+    if tag == tags.TSTR:
+        functor = mem[value]
+        name, arity = symbols.functor_key(functor >> 4)
+        args = [_reify(mem, symbols, mem[value + 1 + i], seen, depth + 1)
+                for i in range(arity)]
+        return Struct(name, args)
+    return Atom("<%s>" % tags.describe(word))
+
+
+def run_program(program, max_steps=500_000_000):
+    """Convenience wrapper: emulate *program* and return the result."""
+    return Emulator(program, max_steps=max_steps).run()

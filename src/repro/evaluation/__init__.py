@@ -1,0 +1,19 @@
+"""VLIW evaluation: timing replay, pipeline, prototype model."""
+
+from repro.evaluation.simulator import (
+    replay_region, replay_program, dynamic_region_stats)
+from repro.evaluation.pipeline import (
+    RegionSet, basic_block_regions, superblock_regions, machine_cycles,
+    evaluate_benchmark, BenchmarkEvaluation)
+
+__all__ = [
+    "replay_region",
+    "replay_program",
+    "dynamic_region_stats",
+    "RegionSet",
+    "basic_block_regions",
+    "superblock_regions",
+    "machine_cycles",
+    "evaluate_benchmark",
+    "BenchmarkEvaluation",
+]

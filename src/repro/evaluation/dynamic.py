@@ -1,0 +1,195 @@
+"""Dynamic-scheduling dataflow limit.
+
+The paper's conclusion: "further improvements can come only from
+technology (designing faster processors), or architecture (adopting
+dynamic scheduling)".  This module measures how much an idealised
+dynamically-scheduled machine could gain: it re-executes the program
+while computing, per dynamic operation, the earliest cycle an
+infinite-window out-of-order machine could issue it —
+
+* true register dataflow (RAW through the actual dynamic values),
+* *perfect* memory disambiguation (per-address store/load ordering —
+  dynamic hardware sees addresses; the static compiler, per section 4.1,
+  cannot),
+* perfect branch prediction (control imposes no constraint), and
+* the shared-memory port: at most ``mem_ports`` accesses per cycle.
+
+The result upper-bounds any real dynamic implementation and is the
+natural yardstick for how much of the statically reachable parallelism
+trace scheduling already captures.
+"""
+
+from repro.terms import tags
+from repro.intcode import layout
+from repro.emulator.machine import (
+    decode, EmulatorError,
+    _LD, _ST, _BTAG, _BNTAG, _MOV, _LEA, _LDI, _BEQ, _BNE, _JMP, _CALL,
+    _JMPR, _ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SLL, _SRA,
+    _BLTV, _BLEV, _BGTV, _BGEV, _MKTAG, _GETTAG, _ESC, _HALT)
+
+_ALU_SET = {_ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SLL, _SRA,
+            _MKTAG, _GETTAG, _LEA}
+_CMP_SET = {_BEQ, _BNE, _BLTV, _BLEV, _BGTV, _BGEV}
+
+
+class DataflowResult:
+    """Outcome of a dataflow-limit run."""
+
+    def __init__(self, cycles, steps, status):
+        self.cycles = cycles
+        self.steps = steps
+        self.status = status
+
+    @property
+    def ilp(self):
+        return self.steps / self.cycles if self.cycles else 0.0
+
+
+def dataflow_limit(program, mem_ports=1, mem_latency=2, alu_latency=1,
+                   max_steps=50_000_000):
+    """Execute *program*, returning its idealised dynamic timing."""
+    code, reg_index = decode(program)
+    n_regs = len(reg_index)
+    regs = [tags.pack(0, tags.TRAW)] * n_regs
+    for name, value in layout.MACHINE_REGISTERS.items():
+        tag = tags.TCOD if name in ("CP", "RL") else tags.TRAW
+        regs[reg_index[name]] = tags.pack(value, tag)
+
+    mem = {}
+    symbols = program.symbols
+    for index in range(symbols.functor_count):
+        mem[layout.FTAB_BASE + index] = tags.pack(
+            symbols.functor_arity(index), tags.TINT)
+
+    ready = [0] * n_regs          # cycle a register's value is available
+    store_time = {}               # address -> last store issue cycle
+    load_time = {}                # address -> last load issue cycle
+    port_free = [0] * mem_ports   # next free cycle per memory port
+    esc_time = 0                  # program output is in-order
+    horizon = 0                   # completion time of the whole run
+
+    pc = program.entry_pc
+    steps = 0
+    status = None
+
+    def issue_mem(earliest):
+        """Claim the earliest free memory port at or after *earliest*."""
+        best = min(range(mem_ports), key=lambda p: max(port_free[p],
+                                                       earliest))
+        cycle = max(port_free[best], earliest)
+        port_free[best] = cycle + 1
+        return cycle
+
+    while True:
+        ins = code[pc]
+        steps += 1
+        if steps > max_steps:
+            raise EmulatorError("dataflow limit: step budget exceeded")
+        op = ins[0]
+
+        if op == _LD:
+            addr = (regs[ins[2]] >> 4) + ins[3]
+            earliest = ready[ins[2]]
+            last_store = store_time.get(addr)
+            if last_store is not None:
+                earliest = max(earliest, last_store + 1)
+            cycle = issue_mem(earliest)
+            load_time[addr] = max(load_time.get(addr, 0), cycle)
+            ready[ins[1]] = cycle + mem_latency
+            regs[ins[1]] = mem[addr]
+        elif op == _ST:
+            addr = (regs[ins[2]] >> 4) + ins[3]
+            earliest = max(ready[ins[1]], ready[ins[2]],
+                           store_time.get(addr, -1) + 1,
+                           load_time.get(addr, 0))
+            cycle = issue_mem(earliest)
+            store_time[addr] = cycle
+            mem[addr] = regs[ins[1]]
+        elif op == _MOV:
+            ready[ins[1]] = ready[ins[2]]
+            regs[ins[1]] = regs[ins[2]]
+        elif op == _LDI:
+            ready[ins[1]] = 0
+            regs[ins[1]] = ins[2]
+        elif op in _ALU_SET:
+            if op == _LEA:
+                cycle = ready[ins[2]] + alu_latency
+                regs[ins[1]] = (((regs[ins[2]] >> 4) + ins[3]) << 4) \
+                    | (ins[4] << 1)
+            elif op == _MKTAG:
+                cycle = ready[ins[2]] + alu_latency
+                regs[ins[1]] = (regs[ins[2]] & ~0b1110) | (ins[3] << 1)
+            elif op == _GETTAG:
+                cycle = ready[ins[2]] + alu_latency
+                regs[ins[1]] = (((regs[ins[2]] >> 1) & 7) << 4) | 4
+            else:
+                cycle = max(ready[ins[2]], ready[ins[3]]) + alu_latency
+                a = regs[ins[2]] >> 4
+                b = regs[ins[3]] >> 4
+                if op == _ADD:
+                    v = a + b
+                elif op == _SUB:
+                    v = a - b
+                elif op == _MUL:
+                    v = a * b
+                elif op in (_DIV, _MOD):
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    v = q if op == _DIV else a - q * b
+                elif op == _AND:
+                    v = a & b
+                elif op == _OR:
+                    v = a | b
+                elif op == _XOR:
+                    v = a ^ b
+                elif op == _SLL:
+                    v = a << b
+                else:
+                    v = a >> b
+                regs[ins[1]] = (v << 4) | 4
+            ready[ins[1]] = cycle
+        elif op == _BTAG:
+            if ((regs[ins[1]] >> 1) & 7) == ins[2]:
+                pc = ins[3]
+                continue
+        elif op == _BNTAG:
+            if ((regs[ins[1]] >> 1) & 7) != ins[2]:
+                pc = ins[3]
+                continue
+        elif op in _CMP_SET:
+            a = regs[ins[1]]
+            b = regs[ins[2]]
+            taken = {_BEQ: a == b, _BNE: a != b,
+                     _BLTV: (a >> 4) < (b >> 4),
+                     _BLEV: (a >> 4) <= (b >> 4),
+                     _BGTV: (a >> 4) > (b >> 4),
+                     _BGEV: (a >> 4) >= (b >> 4)}[op]
+            if taken:
+                pc = ins[3]
+                continue
+        elif op == _JMP:
+            pc = ins[1]
+            continue
+        elif op == _CALL:
+            regs[ins[1]] = ((pc + 1) << 4) | (tags.TCOD << 1)
+            ready[ins[1]] = 0
+            pc = ins[2]
+            continue
+        elif op == _JMPR:
+            pc = regs[ins[1]] >> 4
+            continue
+        elif op == _ESC:
+            esc_time = max(esc_time + 1, ready[ins[2]] + 1
+                           if ins[2] is not None else esc_time + 1)
+        elif op == _HALT:
+            status = ins[1]
+            break
+        pc += 1
+
+    for time in ready:
+        if time > horizon:
+            horizon = time
+    horizon = max(horizon, max(port_free), esc_time,
+                  max(store_time.values(), default=0) + 1)
+    return DataflowResult(horizon, steps, status)

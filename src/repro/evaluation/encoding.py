@@ -1,0 +1,201 @@
+"""64-bit instruction encoding of the SYMBOL VLSI prototype (section 5.2).
+
+"Machine instructions are horizontal, 64 bits wide and organized into two
+formats, one for direct and one for immediate addressing.  Direct address
+format allows a memory access, an ALU operation and a register movement.
+Immediate address format allows a control operation (or immediate operand
+movement) and a memory access."
+
+The encoder packs one unit's cycle into a word, enforcing the prototype's
+physical limits: 16 registers (4-bit specifiers), 28-bit immediates (the
+tagged word's value field), 3-bit tags, and a 3-bit branch priority field
+(the compiler "includes bits in the instructions to specify the priority
+of the branch operations" for multi-way issue).
+"""
+
+from repro.terms import tags
+from repro.intcode.ici import OP_CLASS, MEM, ALU, MOVE, CTRL
+
+
+class EncodingError(Exception):
+    """Raised when an operation does not fit the prototype's fields."""
+
+
+N_REGISTERS = 16
+OFFSET_BITS_A = 8
+OFFSET_BITS_B = 5
+IMM_BITS = tags.VALUE_BITS  # 28
+
+_MEM_OPCODES = {"none": 0, "ld": 1, "st": 2}
+_ALU_OPCODES = {"none": 0, "add": 1, "sub": 2, "mul": 3, "div": 4,
+                "mod": 5, "and": 6, "or": 7, "xor": 8, "sll": 9,
+                "sra": 10, "lea": 11, "mktag": 12, "gettag": 13,
+                "esc": 14}
+_CTRL_OPCODES = {"none": 0, "btag": 1, "bntag": 2, "beq": 3, "bne": 4,
+                 "bltv": 5, "blev": 6, "bgtv": 7, "bgev": 8, "jmp": 9,
+                 "jmpr": 10, "call": 11, "halt": 12, "ldi": 13}
+
+_MEM_NAMES = {v: k for k, v in _MEM_OPCODES.items()}
+_ALU_NAMES = {v: k for k, v in _ALU_OPCODES.items()}
+_CTRL_NAMES = {v: k for k, v in _CTRL_OPCODES.items()}
+
+
+def _check_reg(reg):
+    if not 0 <= reg < N_REGISTERS:
+        raise EncodingError("register r%d outside the 16-register bank"
+                            % reg)
+    return reg
+
+
+def _check_field(value, bits, what, signed=False):
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError("%s %d does not fit in %d bits"
+                            % (what, value, bits))
+    return value & ((1 << bits) - 1)
+
+
+def _sign_extend(value, bits):
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+class FormatA:
+    """Direct-address format: memory access + ALU operation + move."""
+
+    def __init__(self, mem_op="none", mem_reg=0, mem_base=0, mem_off=0,
+                 alu_op="none", alu_rd=0, alu_ra=0, alu_rb=0, alu_tag=0,
+                 move=False, move_rd=0, move_rs=0):
+        self.mem_op = mem_op
+        self.mem_reg = mem_reg
+        self.mem_base = mem_base
+        self.mem_off = mem_off
+        self.alu_op = alu_op
+        self.alu_rd = alu_rd
+        self.alu_ra = alu_ra
+        self.alu_rb = alu_rb
+        self.alu_tag = alu_tag
+        self.move = move
+        self.move_rd = move_rd
+        self.move_rs = move_rs
+
+    def pack(self):
+        word = 0  # format bit 63 = 0
+        word |= _MEM_OPCODES[self.mem_op] << 60
+        word |= _check_reg(self.mem_reg) << 56
+        word |= _check_reg(self.mem_base) << 52
+        word |= _check_field(self.mem_off, OFFSET_BITS_A,
+                             "memory offset", signed=True) << 44
+        word |= _ALU_OPCODES[self.alu_op] << 38
+        word |= _check_reg(self.alu_rd) << 34
+        word |= _check_reg(self.alu_ra) << 30
+        word |= _check_reg(self.alu_rb) << 26
+        word |= _check_field(self.alu_tag, tags.TAG_BITS, "tag") << 23
+        word |= (1 if self.move else 0) << 20
+        word |= _check_reg(self.move_rd) << 16
+        word |= _check_reg(self.move_rs) << 12
+        return word
+
+    @classmethod
+    def unpack(cls, word):
+        if word >> 63:
+            raise EncodingError("format bit says immediate format")
+        return cls(
+            mem_op=_MEM_NAMES[(word >> 60) & 0x7],
+            mem_reg=(word >> 56) & 0xF,
+            mem_base=(word >> 52) & 0xF,
+            mem_off=_sign_extend((word >> 44) & 0xFF, OFFSET_BITS_A),
+            alu_op=_ALU_NAMES[(word >> 38) & 0x3F],
+            alu_rd=(word >> 34) & 0xF,
+            alu_ra=(word >> 30) & 0xF,
+            alu_rb=(word >> 26) & 0xF,
+            alu_tag=(word >> 23) & 0x7,
+            move=bool((word >> 20) & 0x7),
+            move_rd=(word >> 16) & 0xF,
+            move_rs=(word >> 12) & 0xF,
+        )
+
+
+class FormatB:
+    """Immediate format: control op (or immediate move) + memory access."""
+
+    def __init__(self, ctrl_op="none", ctrl_ra=0, ctrl_rb=0, ctrl_tag=0,
+                 priority=0, imm=0, mem_op="none", mem_reg=0, mem_base=0,
+                 mem_off=0):
+        self.ctrl_op = ctrl_op
+        self.ctrl_ra = ctrl_ra
+        self.ctrl_rb = ctrl_rb
+        self.ctrl_tag = ctrl_tag
+        self.priority = priority
+        self.imm = imm
+        self.mem_op = mem_op
+        self.mem_reg = mem_reg
+        self.mem_base = mem_base
+        self.mem_off = mem_off
+
+    def pack(self):
+        word = 1 << 63
+        word |= _CTRL_OPCODES[self.ctrl_op] << 58
+        word |= _check_reg(self.ctrl_ra) << 54
+        word |= _check_reg(self.ctrl_rb) << 50
+        word |= _check_field(self.ctrl_tag, tags.TAG_BITS, "tag") << 47
+        word |= _check_field(self.priority, 3, "branch priority") << 44
+        word |= _check_field(self.imm, IMM_BITS, "immediate",
+                             signed=True) << 16
+        word |= _MEM_OPCODES[self.mem_op] << 13
+        word |= _check_reg(self.mem_reg) << 9
+        word |= _check_reg(self.mem_base) << 5
+        word |= _check_field(self.mem_off, OFFSET_BITS_B,
+                             "memory offset", signed=True)
+        return word
+
+    @classmethod
+    def unpack(cls, word):
+        if not word >> 63:
+            raise EncodingError("format bit says direct format")
+        return cls(
+            ctrl_op=_CTRL_NAMES[(word >> 58) & 0x1F],
+            ctrl_ra=(word >> 54) & 0xF,
+            ctrl_rb=(word >> 50) & 0xF,
+            ctrl_tag=(word >> 47) & 0x7,
+            priority=(word >> 44) & 0x7,
+            imm=_sign_extend((word >> 16) & ((1 << IMM_BITS) - 1),
+                             IMM_BITS),
+            mem_op=_MEM_NAMES[(word >> 13) & 0x7],
+            mem_reg=(word >> 9) & 0xF,
+            mem_base=(word >> 5) & 0xF,
+            mem_off=_sign_extend(word & 0x1F, OFFSET_BITS_B),
+        )
+
+
+def classify_cycle(ops):
+    """Split one unit's cycle worth of ICI operations into a format.
+
+    Returns ``("A", mem, alu, move)`` or ``("B", ctrl, mem)``; raises
+    :class:`EncodingError` if the mix fits neither format (this is the
+    formal statement of the paper's "the compiler has to choose, and
+    parallelism is somewhat reduced").
+    """
+    by_class = {MEM: [], ALU: [], MOVE: [], CTRL: []}
+    for op in ops:
+        by_class[OP_CLASS[op.op]].append(op)
+    for cls, limit in ((MEM, 1), (ALU, 1), (MOVE, 1), (CTRL, 1)):
+        if len(by_class[cls]) > limit:
+            raise EncodingError("more than one %s operation per unit"
+                                % cls)
+    ctrl = by_class[CTRL][0] if by_class[CTRL] else None
+    mem = by_class[MEM][0] if by_class[MEM] else None
+    alu = by_class[ALU][0] if by_class[ALU] else None
+    move = by_class[MOVE][0] if by_class[MOVE] else None
+    if ctrl is not None or (move is not None and move.op == "ldi"):
+        if alu is not None or (move is not None and move.op != "ldi"):
+            raise EncodingError(
+                "control/immediate format excludes ALU and register moves")
+        if ctrl is not None and move is not None:
+            raise EncodingError("control op and immediate move conflict")
+        return ("B", ctrl if ctrl is not None else move, mem)
+    return ("A", mem, alu, move)

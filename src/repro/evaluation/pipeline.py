@@ -1,0 +1,167 @@
+"""Evaluation pipeline: benchmark name + machine configs -> cycle counts.
+
+This is the whole of Figure 1 wired together: compile to ICI, emulate for
+the profile, form superblocks (or keep basic blocks), re-emulate the
+transformed program for exact region counts (and as a semantic self-check),
+schedule every executed region, replay the profile through the schedules.
+
+Results are memoised on disk — scheduling thousands of regions for many
+machine configurations is the expensive part of the evaluation.
+"""
+
+import json
+import os
+
+from repro.analysis.cfg import Cfg
+from repro.analysis.liveness import Liveness
+from repro.compaction.transform import form_superblocks, Region
+from repro.compaction.scheduler import schedule_region
+from repro.evaluation.simulator import replay_program, dynamic_region_stats
+from repro.benchmarks.suite import (
+    compile_benchmark, run_program_cached, program_fingerprint, cache_dir)
+
+
+class RegionSet:
+    """A program cut into scheduling regions, with its dynamic profile."""
+
+    def __init__(self, program, regions, counts, taken, liveness=None):
+        self.program = program
+        self.regions = regions
+        self.counts = counts
+        self.taken = taken
+        self.liveness = liveness
+
+    def executed_regions(self):
+        return [r for r in self.regions if self.counts[r.start] > 0]
+
+    def stats(self):
+        return dynamic_region_stats(self.program, self.regions, self.counts)
+
+
+def basic_block_regions(program, result):
+    """Regions = the original basic blocks (local compaction only)."""
+    cfg = Cfg(program)
+    regions = [Region(block.start, block.end) for block in cfg.blocks]
+    return RegionSet(program, regions, result.counts, result.taken)
+
+
+def superblock_regions(program, result, tail_dup_budget=48,
+                       cache_hint=""):
+    """Regions = profile-driven superblocks (global compaction).
+
+    The transformed program is re-emulated (cached) both for exact region
+    counts and as a semantic equivalence check against the original run.
+    """
+    transform = form_superblocks(program, result.counts, result.taken,
+                                 tail_dup_budget)
+    new_result = run_program_cached(transform.program,
+                                    cache_hint + "sb%d-" % tail_dup_budget)
+    if (new_result.status, new_result.output) != (result.status,
+                                                  result.output):
+        raise AssertionError(
+            "superblock transformation changed program behaviour")
+    liveness = Liveness(Cfg(transform.program))
+    return RegionSet(transform.program, transform.regions,
+                     new_result.counts, new_result.taken, liveness)
+
+
+def _off_live_map(region_set, region):
+    """Off-trace live-register masks for a region's branches."""
+    if region_set.liveness is None:
+        return None, None
+    program = region_set.program
+    liveness = region_set.liveness
+    masks = {}
+    for position in range(region.size):
+        instruction = program.instructions[region.start + position]
+        if instruction.is_branch:
+            target = program.labels[instruction.label]
+            masks[position] = liveness.live_in_mask(target)
+    reg_mask = lambda name: 1 << liveness.reg_id(name)
+    return masks, reg_mask
+
+
+def machine_cycles(region_set, config):
+    """Total cycles of the program on *config* (schedule + replay)."""
+    program = region_set.program
+    schedules = []
+    regions = []
+    for region in region_set.regions:
+        if region_set.counts[region.start] == 0:
+            continue
+        instructions = program.instructions[region.start:region.end]
+        if config.speculation and region_set.liveness is not None:
+            off_live, reg_mask = _off_live_map(region_set, region)
+        else:
+            off_live, reg_mask = None, None
+        schedules.append(schedule_region(instructions, config,
+                                         off_live, reg_mask))
+        regions.append(region)
+    return replay_program(program, regions, schedules,
+                          region_set.counts, region_set.taken)
+
+
+class BenchmarkEvaluation:
+    """All the numbers one benchmark contributes to the tables."""
+
+    def __init__(self, name, data):
+        self.name = name
+        self.data = data
+
+    def cycles(self, key):
+        return self.data["cycles"][key]
+
+    def speedup(self, key, base="seq"):
+        return self.data["cycles"][base] / self.data["cycles"][key]
+
+    @property
+    def region_stats(self):
+        return self.data["region_stats"]
+
+
+def evaluate_benchmark(name, configs, tail_dup_budget=48,
+                       use_cache=True):
+    """Evaluate benchmark *name* under every config in *configs*.
+
+    ``configs`` maps result keys to ``(MachineConfig, regioning)`` where
+    regioning is ``"bb"`` or ``"trace"``.  Returns a
+    :class:`BenchmarkEvaluation` with cycle counts and region statistics.
+    """
+    program = compile_benchmark(name)
+    fingerprint = program_fingerprint(program)
+    cache_key = "eval-%s-%s-b%d-%s" % (
+        name, fingerprint, tail_dup_budget,
+        "_".join(sorted(configs)))
+    path = os.path.join(cache_dir(), cache_key + ".json")
+    if use_cache and os.path.exists(path):
+        with open(path) as handle:
+            return BenchmarkEvaluation(name, json.load(handle))
+
+    result = run_program_cached(program, name + "-")
+    region_sets = {}
+
+    def get_region_set(regioning):
+        if regioning not in region_sets:
+            if regioning == "bb":
+                region_sets[regioning] = basic_block_regions(program,
+                                                             result)
+            else:
+                region_sets[regioning] = superblock_regions(
+                    program, result, tail_dup_budget, name + "-")
+        return region_sets[regioning]
+
+    cycles = {}
+    for key, (config, regioning) in configs.items():
+        cycles[key] = machine_cycles(get_region_set(regioning), config)
+
+    region_stats = {}
+    for regioning, region_set in region_sets.items():
+        mean, entries = region_set.stats()
+        region_stats[regioning] = {"mean_length": mean,
+                                   "entries": entries}
+
+    data = {"cycles": cycles, "region_stats": region_stats,
+            "steps": result.steps}
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+    return BenchmarkEvaluation(name, data)

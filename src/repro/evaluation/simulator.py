@@ -1,0 +1,81 @@
+"""Timing replay: dynamic profile through static schedules.
+
+The sequential emulator executes the (transformed) program once and
+records exact entry and exit counts per region.  Since every region has a
+single entry and statically known exit costs, total machine cycles follow
+by replaying those counts through each region's schedule:
+
+``cycles = sum over regions of
+    sum over exits e of  count(e) * exit_cost(e)
+  + fall_through_count * region_length``
+
+Exit cost is the exit's issue cycle plus the taken-transfer penalty of the
+machine model (control-pipeline refill minus filled delay slots).  The
+same formula with the in-order schedule gives the sequential baseline, so
+all reported speedups share one set of timing hypotheses (the paper's
+section 4.3 list).
+"""
+
+from repro.intcode.ici import BRANCH_OPS, JUMP_OPS
+
+
+class RegionTiming:
+    """Cycle accounting for one region under one schedule."""
+
+    def __init__(self, region, schedule, entries, cycles):
+        self.region = region
+        self.schedule = schedule
+        self.entries = entries
+        self.cycles = cycles
+
+
+def replay_region(program, region, schedule, counts, taken):
+    """Cycles spent in *region* given the dynamic profile."""
+    entries = counts[region.start]
+    if entries == 0:
+        return 0
+    total = 0
+    exits = 0
+    for position in range(region.size):
+        pc = region.start + position
+        op = program.instructions[pc].op
+        if op in BRANCH_OPS:
+            exit_count = taken[pc]
+        elif op in JUMP_OPS:
+            exit_count = counts[pc]
+        else:
+            continue
+        if exit_count:
+            total += exit_count * schedule.exit_cost(position)
+            exits += exit_count
+    fall = entries - exits
+    if fall > 0:
+        total += fall * schedule.fall_through_cost
+    if fall < 0:
+        raise AssertionError(
+            "region %r: more exits (%d) than entries (%d)"
+            % (region, exits, entries))
+    return total
+
+
+def replay_program(program, regions, schedules, counts, taken):
+    """Total machine cycles for the whole program."""
+    total = 0
+    for region, schedule in zip(regions, schedules):
+        total += replay_region(program, region, schedule, counts, taken)
+    return total
+
+
+def dynamic_region_stats(program, regions, counts):
+    """Execution-weighted average region length (the paper's Table 1
+    "Average Length" column) and the number of dynamic region entries."""
+    total_ops = 0
+    total_entries = 0
+    for region in regions:
+        entries = counts[region.start]
+        if entries:
+            total_entries += entries
+            total_ops += entries * region.size
+    if total_entries == 0:
+        return 0.0, 0
+    return total_ops / total_entries, total_entries

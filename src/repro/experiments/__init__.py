@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper, plus
+the beyond-the-paper studies (ablations, future-work projections,
+register pressure)."""
+
+from repro.experiments import (
+    data, figure2, figure3, figure4, table1, table2, table3, table4,
+    table5, ablations, future_work, registers, wam_baseline)
+
+#: the paper's own evaluation artefacts
+ALL_EXPERIMENTS = {
+    "figure2": figure2,
+    "figure3": figure3,
+    "table1": table1,
+    "table2": table2,
+    "figure4": figure4,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+}
+
+#: studies this reproduction adds on top
+EXTRA_EXPERIMENTS = {
+    "ablations": ablations,
+    "future_work": future_work,
+    "registers": registers,
+    "wam_baseline": wam_baseline,
+}
+
+__all__ = (["data", "ALL_EXPERIMENTS", "EXTRA_EXPERIMENTS"]
+           + sorted(ALL_EXPERIMENTS) + sorted(EXTRA_EXPERIMENTS))
+
+
+def run_all(extras=False):
+    """Render every experiment; returns {name: text}."""
+    out = {name: module.render()
+           for name, module in ALL_EXPERIMENTS.items()}
+    if extras:
+        for name, module in EXTRA_EXPERIMENTS.items():
+            render = getattr(module, "render", None) \
+                or getattr(module, "render_all")
+            out[name] = render()
+    return out

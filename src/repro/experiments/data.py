@@ -1,0 +1,51 @@
+"""Shared evaluation data for all experiments.
+
+Every table pulls from one master configuration set so each benchmark is
+compiled, transformed and scheduled exactly once per configuration, with
+results memoised on disk by :mod:`repro.evaluation.pipeline`.
+"""
+
+from repro.compaction import (
+    sequential, bam_like, vliw, ideal, symbol3, symbol3_sequential)
+from repro.evaluation import evaluate_benchmark
+from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS, run_benchmark, \
+    compile_benchmark
+
+
+def master_configs():
+    """Result key -> (MachineConfig, regioning) for the whole evaluation."""
+    configs = {
+        "seq": (sequential(), "bb"),
+        "bam": (bam_like(), "bb"),
+        "bb_ideal": (ideal("ideal_bb"), "bb"),
+        "tr_ideal": (ideal("ideal_tr"), "trace"),
+        "symbol3": (symbol3(), "trace"),
+        "symbol_seq": (symbol3_sequential(), "bb"),
+    }
+    for n_units in range(1, 6):
+        configs["vliw%d" % n_units] = (vliw(n_units), "trace")
+    return configs
+
+
+_evaluations = {}
+
+
+def get_evaluation(name):
+    """Evaluate benchmark *name* under the master configuration set."""
+    if name not in _evaluations:
+        _evaluations[name] = evaluate_benchmark(name, master_configs())
+    return _evaluations[name]
+
+
+def get_profile(name):
+    """(program, emulation result) for benchmark *name*."""
+    return compile_benchmark(name), run_benchmark(name)
+
+
+def table_benchmarks():
+    """The benchmarks of the paper's Tables 1/3/4/5."""
+    return list(TABLE_BENCHMARKS)
+
+
+def all_benchmarks():
+    return list(PROGRAMS)

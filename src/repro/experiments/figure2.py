@@ -1,0 +1,59 @@
+"""Figure 2 — dynamic instruction frequency by operation class.
+
+Paper: "memory operations take about 32% of the whole execution time
+... computed as an average of the values obtained via sequential
+simulation of the benchmarks and with the hypothesis that all operations
+have the same duration", and branches are "more than 15%".
+"""
+
+from repro.intcode.ici import OP_CLASS, MEM, ALU, MOVE, CTRL
+from repro.experiments.data import get_profile, all_benchmarks
+from repro.experiments.render import render_table, fmt
+
+CLASSES = (MEM, ALU, MOVE, CTRL)
+
+
+def benchmark_mix(name):
+    """Dynamic operation-class fractions of one benchmark."""
+    program, result = get_profile(name)
+    totals = {cls: 0 for cls in CLASSES}
+    for pc, count in enumerate(result.counts):
+        if count:
+            totals[OP_CLASS[program.instructions[pc].op]] += count
+    steps = sum(totals.values())
+    return {cls: totals[cls] / steps for cls in CLASSES}, steps
+
+
+def compute(benchmarks=None):
+    benchmarks = benchmarks or all_benchmarks()
+    rows = {}
+    weight_sum = {cls: 0.0 for cls in CLASSES}
+    for name in benchmarks:
+        mix, steps = benchmark_mix(name)
+        rows[name] = {"mix": mix, "steps": steps}
+        for cls in CLASSES:
+            weight_sum[cls] += mix[cls]
+    average = {cls: weight_sum[cls] / len(benchmarks) for cls in CLASSES}
+    return {"benchmarks": rows, "average": average}
+
+
+def render(data=None):
+    data = data or compute()
+    rows = []
+    for name in sorted(data["benchmarks"]):
+        entry = data["benchmarks"][name]
+        mix = entry["mix"]
+        rows.append([name] + [fmt(100 * mix[c], 1) for c in CLASSES]
+                    + [entry["steps"]])
+    average = data["average"]
+    rows.append(["AVERAGE"] + [fmt(100 * average[c], 1) for c in CLASSES]
+                + [""])
+    return render_table(
+        "Figure 2 -- dynamic instruction mix (%)",
+        ["benchmark", "memory", "alu", "move", "control", "ops"],
+        rows,
+        note="Paper: memory ~32%, control >15% (unit durations).")
+
+
+if __name__ == "__main__":
+    print(render())

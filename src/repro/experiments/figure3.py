@@ -1,0 +1,43 @@
+"""Figure 3 — Amdahl's-law speedup bounds for the shared-memory model.
+
+Uses the memory fraction measured by Figure 2 (the paper rounds it to
+0.32, giving the asymptotic speedup of 3.0).
+"""
+
+from repro.analysis.amdahl import (
+    figure3_series, memory_bound_speedup, useful_concurrency_limit)
+from repro.experiments import figure2
+from repro.experiments.render import render_curve
+from repro.intcode.ici import MEM
+
+
+def compute(mem_fraction=None, max_enhancement=16, points=31):
+    if mem_fraction is None:
+        mem_fraction = figure2.compute()["average"][MEM]
+    step = (max_enhancement - 1) / (points - 1)
+    enhancements = [1 + i * step for i in range(points)]
+    series = figure3_series(mem_fraction, enhancements)
+    return {
+        "mem_fraction": mem_fraction,
+        "asymptote": memory_bound_speedup(mem_fraction),
+        "useful_limit": useful_concurrency_limit(mem_fraction),
+        "series": series,
+    }
+
+
+def render(data=None):
+    data = data or compute()
+    series = data["series"]
+    plot = render_curve(
+        "Figure 3 -- maximum speedup vs enhancement of non-memory ops",
+        series["enhancement"],
+        {"memory separate": series["separate"],
+         "memory overlapped": series["overlapped"]})
+    return "%s\n\nmeasured memory fraction = %.3f -> Amdahl bound %.2f " \
+        "(paper: 0.32 -> 3.0); concurrency useless beyond %.2f" % (
+            plot, data["mem_fraction"], data["asymptote"],
+            data["useful_limit"])
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,53 @@
+"""Figure 4 — distribution of the faulty-prediction probability.
+
+The paper's distribution has most of its mass near zero (branches are
+almost deterministic) with a small data-dependent peak around 0.4, and
+the accompanying text refutes the "90/50 branch-taken rule" for Prolog:
+branch predictability does not come from loop structure.
+"""
+
+from repro.analysis.branch_stats import (
+    branch_records, p_fp_histogram, taken_rule_stats)
+from repro.experiments.data import get_profile, all_benchmarks
+from repro.experiments.render import render_histogram
+
+
+def compute(benchmarks=None, bins=10):
+    benchmarks = benchmarks or all_benchmarks()
+    records = []
+    for name in benchmarks:
+        program, result = get_profile(name)
+        records.extend(branch_records(program, result.counts,
+                                      result.taken))
+    edges, weights = p_fp_histogram(records, bins)
+    return {
+        "edges": edges,
+        "weights": weights,
+        "taken_rule": taken_rule_stats(records),
+        "mass_below_01": sum(w for e, w in zip(edges, weights) if e < 0.1),
+    }
+
+
+def render(data=None):
+    data = data or compute()
+    chart = render_histogram(
+        "Figure 4 -- distribution of P_fp (execution weighted)",
+        data["edges"], data["weights"])
+    rule = data["taken_rule"]
+    lines = [chart, "",
+             "mass with P_fp < 0.1: %.1f%% (paper: dominant)"
+             % (100 * data["mass_below_01"]),
+             "90/50 rule check (weighted mean taken probability):",
+             "  backward branches: %.2f over %d static sites"
+             % (rule["backward"]["mean_taken"],
+                rule["backward"]["branches"]),
+             "  forward branches:  %.2f over %d static sites"
+             % (rule["forward"]["mean_taken"],
+                rule["forward"]["branches"]),
+             "Numeric code would show ~0.9 / ~0.5; Prolog branches are",
+             "predictable without being loop branches."]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,101 @@
+"""Section 6 future-work projections: dynamic scheduling and distributed
+memory.
+
+The paper closes by naming the only two architectural escapes from the
+shared-memory Amdahl ceiling — dynamic scheduling and distributed-memory
+models.  These experiments quantify both on the same workloads:
+
+* **dataflow limit** — an idealised out-of-order machine with perfect
+  per-address memory disambiguation and perfect prediction, still behind
+  one shared memory port (:mod:`repro.evaluation.dynamic`);
+* **multi-bank memory** — static bank disambiguation (the compiler knows
+  which data *area* an access touches whenever its base register is an
+  area pointer), with and without extra ports.
+"""
+
+from repro.compaction import sequential, vliw, ideal
+from repro.evaluation import evaluate_benchmark
+from repro.evaluation.dynamic import dataflow_limit
+from repro.experiments.render import render_table, fmt
+from repro.benchmarks import compile_benchmark
+from repro.experiments.data import get_evaluation
+
+#: programs small enough for the (slow) dataflow re-execution
+DEFAULT_BENCHMARKS = ["conc30", "nreverse", "qsort", "serialise",
+                      "queens_8", "mu", "divide10", "times10"]
+
+
+def dynamic_vs_static(benchmarks=None):
+    """Dataflow-limit speedup vs trace-scheduled static speedup."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    rows = {}
+    for name in benchmarks:
+        evaluation = get_evaluation(name)
+        program = compile_benchmark(name)
+        flow = dataflow_limit(program)
+        seq = evaluation.cycles("seq")
+        rows[name] = {
+            "static": evaluation.speedup("tr_ideal"),
+            "dynamic": seq / flow.cycles,
+            "dynamic_ilp": flow.ilp,
+        }
+    count = len(rows)
+    average = {key: sum(r[key] for r in rows.values()) / count
+               for key in ("static", "dynamic", "dynamic_ilp")}
+    average["captured"] = average["static"] / average["dynamic"]
+    return {"benchmarks": rows, "average": average}
+
+
+def multibank(benchmarks=None):
+    """Static speedup with bank disambiguation and extra ports."""
+    benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    configs = {
+        "seq": (sequential(), "bb"),
+        "shared": (ideal("fw_shared"), "trace"),
+        "banked": (ideal("fw_banked"), "trace"),
+        "banked4": (ideal("fw_banked4"), "trace"),
+    }
+    configs["banked"][0].bank_disambiguation = True
+    configs["banked4"][0].bank_disambiguation = True
+    configs["banked4"][0].mem_ports = 4
+    speedups = {key: [] for key in ("shared", "banked", "banked4")}
+    for name in benchmarks:
+        evaluation = evaluate_benchmark(name, configs)
+        for key in speedups:
+            speedups[key].append(evaluation.speedup(key))
+    return {key: sum(values) / len(values)
+            for key, values in speedups.items()}
+
+
+def render():
+    dynamic = dynamic_vs_static()
+    banks = multibank()
+    rows = []
+    for name in sorted(dynamic["benchmarks"]):
+        entry = dynamic["benchmarks"][name]
+        rows.append([name, fmt(entry["static"]), fmt(entry["dynamic"]),
+                     fmt(entry["dynamic_ilp"])])
+    average = dynamic["average"]
+    rows.append(["AVERAGE", fmt(average["static"]),
+                 fmt(average["dynamic"]), fmt(average["dynamic_ilp"])])
+    table_a = render_table(
+        "Future work A -- static trace scheduling vs the dataflow limit",
+        ["benchmark", "static s.u.", "dynamic s.u.", "dataflow ILP"],
+        rows,
+        note="Static compaction captures %.0f%% of the idealised "
+             "dynamic machine's speedup (one shared memory port in "
+             "both)." % (100 * average["captured"]))
+    table_b = render_table(
+        "Future work B -- multi-bank memory (ideal units)",
+        ["memory model", "avg speedup"],
+        [["shared, 1 port (the paper's model)", fmt(banks["shared"])],
+         ["banked order relaxation, 1 port", fmt(banks["banked"])],
+         ["banked, 4 ports", fmt(banks["banked4"])]],
+        note="Bank disambiguation relaxes ordering; extra ports attack "
+             "the Amdahl ceiling itself (section 6's distributed-memory "
+             "direction).")
+    return table_a + "\n\n" + table_b
+
+
+if __name__ == "__main__":
+    print(render())

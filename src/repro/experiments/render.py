@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and figures for the experiment harness."""
+
+
+def render_table(title, headers, rows, note=None):
+    """Monospace table with a title rule."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = ["%s" % ("" if cell is None else cell) for cell in row]
+        cells += [""] * (columns - len(cells))
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+        text_rows.append(cells)
+
+    def line(cells):
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out = [title, "=" * len(title),
+           line([str(h) for h in headers]),
+           line(["-" * w for w in widths])]
+    out.extend(line(cells) for cells in text_rows)
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def render_histogram(title, edges, weights, width=50):
+    """ASCII bar chart of a binned distribution."""
+    out = [title, "=" * len(title)]
+    peak = max(weights) if weights else 1.0
+    for index, weight in enumerate(weights):
+        bar = "#" * int(round(width * weight / peak)) if peak else ""
+        out.append("[%.2f,%.2f)  %6.1f%%  %s"
+                   % (edges[index], edges[index + 1], 100 * weight, bar))
+    return "\n".join(out)
+
+
+def render_curve(title, xs, series, width=60, height=18):
+    """ASCII plot of one or more named series against *xs*."""
+    out = [title, "=" * len(title)]
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*+ox"
+    for serie_index, (name, values) in enumerate(sorted(series.items())):
+        mark = marks[serie_index % len(marks)]
+        for index, value in enumerate(values):
+            column = int(round((width - 1) * index / max(len(xs) - 1, 1)))
+            row = int(round((height - 1) * (value - lo) / (hi - lo)))
+            grid[height - 1 - row][column] = mark
+    out.append("%.2f" % hi)
+    out.extend("  |" + "".join(row) for row in grid)
+    out.append("%.2f" % lo + "  x: %.2f .. %.2f" % (xs[0], xs[-1]))
+    for serie_index, name in enumerate(sorted(series)):
+        out.append("  %s = %s" % (marks[serie_index % len(marks)], name))
+    return "\n".join(out)
+
+
+def fmt(value, digits=2):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return ("%." + str(digits) + "f") % value
+    return str(value)

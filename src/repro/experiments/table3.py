@@ -1,0 +1,59 @@
+"""Table 3 / Figure 6 — cycles and speedup versus number of units.
+
+Paper shape: the BAM stand-in reaches ~1.6 (near the basic-block limit);
+trace-scheduled VLIW configurations improve with units and saturate at
+3-4 units "as it was forecast by Amdahl's law"; the incremental gain
+beyond the first unit is modest.
+"""
+
+from repro.experiments.data import get_evaluation, table_benchmarks
+from repro.experiments.render import render_table, render_curve, fmt
+
+UNIT_KEYS = ["vliw1", "vliw2", "vliw3", "vliw4", "vliw5"]
+
+
+def compute(benchmarks=None):
+    benchmarks = benchmarks or table_benchmarks()
+    rows = {}
+    for name in benchmarks:
+        evaluation = get_evaluation(name)
+        entry = {"seq_cycles": evaluation.cycles("seq"),
+                 "bam": evaluation.speedup("bam")}
+        for key in UNIT_KEYS:
+            entry[key] = evaluation.speedup(key)
+            entry[key + "_cycles"] = evaluation.cycles(key)
+        rows[name] = entry
+    count = len(benchmarks)
+    average = {}
+    for key in ["bam"] + UNIT_KEYS:
+        average[key] = sum(r[key] for r in rows.values()) / count
+    return {"benchmarks": rows, "average": average}
+
+
+def render(data=None):
+    data = data or compute()
+    rows = []
+    for name in sorted(data["benchmarks"]):
+        entry = data["benchmarks"][name]
+        rows.append([name, entry["seq_cycles"], fmt(entry["bam"])]
+                    + [fmt(entry[k]) for k in UNIT_KEYS])
+    average = data["average"]
+    rows.append(["AVERAGE", "", fmt(average["bam"])]
+                + [fmt(average[k]) for k in UNIT_KEYS])
+    table = render_table(
+        "Table 3 -- speedup vs sequential for parallel configurations",
+        ["benchmark", "seq cycles", "BAM", "1 unit", "2 units", "3 units",
+         "4 units", "5 units"],
+        rows,
+        note="Paper averages: BAM 1.58; units rise then saturate at 3-4 "
+             "(Amdahl).")
+    curve = render_curve(
+        "Figure 6 -- average speedup vs number of units",
+        [1, 2, 3, 4, 5],
+        {"trace-scheduled VLIW": [average[k] for k in UNIT_KEYS],
+         "BAM": [average["bam"]] * 5})
+    return table + "\n\n" + curve
+
+
+if __name__ == "__main__":
+    print(render())

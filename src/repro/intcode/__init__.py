@@ -1,0 +1,28 @@
+"""Intermediate Code (ICI): instruction set, programs, runtime, translation."""
+
+from repro.intcode.ici import Ici, OP_CLASS, MEM, ALU, MOVE, CTRL, \
+    BRANCH_OPS, JUMP_OPS, CONTROL_OPS
+from repro.intcode.program import Program, Builder
+from repro.intcode.translate import translate_module, TranslateError
+from repro.intcode.optimize import optimize_program, OptimizeStats
+from repro.intcode import layout, runtime
+
+__all__ = [
+    "Ici",
+    "OP_CLASS",
+    "MEM",
+    "ALU",
+    "MOVE",
+    "CTRL",
+    "BRANCH_OPS",
+    "JUMP_OPS",
+    "CONTROL_OPS",
+    "Program",
+    "Builder",
+    "translate_module",
+    "TranslateError",
+    "optimize_program",
+    "OptimizeStats",
+    "layout",
+    "runtime",
+]

@@ -1,0 +1,52 @@
+"""Data-memory layout of the compiled Prolog machine.
+
+The BAM/WAM execution model separates data space into distinct areas
+(environment stack, choice-point stack, heap, trail, push-down list —
+paper section 4.1).  Each area lives in its own 1M-word region of the flat
+shared data memory; region membership is decidable by address comparison,
+which the runtime uses for its trail condition.
+"""
+
+REGION_SHIFT = 20
+REGION_SIZE = 1 << REGION_SHIFT
+
+HEAP_BASE = 1 << REGION_SHIFT      #: heap (global stack), grows upward
+ENV_BASE = 2 << REGION_SHIFT       #: environment stack
+CHOICE_BASE = 3 << REGION_SHIFT    #: choice-point stack
+TRAIL_BASE = 4 << REGION_SHIFT     #: trail
+PDL_BASE = 5 << REGION_SHIFT       #: push-down list (general unifier)
+FTAB_BASE = 6 << REGION_SHIFT      #: functor arity table (read-only)
+
+#: Choice-point frame layout (offsets from the frame base in B).
+#: Frames are variable-sized: 8 fixed slots plus the saved argument
+#: registers a0..a(n-1) of the predicate that created the frame.
+CP_PREV_B = 0     #: previous choice point (raw)
+CP_SELF_TOP = 1   #: this frame's top address (raw), restores BT on cut
+CP_SAVED_E = 2    #: environment register at creation
+CP_SAVED_CP = 3   #: continuation register at creation
+CP_SAVED_H = 4    #: heap top at creation (also the HB watermark)
+CP_SAVED_TR = 5   #: trail top at creation
+CP_SAVED_ES = 6   #: environment-stack top at creation (protection point)
+CP_RETRY = 7      #: code address of the next alternative
+CP_FIXED_SLOTS = 8
+
+#: Environment frame layout (offsets from the frame base in E).
+ENV_SAVED_E = 0   #: caller's environment register
+ENV_SAVED_CP = 1  #: caller's continuation
+ENV_FIXED_SLOTS = 2  #: permanent variables Y0.. follow
+
+#: Machine registers with a fixed role (initialised by the emulator).
+MACHINE_REGISTERS = {
+    "H": HEAP_BASE,       # heap top
+    "HB": HEAP_BASE,      # heap backtrack watermark
+    "E": ENV_BASE,        # current environment frame
+    "ES": ENV_BASE,       # environment stack top
+    "B": CHOICE_BASE,     # newest choice-point frame
+    "BT": CHOICE_BASE,    # choice-point stack top
+    "TR": TRAIL_BASE,     # trail top
+    "PD": PDL_BASE,       # push-down list top
+    "CP": 0,              # continuation code address
+    "RL": 0,              # link register for runtime routines
+    "K_ENVB": ENV_BASE,   # constant: start of the stack regions
+    "K_PDLB": PDL_BASE,   # constant: push-down list base
+}

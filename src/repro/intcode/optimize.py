@@ -1,0 +1,152 @@
+"""Local ICI optimisation passes.
+
+The translator deliberately emits naive code ("we avoid all optimizations
+which are delayed to the back-end compiler", section 3.1).  This module
+is that delayed clean-up: classical block-local passes that remove the
+redundancy the mechanical expansion leaves behind —
+
+* **copy propagation** — uses of ``rd`` after ``mov rd, rs`` read ``rs``
+  directly while both stay unchanged;
+* **constant-load reuse** — a repeated ``ldi`` of the same word within a
+  block reuses the earlier register;
+* **dead-move elimination** — ``mov``/``ldi`` results never read before
+  redefinition and not live out of the block are dropped.
+
+All passes preserve labels (only whole instructions at non-label-target
+positions are removed) and are verified semantics-preserving by the test
+suite's differential checks.
+"""
+
+from repro.intcode.ici import Ici
+from repro.intcode.program import Program
+from repro.analysis.cfg import Cfg
+from repro.analysis.liveness import Liveness
+
+
+class OptimizeStats:
+    def __init__(self):
+        self.copies_propagated = 0
+        self.constants_reused = 0
+        self.dead_removed = 0
+
+    def __repr__(self):
+        return ("OptimizeStats(propagated=%d, reused=%d, removed=%d)"
+                % (self.copies_propagated, self.constants_reused,
+                   self.dead_removed))
+
+
+def _substitute(instruction, mapping):
+    """Rewrite source registers of *instruction* through *mapping*."""
+    ra = mapping.get(instruction.ra, instruction.ra)
+    rb = mapping.get(instruction.rb, instruction.rb)
+    if ra == instruction.ra and rb == instruction.rb:
+        return instruction, False
+    return Ici(instruction.op, rd=instruction.rd, ra=ra, rb=rb,
+               imm=instruction.imm, tag=instruction.tag,
+               label=instruction.label, esc=instruction.esc), True
+
+
+def _propagate_block(instructions, stats):
+    """Copy propagation + constant reuse over one block (in place)."""
+    copies = {}          # rd -> rs currently valid
+    constants = {}       # (imm, label) -> register holding it
+    for index, instruction in enumerate(instructions):
+        new, changed = _substitute(instruction, copies)
+        if changed:
+            instructions[index] = new
+            stats.copies_propagated += 1
+            instruction = new
+
+        written = instruction.writes()
+        # Invalidate facts about overwritten registers.
+        for reg in written:
+            copies.pop(reg, None)
+            for src_reg in [k for k, v in copies.items() if v == reg]:
+                copies.pop(src_reg)
+            for key in [k for k, v in constants.items() if v == reg]:
+                constants.pop(key)
+
+        if instruction.op == "mov":
+            copies[instruction.rd] = instruction.ra
+        elif instruction.op == "ldi":
+            key = (instruction.imm, instruction.label)
+            holder = constants.get(key)
+            if holder is not None and holder != instruction.rd:
+                # Keep the ldi (its target may be live), but remember the
+                # copy so later uses read the earlier register... actually
+                # rewriting to a mov lets dead-code remove it entirely.
+                instructions[index] = Ici("mov", rd=instruction.rd,
+                                          ra=holder)
+                copies[instruction.rd] = holder
+                stats.constants_reused += 1
+            else:
+                constants[key] = instruction.rd
+
+
+def _dead_moves_block(instructions, live_out_names, stats):
+    """Drop mov/ldi whose result is never used (returns kept list)."""
+    needed = set(live_out_names)
+    keep = [True] * len(instructions)
+    for index in range(len(instructions) - 1, -1, -1):
+        instruction = instructions[index]
+        written = instruction.writes()
+        if instruction.op == "mov" and instruction.rd == instruction.ra:
+            keep[index] = False          # identity move
+            stats.dead_removed += 1
+            continue
+        if instruction.op in ("mov", "ldi") and written \
+                and written[0] not in needed:
+            keep[index] = False
+            stats.dead_removed += 1
+            continue
+        for reg in written:
+            needed.discard(reg)
+        for reg in instruction.reads():
+            needed.add(reg)
+    return [ins for ins, k in zip(instructions, keep) if k]
+
+
+def optimize_program(program, dead_code=True):
+    """Apply the local passes; returns ``(new_program, stats)``."""
+    cfg = Cfg(program)
+    liveness = Liveness(cfg) if dead_code else None
+    stats = OptimizeStats()
+
+    id_to_name = {}
+    if liveness is not None:
+        id_to_name = {index: name
+                      for name, index in liveness.reg_ids.items()}
+
+    new_instructions = []
+    new_labels = {}
+    label_targets = {}
+    for name, target in program.labels.items():
+        label_targets.setdefault(target, []).append(name)
+
+    referenced = {ins.label for ins in program.instructions
+                  if ins.label is not None}
+
+    for block in cfg.blocks:
+        block_ops = list(program.instructions[block.start:block.end])
+        _propagate_block(block_ops, stats)
+        if liveness is not None:
+            out_mask = liveness.live_out[block.start]
+            live_names = [id_to_name[i]
+                          for i in range(out_mask.bit_length())
+                          if out_mask >> i & 1]
+            block_ops = _dead_moves_block(block_ops, live_names, stats)
+        new_start = len(new_instructions)
+        for name in label_targets.get(block.start, []):
+            new_labels[name] = new_start
+        new_instructions.extend(block_ops)
+
+    # Labels must only have pointed at block starts (anything else would
+    # now be unanchored); verify nothing referenced was lost.
+    for name in referenced:
+        if name not in new_labels:
+            raise AssertionError("optimisation lost label %r" % name)
+    if program.entry not in new_labels:
+        new_labels[program.entry] = program.entry_pc
+
+    return Program(new_instructions, new_labels, program.symbols,
+                   program.entry), stats

@@ -1,0 +1,479 @@
+"""BAM to ICI translation.
+
+Expands every BAM instruction into a short sequence of primitive ICIs
+(section 3.1 of the paper: "we avoid all optimizations which are delayed
+to the back-end compiler. We only apply a variable renaming procedure in
+order to eliminate redundant data-dependencies").  Renaming comes for free:
+every intermediate value receives a fresh virtual register.
+
+Safety note on variables: all logic variables are allocated as heap cells
+(environment slots never hold unbound self-references), so values passed
+in registers can never dangle into deallocated environment frames.  This
+is the BAM convention and removes the WAM's unsafe-variable analysis.
+"""
+
+from repro.terms import tags
+from repro.intcode.program import Builder
+from repro.intcode import layout, runtime
+from repro.bam import instructions as bam
+from repro.bam.descriptors import DAtom, DInt, DVar, DList, DStruct
+
+
+class TranslateError(Exception):
+    pass
+
+
+_ALU_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "//": "div", "/": "div",
+    "mod": "mod", "rem": "mod", ">>": "sra", "<<": "sll",
+    "/\\": "and", "\\/": "or", "xor": "xor",
+}
+
+#: arithmetic test -> branch op that jumps to $fail when the test FAILS
+_INVERSE_TEST = {
+    "<": "bgev", ">": "blev", "=<": "bgtv", ">=": "bltv",
+    "=:=": "bne", "=\\=": "beq",
+}
+
+
+class ClauseContext:
+    """Per-clause-body state: temporary-variable register assignment."""
+
+    def __init__(self, builder):
+        self.builder = builder
+        self.temps = {}
+
+    def temp_reg(self, index):
+        reg = self.temps.get(index)
+        if reg is None:
+            reg = self.builder.fresh_reg()
+            self.temps[index] = reg
+        return reg
+
+
+class Translator:
+    """Translates a compiled BAM module into an executable ICI program."""
+
+    def __init__(self, module):
+        self.module = module
+        self.b = Builder(module.symbols)
+        self.ctx = None
+
+    # -- variable access ---------------------------------------------------
+
+    def _define_var(self, loc, src_reg):
+        """Store the word in *src_reg* as the value of first-occurrence
+        variable *loc*."""
+        if loc.is_perm:
+            self.b.st(src_reg, "E", layout.ENV_FIXED_SLOTS + loc.index)
+        else:
+            self.b.mov(self.ctx.temp_reg(loc.index), src_reg)
+
+    def _fetch_var(self, loc):
+        """Load the value of an already-defined variable into a register."""
+        if loc.is_perm:
+            reg = self.b.fresh_reg()
+            self.b.ld(reg, "E", layout.ENV_FIXED_SLOTS + loc.index)
+            return reg
+        return self.ctx.temp_reg(loc.index)
+
+    # -- term construction (write mode) --------------------------------------
+
+    def _build(self, desc):
+        """Emit code that materialises *desc*; returns the register
+        holding the resulting word."""
+        b = self.b
+        if isinstance(desc, DAtom):
+            reg = b.fresh_reg()
+            b.ldi_atom(reg, desc.name)
+            return reg
+        if isinstance(desc, DInt):
+            reg = b.fresh_reg()
+            b.ldi_int(reg, desc.value)
+            return reg
+        if isinstance(desc, DVar):
+            if desc.first:
+                cell = b.fresh_reg()
+                runtime.emit_new_unbound(b, cell)
+                self._define_var(desc.loc, cell)
+                return cell
+            return self._fetch_var(desc.loc)
+        if isinstance(desc, DList):
+            head = self._build(desc.head)
+            tail = self._build(desc.tail)
+            b.st(head, "H", 0)
+            b.st(tail, "H", 1)
+            reg = b.fresh_reg()
+            b.lea(reg, "H", 0, tags.TLST)
+            b.lea("H", "H", 2, tags.TRAW)
+            return reg
+        if isinstance(desc, DStruct):
+            args = [self._build(arg) for arg in desc.args]
+            functor = b.fresh_reg()
+            b.ldi_functor(functor, desc.name, desc.arity)
+            b.st(functor, "H", 0)
+            for index, arg in enumerate(args):
+                b.st(arg, "H", 1 + index)
+            reg = b.fresh_reg()
+            b.lea(reg, "H", 0, tags.TSTR)
+            b.lea("H", "H", 1 + desc.arity, tags.TRAW)
+            return reg
+        raise TranslateError("cannot build %r" % (desc,))
+
+    # -- head unification (get) ----------------------------------------------
+
+    def _get(self, desc, reg, derefed=False):
+        """Unify the (clobberable) word in *reg* with *desc*."""
+        b = self.b
+        if isinstance(desc, DVar):
+            if desc.first:
+                self._define_var(desc.loc, reg)
+            else:
+                value = self._fetch_var(desc.loc)
+                b.mov("u0", reg)
+                b.mov("u1", value)
+                b.call("$unify", link="RL")
+            return
+        if isinstance(desc, (DAtom, DInt)):
+            const = b.fresh_reg()
+            if isinstance(desc, DAtom):
+                b.ldi_atom(const, desc.name)
+            else:
+                b.ldi_int(const, desc.value)
+            if not derefed:
+                runtime.emit_deref(b, reg)
+            write = b.fresh_label("gc_w")
+            ok = b.fresh_label("gc_ok")
+            b.btag(reg, tags.TREF, write)
+            b.branch("bne", reg, const, "$fail")
+            b.jmp(ok)
+            b.label(write)
+            runtime.emit_bind(b, reg, const)
+            b.label(ok)
+            return
+        if isinstance(desc, DList):
+            if not derefed:
+                runtime.emit_deref(b, reg)
+            read = b.fresh_label("gl_r")
+            ok = b.fresh_label("gl_ok")
+            b.btag(reg, tags.TLST, read)
+            b.bntag(reg, tags.TREF, "$fail")
+            word = self._build(desc)
+            runtime.emit_bind(b, reg, word)
+            b.jmp(ok)
+            b.label(read)
+            head = b.fresh_reg()
+            b.ld(head, reg, 0)
+            self._get(desc.head, head)
+            tail = b.fresh_reg()
+            b.ld(tail, reg, 1)
+            self._get(desc.tail, tail)
+            b.label(ok)
+            return
+        if isinstance(desc, DStruct):
+            if not derefed:
+                runtime.emit_deref(b, reg)
+            read = b.fresh_label("gs_r")
+            ok = b.fresh_label("gs_ok")
+            b.btag(reg, tags.TSTR, read)
+            b.bntag(reg, tags.TREF, "$fail")
+            word = self._build(desc)
+            runtime.emit_bind(b, reg, word)
+            b.jmp(ok)
+            b.label(read)
+            fword = b.fresh_reg()
+            fconst = b.fresh_reg()
+            b.ld(fword, reg, 0)
+            b.ldi_functor(fconst, desc.name, desc.arity)
+            b.branch("bne", fword, fconst, "$fail")
+            for index, arg in enumerate(desc.args):
+                sub = b.fresh_reg()
+                b.ld(sub, reg, 1 + index)
+                self._get(arg, sub)
+            b.label(ok)
+            return
+        raise TranslateError("cannot get %r" % (desc,))
+
+    # -- argument construction (put) ------------------------------------------
+
+    def _put(self, desc, reg):
+        b = self.b
+        if isinstance(desc, DVar) and not desc.first and not desc.loc.is_perm:
+            b.mov(reg, self.ctx.temp_reg(desc.loc.index))
+            return
+        if isinstance(desc, DVar) and not desc.first and desc.loc.is_perm:
+            b.ld(reg, "E", layout.ENV_FIXED_SLOTS + desc.loc.index)
+            return
+        b.mov(reg, self._build(desc))
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _eval(self, desc):
+        """Evaluate an arithmetic expression descriptor; returns a register
+        holding a TINT word (fails at runtime on non-integers)."""
+        b = self.b
+        if isinstance(desc, DInt):
+            reg = b.fresh_reg()
+            b.ldi_int(reg, desc.value)
+            return reg
+        if isinstance(desc, DVar):
+            if desc.first:
+                raise TranslateError("unbound variable in arithmetic")
+            value = self._fetch_var(desc.loc)
+            reg = b.fresh_reg()
+            b.mov(reg, value)
+            runtime.emit_deref(b, reg)
+            b.bntag(reg, tags.TINT, "$fail")
+            return reg
+        if isinstance(desc, DStruct):
+            if len(desc.args) == 1 and desc.name == "-":
+                operand = self._eval(desc.args[0])
+                zero = b.fresh_reg()
+                b.ldi_int(zero, 0)
+                reg = b.fresh_reg()
+                b.alu("sub", reg, zero, rb=operand)
+                return reg
+            if len(desc.args) == 1 and desc.name == "+":
+                return self._eval(desc.args[0])
+            op = _ALU_OPS.get(desc.name)
+            if op is None or len(desc.args) != 2:
+                raise TranslateError(
+                    "unsupported arithmetic %s/%d" % (desc.name,
+                                                      len(desc.args)))
+            left = self._eval(desc.args[0])
+            right = self._eval(desc.args[1])
+            reg = b.fresh_reg()
+            b.alu(op, reg, left, rb=right)
+            return reg
+        raise TranslateError("cannot evaluate %r" % (desc,))
+
+    # -- per-instruction dispatch ---------------------------------------------
+
+    def _emit(self, instr):
+        b = self.b
+        if isinstance(instr, bam.Label):
+            b.label(instr.name)
+        elif isinstance(instr, bam.Jump):
+            b.jmp(instr.label)
+        elif isinstance(instr, bam.SetB0):
+            b.mov("B0", "B")
+        elif isinstance(instr, bam.DerefReg):
+            runtime.emit_deref(b, instr.reg)
+        elif isinstance(instr, bam.SwitchOnTag):
+            for tag, label in instr.cases:
+                b.btag(instr.reg, tag, label)
+            b.jmp(instr.default)
+        elif isinstance(instr, bam.SwitchOnConstant):
+            for word, label in instr.cases:
+                const = b.fresh_reg()
+                b.ldi(const, word)
+                b.branch("beq", instr.reg, const, label)
+            b.jmp(instr.default)
+        elif isinstance(instr, bam.SwitchOnFunctor):
+            fword = b.fresh_reg()
+            b.ld(fword, instr.reg, 0)
+            for (name, arity), label in instr.cases:
+                const = b.fresh_reg()
+                b.ldi_functor(const, name, arity)
+                b.branch("beq", fword, const, label)
+            b.jmp(instr.default)
+        elif isinstance(instr, bam.Try):
+            self._emit_try(instr)
+        elif isinstance(instr, bam.RetryStub):
+            self._emit_retry(instr)
+        elif isinstance(instr, bam.Allocate):
+            protect = b.fresh_reg()
+            ok = b.fresh_label("al_ok")
+            b.ld(protect, "B", layout.CP_SAVED_ES)
+            b.branch("bgev", "ES", protect, ok)
+            b.mov("ES", protect)
+            b.label(ok)
+            b.st("E", "ES", layout.ENV_SAVED_E)
+            b.st("CP", "ES", layout.ENV_SAVED_CP)
+            b.mov("E", "ES")
+            b.lea("ES", "ES", layout.ENV_FIXED_SLOTS + instr.nslots,
+                  tags.TRAW)
+        elif isinstance(instr, bam.Deallocate):
+            b.ld("CP", "E", layout.ENV_SAVED_CP)
+            b.mov("ES", "E")
+            b.ld("E", "E", layout.ENV_SAVED_E)
+        elif isinstance(instr, bam.StoreCutBarrier):
+            b.st("B0", "E", layout.ENV_FIXED_SLOTS + instr.slot)
+        elif isinstance(instr, bam.Cut):
+            if instr.slot is None:
+                b.mov("B", "B0")
+            else:
+                b.ld("B", "E", layout.ENV_FIXED_SLOTS + instr.slot)
+            b.ld("BT", "B", layout.CP_SELF_TOP)
+            b.ld("HB", "B", layout.CP_SAVED_H)
+        elif isinstance(instr, bam.Get):
+            self._get(instr.desc, instr.reg, instr.derefed)
+        elif isinstance(instr, bam.Put):
+            self._put(instr.desc, instr.reg)
+        elif isinstance(instr, bam.UnifyVals):
+            self._emit_unify_vals(instr.left, instr.right)
+        elif isinstance(instr, bam.Arith):
+            value = self._eval(instr.expr)
+            if isinstance(instr.dst, DVar) and instr.dst.first:
+                self._define_var(instr.dst.loc, value)
+            else:
+                b.mov("u0", self._build(instr.dst))
+                b.mov("u1", value)
+                b.call("$unify", link="RL")
+        elif isinstance(instr, bam.ArithTest):
+            left = self._eval(instr.left)
+            right = self._eval(instr.right)
+            b.branch(_INVERSE_TEST[instr.op], left, right, "$fail")
+        elif isinstance(instr, bam.TypeTest):
+            self._emit_type_test(instr)
+        elif isinstance(instr, bam.StructEqTest):
+            b.mov("u0", self._build(instr.left))
+            b.mov("u1", self._build(instr.right))
+            b.call("$equal", link="RL")
+            one = b.fresh_reg()
+            b.ldi_int(one, 1)
+            op = "beq" if instr.negated else "bne"
+            b.branch(op, "EQR", one, "$fail")
+        elif isinstance(instr, bam.Call):
+            b.call(bam.predicate_label(instr.name, instr.arity), link="CP")
+        elif isinstance(instr, bam.Execute):
+            b.jmp(bam.predicate_label(instr.name, instr.arity))
+        elif isinstance(instr, bam.Proceed):
+            b.jmpr("CP")
+        elif isinstance(instr, bam.Escape):
+            if instr.desc is not None:
+                b.esc(instr.service, self._build(instr.desc))
+            else:
+                b.esc(instr.service)
+        elif isinstance(instr, bam.FailInstr):
+            b.jmp("$fail")
+        else:
+            raise TranslateError("unknown BAM instruction %r" % (instr,))
+
+    def _emit_unify_vals(self, left, right):
+        b = self.b
+        if isinstance(left, DVar) and left.first:
+            value = self._build(right)
+            self._define_var(left.loc, value)
+            return
+        if isinstance(right, DVar) and right.first:
+            value = self._build(left)
+            self._define_var(right.loc, value)
+            return
+        b.mov("u0", self._build(left))
+        b.mov("u1", self._build(right))
+        b.call("$unify", link="RL")
+
+    def _emit_type_test(self, instr):
+        b = self.b
+        reg = b.fresh_reg()
+        b.mov(reg, self._build(instr.desc))
+        runtime.emit_deref(b, reg)
+        kind = instr.kind
+        if kind == "var":
+            b.bntag(reg, tags.TREF, "$fail")
+        elif kind == "nonvar":
+            b.btag(reg, tags.TREF, "$fail")
+        elif kind == "atom":
+            b.bntag(reg, tags.TATM, "$fail")
+        elif kind == "integer":
+            b.bntag(reg, tags.TINT, "$fail")
+        elif kind == "atomic":
+            b.btag(reg, tags.TREF, "$fail")
+            b.btag(reg, tags.TLST, "$fail")
+            b.btag(reg, tags.TSTR, "$fail")
+        else:
+            raise TranslateError("unknown type test %r" % kind)
+
+    def _emit_try(self, instr):
+        b = self.b
+        size = layout.CP_FIXED_SLOTS + instr.arity
+        b.st("B", "BT", layout.CP_PREV_B)
+        top = b.fresh_reg()
+        b.lea(top, "BT", size, tags.TRAW)
+        b.st(top, "BT", layout.CP_SELF_TOP)
+        b.st("E", "BT", layout.CP_SAVED_E)
+        b.st("CP", "BT", layout.CP_SAVED_CP)
+        b.st("H", "BT", layout.CP_SAVED_H)
+        b.st("TR", "BT", layout.CP_SAVED_TR)
+        # The environment protection point must be monotone along the
+        # choice-point chain: a newer frame may be created after
+        # deallocations shrank ES below an older frame's watermark, yet
+        # the older alternatives still need their environments intact.
+        watermark = b.fresh_reg()
+        keep = b.fresh_label("try_wm")
+        b.ld(watermark, "B", layout.CP_SAVED_ES)
+        b.branch("bgev", watermark, "ES", keep)
+        b.mov(watermark, "ES")
+        b.label(keep)
+        b.st(watermark, "BT", layout.CP_SAVED_ES)
+        retry = b.fresh_reg()
+        b.ldi_code(retry, instr.retry_label)
+        b.st(retry, "BT", layout.CP_RETRY)
+        for index in range(instr.arity):
+            b.st("a%d" % index, "BT", layout.CP_FIXED_SLOTS + index)
+        b.mov("B", "BT")
+        b.mov("BT", top)
+        b.mov("HB", "H")
+
+    def _emit_retry(self, instr):
+        b = self.b
+        for index in range(instr.arity):
+            b.ld("a%d" % index, "B", layout.CP_FIXED_SLOTS + index)
+        b.ld("B0", "B", layout.CP_PREV_B)
+        if instr.next_label is not None:
+            retry = b.fresh_reg()
+            b.ldi_code(retry, instr.next_label)
+            b.st(retry, "B", layout.CP_RETRY)
+        else:
+            b.mov("BT", "B")
+            b.mov("B", "B0")
+            b.ld("HB", "B", layout.CP_SAVED_H)
+        b.jmp(instr.clause_label)
+
+    # -- whole module ----------------------------------------------------------
+
+    def translate(self):
+        b = self.b
+        self._emit_start()
+        runtime.emit_runtime(b)
+        for indicator in self.module.order:
+            name, arity = indicator
+            b.comment("predicate %s/%d" % (name, arity))
+            for item in self.module.preds[indicator]:
+                if isinstance(item, bam.Label):
+                    self._emit(item)
+                elif item == "NEW_CLAUSE":
+                    self.ctx = ClauseContext(b)
+                else:
+                    self._emit(item)
+        return b.finish()
+
+    def _emit_start(self):
+        b = self.b
+        entry_name, entry_arity = self.module.entry
+        b.label("$start")
+        retry = b.fresh_reg()
+        b.ldi_code(retry, "$query_fail")
+        b.st(retry, "B", layout.CP_RETRY)
+        top = b.fresh_reg()
+        b.lea(top, "B", layout.CP_FIXED_SLOTS, tags.TRAW)
+        b.st(top, "B", layout.CP_SELF_TOP)
+        b.st("B", "B", layout.CP_PREV_B)
+        b.st("E", "B", layout.CP_SAVED_E)
+        b.st("CP", "B", layout.CP_SAVED_CP)
+        b.st("H", "B", layout.CP_SAVED_H)
+        b.st("TR", "B", layout.CP_SAVED_TR)
+        b.st("ES", "B", layout.CP_SAVED_ES)
+        b.mov("BT", top)
+        b.mov("B0", "B")
+        b.call(bam.predicate_label(entry_name, entry_arity), link="CP")
+        b.halt(0)
+        b.label("$query_fail")
+        b.halt(1)
+
+
+def translate_module(module):
+    """Translate a :class:`~repro.bam.compile.BamModule` to an ICI
+    :class:`~repro.intcode.program.Program`."""
+    return Translator(module).translate()

@@ -1,0 +1,15 @@
+"""Reference tree-walking Prolog interpreter (the semantic oracle)."""
+
+from repro.interp.database import Database, Clause
+from repro.interp.engine import Engine, PrologError
+from repro.interp.unify import unify, undo_to, evaluate
+
+__all__ = [
+    "Database",
+    "Clause",
+    "Engine",
+    "PrologError",
+    "unify",
+    "undo_to",
+    "evaluate",
+]

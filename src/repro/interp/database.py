@@ -1,0 +1,73 @@
+"""Clause database for the reference interpreter and the compiler.
+
+A :class:`Database` stores program clauses indexed by predicate indicator
+``(name, arity)``.  Both the tree-walking interpreter and the BAM compiler
+consume this structure, so a program parsed once can be executed both ways
+and the results compared.
+"""
+
+from repro.reader import parse_program
+from repro.terms import Atom, Struct
+
+
+class Clause:
+    """One program clause, normalised to ``head :- body`` form."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head, body):
+        self.head = head
+        self.body = body
+
+    @property
+    def indicator(self):
+        if isinstance(self.head, Atom):
+            return (self.head.name, 0)
+        return (self.head.name, len(self.head.args))
+
+
+class Database:
+    """An ordered collection of clauses grouped by predicate."""
+
+    def __init__(self):
+        self.predicates = {}
+        self.order = []
+
+    def add_clause(self, term):
+        """Add one parsed clause term (fact or ``Head :- Body``)."""
+        if isinstance(term, Struct) and term.indicator == (":-", 2):
+            clause = Clause(term.args[0], term.args[1])
+        elif isinstance(term, Struct) and term.indicator == (":-", 1):
+            raise ValueError("directives are not stored in the database")
+        else:
+            clause = Clause(term, Atom("true"))
+        head = clause.head
+        if not isinstance(head, (Atom, Struct)):
+            raise ValueError("invalid clause head: %r" % (head,))
+        key = clause.indicator
+        if key not in self.predicates:
+            self.predicates[key] = []
+            self.order.append(key)
+        self.predicates[key].append(clause)
+        return clause
+
+    def consult(self, text):
+        """Parse Prolog source *text* and add every clause.
+
+        Directives (``:- Goal``) are collected and returned instead of
+        executed, so the caller decides what to do with them.
+        """
+        directives = []
+        for term in parse_program(text):
+            if isinstance(term, Struct) and term.indicator == (":-", 1):
+                directives.append(term.args[0])
+            else:
+                self.add_clause(term)
+        return directives
+
+    def clauses(self, name, arity):
+        """All clauses of ``name/arity`` in program order."""
+        return self.predicates.get((name, arity), [])
+
+    def __contains__(self, indicator):
+        return indicator in self.predicates

@@ -1,0 +1,369 @@
+"""Tree-walking reference interpreter.
+
+This is the semantic oracle of the reproduction: compiled ICI programs are
+validated against it in the test suite.  It is a classical generator-based
+resolution engine with cut, if-then-else, negation-as-failure and the
+builtin set used by the Aquarius-style benchmarks.
+"""
+
+import sys
+
+from repro.terms import Atom, Int, Var, Struct, deref, term_to_string
+from repro.interp.database import Database
+from repro.interp.unify import unify, undo_to, evaluate, ArithmeticError_
+
+
+class PrologError(Exception):
+    """Raised on calls to undefined predicates or bad builtin usage."""
+
+
+class Engine:
+    """Executes goals against a :class:`Database`.
+
+    ``engine.output`` accumulates the text written by ``write/1`` and
+    ``nl/0`` so program output can be compared with the emulator's.
+    """
+
+    def __init__(self, db=None):
+        self.db = db if db is not None else Database()
+        self.trail = []
+        self.output = []
+        self._cut_to = None
+        self._next_barrier = 0
+
+    def consult(self, text):
+        """Load Prolog source into the database (directives are run)."""
+        for goal in self.db.consult(text):
+            if not self.run(goal):
+                raise PrologError("directive failed: %s"
+                                  % term_to_string(goal))
+
+    # -- top level -------------------------------------------------------
+
+    def run(self, goal):
+        """Prove *goal* once; True on success (bindings retained)."""
+        for _ in self.solve(goal, self._new_barrier()):
+            return True
+        return False
+
+    def run_query(self, text):
+        """Parse and prove a query given as text; returns success flag."""
+        from repro.reader import parse_term
+        return self.run(parse_term(text))
+
+    def solutions(self, goal, limit=None):
+        """Yield once per solution of *goal* (bindings live during yield)."""
+        mark = len(self.trail)
+        count = 0
+        for _ in self.solve(goal, self._new_barrier()):
+            yield
+            count += 1
+            if limit is not None and count >= limit:
+                break
+        undo_to(self.trail, mark)
+
+    def output_text(self):
+        return "".join(self.output)
+
+    def _new_barrier(self):
+        self._next_barrier += 1
+        return self._next_barrier
+
+    # -- the resolution core ----------------------------------------------
+
+    def solve(self, goal, depth):
+        """Generator yielding once per proof of *goal*.
+
+        *depth* is the cut barrier of the innermost enclosing predicate
+        call: executing ``!`` sets ``self._cut_to = depth`` when it is
+        backtracked into, which unwinds clause choice up to that call.
+        """
+        goal = deref(goal)
+        if isinstance(goal, Var):
+            raise PrologError("unbound goal")
+        if isinstance(goal, Int):
+            raise PrologError("integer used as goal")
+
+        name = goal.name
+        args = goal.args if isinstance(goal, Struct) else []
+        arity = len(args)
+
+        # --- control constructs ---
+        if name == "true" and arity == 0:
+            yield
+            return
+        if name in ("fail", "false") and arity == 0:
+            return
+        if name == "," and arity == 2:
+            for _ in self.solve(args[0], depth):
+                yield from self.solve(args[1], depth)
+                if self._cut_to is not None:
+                    return
+            return
+        if name == ";" and arity == 2:
+            left = deref(args[0])
+            if isinstance(left, Struct) and left.indicator == ("->", 2):
+                yield from self._if_then_else(left.args[0], left.args[1],
+                                              args[1], depth)
+                return
+            yield from self.solve(args[0], depth)
+            if self._cut_to is not None:
+                return
+            yield from self.solve(args[1], depth)
+            return
+        if name == "->" and arity == 2:
+            yield from self._if_then_else(args[0], args[1],
+                                          Atom("fail"), depth)
+            return
+        if name == "!" and arity == 0:
+            yield
+            self._cut_to = depth
+            return
+        if name == "\\+" and arity == 1 or (name == "not" and arity == 1):
+            mark = len(self.trail)
+            for _ in self.solve(args[0], self._new_barrier()):
+                undo_to(self.trail, mark)
+                return
+            undo_to(self.trail, mark)
+            yield
+            return
+        if name == "call" and arity == 1:
+            yield from self.solve(args[0], self._new_barrier())
+            return
+
+        # --- builtins ---
+        builtin = _BUILTINS.get((name, arity))
+        if builtin is not None:
+            yield from builtin(self, args)
+            return
+
+        # --- user predicates ---
+        clauses = self.db.clauses(name, arity)
+        if not clauses and (name, arity) not in self.db.predicates:
+            raise PrologError("undefined predicate %s/%d" % (name, arity))
+        barrier = self._new_barrier()
+        for clause in clauses:
+            mark = len(self.trail)
+            head, body = _rename(clause)
+            if unify(goal, head, self.trail):
+                yield from self.solve(body, barrier)
+                if self._cut_to is not None:
+                    undo_to(self.trail, mark)
+                    if self._cut_to == barrier:
+                        self._cut_to = None
+                    return
+            undo_to(self.trail, mark)
+        return
+
+    def _if_then_else(self, cond, then, else_, depth):
+        mark = len(self.trail)
+        found = False
+        for _ in self.solve(cond, self._new_barrier()):
+            found = True
+            break
+        if found:
+            yield from self.solve(then, depth)
+        else:
+            undo_to(self.trail, mark)
+            yield from self.solve(else_, depth)
+
+
+def _rename(clause):
+    """Copy a clause with fresh variables."""
+    mapping = {}
+    return (_copy(clause.head, mapping), _copy(clause.body, mapping))
+
+
+def _copy(term, mapping):
+    term = deref(term)
+    if isinstance(term, Var):
+        new = mapping.get(id(term))
+        if new is None:
+            new = Var(term.name)
+            mapping[id(term)] = new
+        return new
+    if isinstance(term, Struct):
+        return Struct(term.name, [_copy(a, mapping) for a in term.args])
+    return term
+
+
+# -- builtins ---------------------------------------------------------------
+
+
+def _bi_unify(engine, args):
+    # Bindings must be undone both on failure and when execution
+    # backtracks through the succeeded goal (exhaustion of the generator).
+    mark = len(engine.trail)
+    if unify(args[0], args[1], engine.trail):
+        yield
+    undo_to(engine.trail, mark)
+
+
+def _bi_not_unify(engine, args):
+    mark = len(engine.trail)
+    ok = unify(args[0], args[1], engine.trail)
+    undo_to(engine.trail, mark)
+    if not ok:
+        yield
+
+
+def _bi_is(engine, args):
+    # Non-integer operands make arithmetic *fail* (not raise): the
+    # compiled machine branches to the backtracking handler on a tag
+    # mismatch, and the two executions must agree.  Unbound variables
+    # still raise — that is a program bug, not a data-driven failure.
+    try:
+        value = evaluate(args[1])
+    except ArithmeticError_ as exc:
+        if _contains_unbound(args[1]) or "zero" in str(exc):
+            raise PrologError(str(exc))
+        return
+    mark = len(engine.trail)
+    if unify(args[0], Int(value), engine.trail):
+        yield
+    undo_to(engine.trail, mark)
+
+
+def _contains_unbound(term):
+    term = deref(term)
+    if isinstance(term, Var):
+        return True
+    if isinstance(term, Struct):
+        return any(_contains_unbound(a) for a in term.args)
+    return False
+
+
+def _compare(op):
+    def builtin(engine, args):
+        try:
+            a = evaluate(args[0])
+            b = evaluate(args[1])
+        except ArithmeticError_ as exc:
+            if _contains_unbound(args[0]) or _contains_unbound(args[1]) \
+                    or "zero" in str(exc):
+                raise PrologError(str(exc))
+            return  # non-integer data: fail, like the compiled machine
+        if op(a, b):
+            yield
+    return builtin
+
+
+def _structural_equal(a, b):
+    a = deref(a)
+    b = deref(b)
+    if isinstance(a, Var) or isinstance(b, Var):
+        return a is b
+    if isinstance(a, Atom):
+        return isinstance(b, Atom) and a.name == b.name
+    if isinstance(a, Int):
+        return isinstance(b, Int) and a.value == b.value
+    if isinstance(a, Struct):
+        return (isinstance(b, Struct) and a.name == b.name
+                and len(a.args) == len(b.args)
+                and all(_structural_equal(x, y)
+                        for x, y in zip(a.args, b.args)))
+    return False
+
+
+def _bi_eq(engine, args):
+    if _structural_equal(args[0], args[1]):
+        yield
+
+
+def _bi_neq(engine, args):
+    if not _structural_equal(args[0], args[1]):
+        yield
+
+
+def _type_test(predicate):
+    def builtin(engine, args):
+        if predicate(deref(args[0])):
+            yield
+    return builtin
+
+
+def _bi_functor(engine, args):
+    term = deref(args[0])
+    mark = len(engine.trail)
+    if isinstance(term, Var):
+        name = deref(args[1])
+        arity = deref(args[2])
+        if not isinstance(arity, Int):
+            raise PrologError("functor/3: arity must be an integer")
+        if arity.value == 0:
+            ok = unify(term, name, engine.trail)
+        else:
+            if not isinstance(name, Atom):
+                raise PrologError("functor/3: name must be an atom")
+            ok = unify(term,
+                       Struct(name.name,
+                              [Var() for _ in range(arity.value)]),
+                       engine.trail)
+    else:
+        if isinstance(term, Struct):
+            name, arity = Atom(term.name), Int(len(term.args))
+        elif isinstance(term, Atom):
+            name, arity = term, Int(0)
+        else:
+            name, arity = term, Int(0)
+        ok = (unify(args[1], name, engine.trail)
+              and unify(args[2], arity, engine.trail))
+    if ok:
+        yield
+    undo_to(engine.trail, mark)
+
+
+def _bi_arg(engine, args):
+    n = deref(args[0])
+    term = deref(args[1])
+    if not isinstance(n, Int) or not isinstance(term, Struct):
+        raise PrologError("arg/3: bad arguments")
+    if 1 <= n.value <= len(term.args):
+        mark = len(engine.trail)
+        if unify(args[2], term.args[n.value - 1], engine.trail):
+            yield
+        undo_to(engine.trail, mark)
+
+
+def _bi_write(engine, args):
+    engine.output.append(term_to_string(args[0]))
+    yield
+
+
+def _bi_nl(engine, args):
+    engine.output.append("\n")
+    yield
+
+
+_BUILTINS = {
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unify,
+    ("is", 2): _bi_is,
+    ("<", 2): _compare(lambda a, b: a < b),
+    (">", 2): _compare(lambda a, b: a > b),
+    ("=<", 2): _compare(lambda a, b: a <= b),
+    (">=", 2): _compare(lambda a, b: a >= b),
+    ("=:=", 2): _compare(lambda a, b: a == b),
+    ("=\\=", 2): _compare(lambda a, b: a != b),
+    ("==", 2): _bi_eq,
+    ("\\==", 2): _bi_neq,
+    ("var", 1): _type_test(lambda t: isinstance(t, Var)),
+    ("nonvar", 1): _type_test(lambda t: not isinstance(t, Var)),
+    ("atom", 1): _type_test(lambda t: isinstance(t, Atom)),
+    ("integer", 1): _type_test(lambda t: isinstance(t, Int)),
+    ("number", 1): _type_test(lambda t: isinstance(t, Int)),
+    ("atomic", 1): _type_test(lambda t: isinstance(t, (Atom, Int))),
+    ("functor", 3): _bi_functor,
+    ("arg", 3): _bi_arg,
+    ("write", 1): _bi_write,
+    ("print", 1): _bi_write,
+    ("nl", 0): _bi_nl,
+}
+
+
+def _ensure_recursion_headroom():
+    if sys.getrecursionlimit() < 100000:
+        sys.setrecursionlimit(100000)
+
+
+_ensure_recursion_headroom()

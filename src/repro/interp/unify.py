@@ -1,0 +1,109 @@
+"""Unification and arithmetic evaluation over source-level terms."""
+
+from repro.terms import Atom, Int, Var, Struct, deref
+
+
+def bind(var, term, trail):
+    """Bind *var* to *term*, recording the binding for backtracking."""
+    var.ref = term
+    trail.append(var)
+
+
+def undo_to(trail, mark):
+    """Unbind every variable recorded after *mark*."""
+    while len(trail) > mark:
+        trail.pop().ref = None
+
+
+def unify(a, b, trail):
+    """Unify two terms (no occurs check), trailing bindings.
+
+    Returns True on success.  On failure some bindings may have been
+    trailed; the caller is expected to undo to its own mark.
+    """
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        x = deref(x)
+        y = deref(y)
+        if x is y:
+            continue
+        if isinstance(x, Var):
+            bind(x, y, trail)
+            continue
+        if isinstance(y, Var):
+            bind(y, x, trail)
+            continue
+        if isinstance(x, Atom):
+            if isinstance(y, Atom) and x.name == y.name:
+                continue
+            return False
+        if isinstance(x, Int):
+            if isinstance(y, Int) and x.value == y.value:
+                continue
+            return False
+        if isinstance(x, Struct):
+            if (isinstance(y, Struct) and x.name == y.name
+                    and len(x.args) == len(y.args)):
+                stack.extend(zip(x.args, y.args))
+                continue
+            return False
+        return False
+    return True
+
+
+class ArithmeticError_(Exception):
+    """Raised when an arithmetic expression cannot be evaluated."""
+
+
+def _int_div(a, b):
+    """Truncating integer division (the classical Prolog ``//``)."""
+    if b == 0:
+        raise ArithmeticError_("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    # '/' is integer division here: the whole SYMBOL datapath is integer
+    # (the prototype has no FPU) and the classical benchmarks assume it.
+    "/": _int_div,
+    "//": _int_div,
+    "mod": lambda a, b: a - _int_div(a, b) * b,
+    "rem": lambda a, b: a - _int_div(a, b) * b,
+    ">>": lambda a, b: a >> b,
+    "<<": lambda a, b: a << b,
+    "/\\": lambda a, b: a & b,
+    "\\/": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "min": min,
+    "max": max,
+    "**": lambda a, b: a ** b,
+    "^": lambda a, b: a ** b,
+}
+
+_UNARY = {
+    "-": lambda a: -a,
+    "+": lambda a: a,
+    "abs": abs,
+    "\\": lambda a: ~a,
+}
+
+
+def evaluate(term):
+    """Evaluate an arithmetic expression term to a Python int."""
+    term = deref(term)
+    if isinstance(term, Int):
+        return term.value
+    if isinstance(term, Var):
+        raise ArithmeticError_("unbound variable in arithmetic")
+    if isinstance(term, Struct):
+        if len(term.args) == 2 and term.name in _BINARY:
+            return _BINARY[term.name](evaluate(term.args[0]),
+                                      evaluate(term.args[1]))
+        if len(term.args) == 1 and term.name in _UNARY:
+            return _UNARY[term.name](evaluate(term.args[0]))
+    raise ArithmeticError_("cannot evaluate %r" % (term,))

@@ -1,0 +1,13 @@
+"""Prolog source reader: tokenizer and operator-precedence parser."""
+
+from repro.reader.lexer import tokenize, Token, LexError
+from repro.reader.parser import parse_program, parse_term, ParseError
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse_program",
+    "parse_term",
+    "ParseError",
+]

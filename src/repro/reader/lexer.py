@@ -1,0 +1,200 @@
+"""Tokenizer for ISO-flavoured Prolog source text.
+
+Supports the subset needed by the Aquarius-style benchmark programs:
+atoms (alphanumeric, symbolic, quoted), variables, integers (decimal and
+``0'c`` character codes), double-quoted strings (read as code lists),
+punctuation, and both ``%`` line and ``/* */`` block comments.
+"""
+
+
+class LexError(Exception):
+    """Raised on malformed input, with a line number attached."""
+
+    def __init__(self, message, line):
+        super().__init__("%s (line %d)" % (message, line))
+        self.line = line
+
+
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``atom``, ``var``, ``int``, ``string``, ``punct``,
+    ``end`` (the clause-terminating full stop) or ``eof``.
+    """
+
+    __slots__ = ("kind", "value", "line", "layout_before")
+
+    def __init__(self, kind, value, line, layout_before=False):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        # Whether whitespace preceded the token: distinguishes the
+        # functor-open ``f(`` from the expression ``f (``.
+        self.layout_before = layout_before
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+_SOLO = set("!,;|")
+_PUNCT = set("()[]{}")
+
+
+def tokenize(text):
+    """Tokenize *text* into a list of :class:`Token`, ending with ``eof``."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    layout = True
+
+    def error(msg):
+        raise LexError(msg, line)
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            layout = True
+            continue
+        if c in " \t\r\f":
+            i += 1
+            layout = True
+            continue
+        if c == "%":
+            while i < n and text[i] != "\n":
+                i += 1
+            layout = True
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            if i + 1 >= n:
+                error("unterminated block comment")
+            i += 2
+            layout = True
+            continue
+
+        start_line = line
+        had_layout = layout
+        layout = False
+
+        # Integers, including 0'c character codes.
+        if c.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            if text[i:j] == "0" and j < n and text[j] == "'":
+                if j + 1 >= n:
+                    error("bad character code")
+                ch = text[j + 1]
+                if ch == "\\":
+                    code, j2 = _escape(text, j + 2, error)
+                    tokens.append(Token("int", code, start_line, had_layout))
+                    i = j2
+                else:
+                    tokens.append(Token("int", ord(ch), start_line, had_layout))
+                    i = j + 2
+                continue
+            tokens.append(Token("int", int(text[i:j]), start_line, had_layout))
+            i = j
+            continue
+
+        # Variables and alphanumeric atoms.
+        if c == "_" or c.isalpha():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if c == "_" or c.isupper():
+                tokens.append(Token("var", word, start_line, had_layout))
+            else:
+                tokens.append(Token("atom", word, start_line, had_layout))
+            i = j
+            continue
+
+        # Quoted atoms.
+        if c == "'":
+            value, i = _quoted(text, i + 1, "'", error)
+            tokens.append(Token("atom", value, start_line, had_layout))
+            continue
+
+        # Double-quoted strings -> list of character codes (DEC-10 default).
+        if c == '"':
+            value, i = _quoted(text, i + 1, '"', error)
+            tokens.append(Token("string", value, start_line, had_layout))
+            continue
+
+        # Solo characters.
+        if c in _SOLO:
+            tokens.append(Token("atom", c, start_line, had_layout))
+            i += 1
+            continue
+        if c in _PUNCT:
+            tokens.append(Token("punct", c, start_line, had_layout))
+            i += 1
+            continue
+
+        # Symbolic atoms; a '.' followed by layout or EOF ends the clause.
+        if c in _SYMBOL_CHARS:
+            j = i
+            while j < n and text[j] in _SYMBOL_CHARS:
+                j += 1
+            word = text[i:j]
+            if word == "." and (j >= n or text[j] in " \t\r\n%"):
+                tokens.append(Token("end", ".", start_line, had_layout))
+                i = j
+                continue
+            if word[0] == "." and len(word) == 1:
+                tokens.append(Token("end", ".", start_line, had_layout))
+                i = j
+                continue
+            tokens.append(Token("atom", word, start_line, had_layout))
+            i = j
+            continue
+
+        error("unexpected character %r" % c)
+
+    tokens.append(Token("eof", None, line, True))
+    return tokens
+
+
+def _escape(text, i, error):
+    """Decode one escape sequence starting at *i*; returns (code, next_i)."""
+    mapping = {"n": 10, "t": 9, "r": 13, "a": 7, "b": 8, "f": 12, "v": 11,
+               "\\": 92, "'": 39, '"': 34, "`": 96, "0": 0}
+    if i >= len(text):
+        error("unterminated escape")
+    c = text[i]
+    if c in mapping:
+        return mapping[c], i + 1
+    error("unknown escape \\%s" % c)
+
+
+def _quoted(text, i, quote, error):
+    """Scan a quoted item; handles doubled quotes and backslash escapes."""
+    out = []
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == quote:
+            if i + 1 < n and text[i + 1] == quote:
+                out.append(quote)
+                i += 2
+                continue
+            return "".join(out), i + 1
+        if c == "\\":
+            if i + 1 < n and text[i + 1] == "\n":
+                i += 2
+                continue
+            code, i = _escape(text, i + 1, error)
+            out.append(chr(code))
+            continue
+        out.append(c)
+        i += 1
+    error("unterminated quoted item")

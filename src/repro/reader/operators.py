@@ -1,0 +1,76 @@
+"""Standard Prolog operator table.
+
+Priorities and types follow the classical DEC-10 / ISO table; only the
+operators used by the benchmark suite and common library code are defined.
+Types: ``xfx``/``xfy``/``yfx`` are infix, ``fy``/``fx`` prefix.
+"""
+
+#: infix operators: name -> (priority, type)
+INFIX = {
+    ":-": (1200, "xfx"),
+    "-->": (1200, "xfx"),
+    ";": (1100, "xfy"),
+    "->": (1050, "xfy"),
+    ",": (1000, "xfy"),
+    "=": (700, "xfx"),
+    "\\=": (700, "xfx"),
+    "==": (700, "xfx"),
+    "\\==": (700, "xfx"),
+    "@<": (700, "xfx"),
+    "@>": (700, "xfx"),
+    "@=<": (700, "xfx"),
+    "@>=": (700, "xfx"),
+    "is": (700, "xfx"),
+    "=:=": (700, "xfx"),
+    "=\\=": (700, "xfx"),
+    "<": (700, "xfx"),
+    ">": (700, "xfx"),
+    "=<": (700, "xfx"),
+    ">=": (700, "xfx"),
+    "=..": (700, "xfx"),
+    "+": (500, "yfx"),
+    "-": (500, "yfx"),
+    "/\\": (500, "yfx"),
+    "\\/": (500, "yfx"),
+    "xor": (500, "yfx"),
+    "*": (400, "yfx"),
+    "/": (400, "yfx"),
+    "//": (400, "yfx"),
+    "mod": (400, "yfx"),
+    "rem": (400, "yfx"),
+    ">>": (400, "yfx"),
+    "<<": (400, "yfx"),
+    "**": (200, "xfx"),
+    "^": (200, "xfy"),
+}
+
+#: prefix operators: name -> (priority, type)
+PREFIX = {
+    ":-": (1200, "fx"),
+    "?-": (1200, "fx"),
+    "\\+": (900, "fy"),
+    "-": (200, "fy"),
+    "+": (200, "fy"),
+    "\\": (200, "fy"),
+}
+
+
+def infix(name):
+    """Return (priority, left_max, right_max) for an infix op, or None."""
+    entry = INFIX.get(name)
+    if entry is None:
+        return None
+    priority, kind = entry
+    left = priority if kind == "yfx" else priority - 1
+    right = priority if kind == "xfy" else priority - 1
+    return priority, left, right
+
+
+def prefix(name):
+    """Return (priority, arg_max) for a prefix op, or None."""
+    entry = PREFIX.get(name)
+    if entry is None:
+        return None
+    priority, kind = entry
+    arg = priority if kind == "fy" else priority - 1
+    return priority, arg

@@ -1,0 +1,33 @@
+"""Prolog term model, tagged-word representation and interning tables."""
+
+from repro.terms.term import (
+    Term,
+    Atom,
+    Int,
+    Var,
+    Struct,
+    NIL,
+    TRUE,
+    make_list,
+    deref,
+    list_items,
+    term_to_string,
+)
+from repro.terms.symbols import SymbolTable
+from repro.terms import tags
+
+__all__ = [
+    "Term",
+    "Atom",
+    "Int",
+    "Var",
+    "Struct",
+    "NIL",
+    "TRUE",
+    "make_list",
+    "deref",
+    "list_items",
+    "term_to_string",
+    "SymbolTable",
+    "tags",
+]

@@ -1,0 +1,69 @@
+"""Interning tables shared by the compiler and the emulator.
+
+Atoms and functors are represented at the machine level by small integer
+indices (the *value* field of ``TATM`` / ``TFUN`` words).  A single
+:class:`SymbolTable` instance travels with a compiled program so that the
+emulator can render machine terms back to source syntax.
+"""
+
+
+class SymbolTable:
+    """Bidirectional atom and functor interning.
+
+    Atoms map ``name -> index``; functors map ``(name, arity) -> index``.
+    The two spaces are independent, mirroring the BAM where an atom and a
+    functor word carry different tags.
+    """
+
+    def __init__(self):
+        self._atoms = {}
+        self._atom_names = []
+        self._functors = {}
+        self._functor_keys = []
+        # Pre-intern atoms the runtime itself relies on so their indices
+        # are stable across programs.
+        self.nil = self.atom("[]")
+        self.atom("true")
+        self.atom("fail")
+
+    # -- atoms ---------------------------------------------------------
+
+    def atom(self, name):
+        """Intern *name*, returning its atom index."""
+        index = self._atoms.get(name)
+        if index is None:
+            index = len(self._atom_names)
+            self._atoms[name] = index
+            self._atom_names.append(name)
+        return index
+
+    def atom_name(self, index):
+        """The source name of atom *index*."""
+        return self._atom_names[index]
+
+    @property
+    def atom_count(self):
+        return len(self._atom_names)
+
+    # -- functors ------------------------------------------------------
+
+    def functor(self, name, arity):
+        """Intern the functor ``name/arity``, returning its index."""
+        key = (name, arity)
+        index = self._functors.get(key)
+        if index is None:
+            index = len(self._functor_keys)
+            self._functors[key] = index
+            self._functor_keys.append(key)
+        return index
+
+    def functor_key(self, index):
+        """The ``(name, arity)`` pair of functor *index*."""
+        return self._functor_keys[index]
+
+    def functor_arity(self, index):
+        return self._functor_keys[index][1]
+
+    @property
+    def functor_count(self):
+        return len(self._functor_keys)

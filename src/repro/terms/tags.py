@@ -1,0 +1,76 @@
+"""Tagged-word model of the SYMBOL datapath.
+
+The ISCA'92 prototype packs every 32-bit register/memory word into three
+independently addressable fields: a 28-bit *value*, a 3-bit *tag* and a
+1-bit *cdr* flag (paper section 5.2).  We keep exactly the same field
+structure but let the value field be an arbitrary-precision Python int so
+host-sized integers fit; the field widths below are only used by the
+instruction-encoding model (:mod:`repro.evaluation.encoding`), which enforces the
+prototype's 28-bit limit.
+
+A word is packed as ``(value << 4) | (tag << 1) | cdr``.  Python's
+arbitrary-precision two's-complement bit operations make packing and
+unpacking exact for negative values as well.
+"""
+
+# --- tag values (3 bits) ----------------------------------------------------
+
+TREF = 0  #: unbound variable / reference cell
+TATM = 1  #: atom (value = symbol-table index)
+TINT = 2  #: integer (value = the integer)
+TLST = 3  #: list cell pointer (value = heap address of a 2-word cons)
+TSTR = 4  #: structure pointer (value = heap address of functor word)
+TFUN = 5  #: functor word on the heap (value = functor-table index)
+TCOD = 6  #: code address (continuation pointers saved in frames)
+TRAW = 7  #: untyped machine word (stack bookkeeping values)
+
+TAG_NAMES = {
+    TREF: "ref",
+    TATM: "atm",
+    TINT: "int",
+    TLST: "lst",
+    TSTR: "str",
+    TFUN: "fun",
+    TCOD: "cod",
+    TRAW: "raw",
+}
+
+#: Prototype field widths (section 5.2).  Only checked by the encoder.
+VALUE_BITS = 28
+TAG_BITS = 3
+CDR_BITS = 1
+WORD_BITS = VALUE_BITS + TAG_BITS + CDR_BITS
+
+
+def pack(value, tag, cdr=0):
+    """Pack a (value, tag, cdr) triple into a single tagged word."""
+    return (value << 4) | (tag << 1) | cdr
+
+
+def tag_of(word):
+    """Extract the 3-bit tag field of a tagged word."""
+    return (word >> 1) & 0b111
+
+
+def value_of(word):
+    """Extract the (signed) value field of a tagged word."""
+    return word >> 4
+
+
+def cdr_of(word):
+    """Extract the 1-bit cdr field of a tagged word."""
+    return word & 1
+
+
+def with_tag(word, tag):
+    """Return *word* with its tag field replaced (the prototype's ``mktag``)."""
+    return (word & ~0b1110) | (tag << 1)
+
+
+def describe(word):
+    """Human-readable rendering of a tagged word, for debugging dumps."""
+    return "%s(%d)%s" % (
+        TAG_NAMES[tag_of(word)],
+        value_of(word),
+        "+cdr" if cdr_of(word) else "",
+    )

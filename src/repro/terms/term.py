@@ -1,0 +1,169 @@
+"""Source-level Prolog term representation.
+
+These classes are used by the reader, the reference interpreter and the
+compiler front-end.  They are deliberately plain: an :class:`Atom` or
+:class:`Int` is immutable, a :class:`Var` carries a mutable binding slot
+(used only by the interpreter), and a :class:`Struct` is a functor applied
+to argument terms.  Lists are ordinary ``'.'/2`` structures terminated by
+the atom ``[]``, exactly as in standard Prolog.
+"""
+
+
+class Term:
+    """Base class for all Prolog terms."""
+
+    __slots__ = ()
+
+
+class Atom(Term):
+    """A Prolog atom.  Atoms with equal names compare equal."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("atom", self.name))
+
+    def __repr__(self):
+        return "Atom(%r)" % self.name
+
+
+class Int(Term):
+    """A Prolog integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Int) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("int", self.value))
+
+    def __repr__(self):
+        return "Int(%d)" % self.value
+
+
+class Var(Term):
+    """A logic variable.
+
+    ``ref`` is the interpreter's binding slot (``None`` when unbound).
+    Identity is object identity; ``name`` is only for printing.
+    """
+
+    __slots__ = ("name", "ref")
+
+    _counter = [0]
+
+    def __init__(self, name=None):
+        if name is None:
+            Var._counter[0] += 1
+            name = "_G%d" % Var._counter[0]
+        self.name = name
+        self.ref = None
+
+    def __repr__(self):
+        return "Var(%s)" % self.name
+
+
+class Struct(Term):
+    """A compound term ``name(arg1, ..., argN)`` with N >= 1."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        if not args:
+            raise ValueError("Struct needs at least one argument; use Atom")
+        self.name = name
+        self.args = list(args)
+
+    @property
+    def arity(self):
+        return len(self.args)
+
+    @property
+    def indicator(self):
+        """The predicate indicator ``(name, arity)``."""
+        return (self.name, len(self.args))
+
+    def __repr__(self):
+        return "Struct(%r, %r)" % (self.name, self.args)
+
+
+NIL = Atom("[]")
+TRUE = Atom("true")
+
+
+def make_list(items, tail=NIL):
+    """Build a Prolog list term from a Python sequence."""
+    result = tail
+    for item in reversed(list(items)):
+        result = Struct(".", [item, result])
+    return result
+
+
+def deref(term):
+    """Follow interpreter variable bindings to the representative term."""
+    while isinstance(term, Var) and term.ref is not None:
+        term = term.ref
+    return term
+
+
+def list_items(term):
+    """Return (items, tail) of a (possibly partial) Prolog list term."""
+    items = []
+    term = deref(term)
+    while isinstance(term, Struct) and term.name == "." and term.arity == 2:
+        items.append(deref(term.args[0]))
+        term = deref(term.args[1])
+    return items, term
+
+
+_SYMBOL_ATOM_CHARS = set("+-*/\\^<>=~:.?@#&$")
+
+
+def _atom_needs_quotes(name):
+    if name == "":
+        return True
+    if name in ("[]", "!", ";", "{}", ","):
+        return False
+    if name[0].islower() and all(c.isalnum() or c == "_" for c in name):
+        return False
+    if all(c in _SYMBOL_ATOM_CHARS for c in name):
+        return False
+    return True
+
+
+def term_to_string(term):
+    """Render a term in canonical syntax (lists sugared, atoms quoted
+    when necessary).  Used by the interpreter and emulator so their outputs
+    can be compared textually in tests."""
+    term = deref(term)
+    if isinstance(term, Atom):
+        if _atom_needs_quotes(term.name):
+            return "'%s'" % term.name.replace("\\", "\\\\").replace("'", "\\'")
+        return term.name
+    if isinstance(term, Int):
+        return str(term.value)
+    if isinstance(term, Var):
+        return "_" + term.name.lstrip("_")
+    if isinstance(term, Struct):
+        if term.name == "." and term.arity == 2:
+            items, tail = list_items(term)
+            inner = ",".join(term_to_string(i) for i in items)
+            if isinstance(tail, Atom) and tail.name == "[]":
+                return "[%s]" % inner
+            return "[%s|%s]" % (inner, term_to_string(tail))
+        args = ",".join(term_to_string(a) for a in term.args)
+        head = term.name
+        if _atom_needs_quotes(head):
+            head = "'%s'" % head.replace("\\", "\\\\").replace("'", "\\'")
+        return "%s(%s)" % (head, args)
+    raise TypeError("not a term: %r" % (term,))

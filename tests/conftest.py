@@ -1,0 +1,46 @@
+"""Shared test helpers."""
+
+import re
+
+import pytest
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import run_program
+from repro.interp import Engine
+
+
+def compile_and_run(source, entry=("main", 0), max_steps=50_000_000):
+    """Compile Prolog source and emulate it."""
+    program = translate_module(compile_source(source, entry))
+    return run_program(program, max_steps=max_steps)
+
+
+def interpret(source, query="main"):
+    """Run a query on the reference interpreter; (ok, output)."""
+    engine = Engine()
+    engine.consult(source)
+    return engine.run_query(query), engine.output_text()
+
+
+def normalise_vars(text):
+    """Unbound-variable names differ between interpreter and emulator."""
+    return re.sub(r"_[A-Za-z0-9]+", "_", text)
+
+
+def assert_equivalent(source, query="main"):
+    """The compiled program must agree with the interpreter."""
+    ok, expected = interpret(source, query)
+    result = compile_and_run(source)
+    assert result.succeeded == ok, (
+        "status mismatch: interpreter %s, emulator %s"
+        % (ok, result.succeeded))
+    assert normalise_vars(result.output) == normalise_vars(expected), (
+        "output mismatch:\n interp: %r\n emul:   %r"
+        % (expected, result.output))
+    return result
+
+
+@pytest.fixture
+def engine():
+    return Engine()

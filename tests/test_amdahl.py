@@ -1,0 +1,72 @@
+"""Amdahl model (Figure 3 analytics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.amdahl import (
+    amdahl_speedup, memory_bound_speedup, speedup_separate,
+    speedup_overlapped, useful_concurrency_limit, figure3_series)
+
+
+def test_classical_formula():
+    assert abs(amdahl_speedup(0.5, 2.0) - 1 / (0.5 + 0.25)) < 1e-12
+
+
+def test_paper_numbers():
+    # fraction_enhanced = 0.68, infinite enhancement -> 1/0.32 ~ 3.1
+    assert abs(memory_bound_speedup(0.32) - 3.125) < 1e-9
+    assert abs(speedup_separate(0.32, 1e9) - 3.125) < 1e-3
+
+
+def test_no_enhancement_means_no_speedup_for_separate_memory():
+    assert abs(speedup_separate(0.32, 1.0) - 1.0) < 1e-12
+
+
+def test_overlap_alone_already_helps():
+    # Even at enhancement 1, overlapping memory with computation hides
+    # the shorter of the two: speedup = 1 / max(f, 1-f).
+    assert abs(speedup_overlapped(0.32, 1.0) - 1 / 0.68) < 1e-9
+
+
+def test_overlapped_saturates_at_memory_bound():
+    assert abs(speedup_overlapped(0.32, 100)
+               - memory_bound_speedup(0.32)) < 1e-9
+
+
+def test_overlapped_dominates_separate():
+    for enhancement in (1.5, 2.0, 3.0, 10.0):
+        assert speedup_overlapped(0.32, enhancement) >= \
+            speedup_separate(0.32, enhancement) - 1e-12
+
+
+def test_useful_concurrency_limit():
+    limit = useful_concurrency_limit(0.32)
+    assert abs(limit - 0.68 / 0.32) < 1e-12
+    # Beyond the limit the overlapped curve is flat.
+    assert abs(speedup_overlapped(0.32, limit)
+               - speedup_overlapped(0.32, limit * 2)) < 1e-9
+
+
+def test_series_shape():
+    series = figure3_series(0.32, [1, 2, 4])
+    assert len(series["separate"]) == 3
+    assert series["overlapped"][0] <= series["overlapped"][-1]
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        memory_bound_speedup(0.0)
+    with pytest.raises(ValueError):
+        speedup_overlapped(0.32, 0)
+    with pytest.raises(ValueError):
+        amdahl_speedup(0.5, 0)
+
+
+@given(st.floats(min_value=0.05, max_value=0.95),
+       st.floats(min_value=1.0, max_value=100.0))
+def test_speedups_monotone_and_bounded(mem_fraction, enhancement):
+    separate = speedup_separate(mem_fraction, enhancement)
+    overlapped = speedup_overlapped(mem_fraction, enhancement)
+    assert 1.0 - 1e-9 <= separate <= memory_bound_speedup(mem_fraction) + 1e-9
+    assert separate <= overlapped + 1e-9
+    assert overlapped <= memory_bound_speedup(mem_fraction) + 1e-9

@@ -1,0 +1,70 @@
+"""Memory-bank disambiguation (future-work dependence refinement)."""
+
+from repro.intcode.ici import Ici
+from repro.analysis.dependence import build_dag, memory_bank
+from repro.compaction.machine_model import ideal
+from repro.compaction.scheduler import schedule_region
+
+
+def edges(dag):
+    return {(p, i) for i in range(dag.n) for p, _ in dag.preds[i]}
+
+
+def test_bank_classification():
+    assert memory_bank(Ici("ld", rd="x", ra="H", imm=0)) == "heap"
+    assert memory_bank(Ici("st", ra="x", rb="E", imm=1)) == "env"
+    assert memory_bank(Ici("st", ra="x", rb="BT", imm=0)) == "choice"
+    assert memory_bank(Ici("st", ra="x", rb="TR", imm=0)) == "trail"
+    assert memory_bank(Ici("ld", rd="x", ra="PD", imm=0)) == "pdl"
+    assert memory_bank(Ici("ld", rd="x", ra="r7", imm=0)) == "?"
+
+
+def test_distinct_banks_do_not_conflict_when_enabled():
+    ops = [Ici("st", ra="x", rb="TR", imm=0),
+           Ici("ld", rd="y", ra="E", imm=0)]
+    strict = build_dag(ops, [1, 1])
+    assert (0, 1) in edges(strict)
+    relaxed = build_dag(ops, [1, 1], bank_disambiguation=True)
+    assert (0, 1) not in edges(relaxed)
+
+
+def test_same_bank_still_conflicts():
+    ops = [Ici("st", ra="x", rb="H", imm=0),
+           Ici("ld", rd="y", ra="H", imm=1)]
+    relaxed = build_dag(ops, [1, 1], bank_disambiguation=True)
+    assert (0, 1) in edges(relaxed)
+
+
+def test_unknown_pointer_conflicts_with_every_bank():
+    ops = [Ici("st", ra="x", rb="H", imm=0),
+           Ici("ld", rd="y", ra="r9", imm=0),   # dereferenced pointer
+           Ici("st", ra="z", rb="E", imm=0)]
+    relaxed = build_dag(ops, [1, 1, 1], bank_disambiguation=True)
+    assert (0, 1) in edges(relaxed)   # heap store -> unknown load
+    assert (1, 2) in edges(relaxed)   # unknown load -> env store
+
+
+def test_unknown_store_fences_all_banks():
+    ops = [Ici("st", ra="x", rb="r9", imm=0),
+           Ici("ld", rd="y", ra="TR", imm=0)]
+    relaxed = build_dag(ops, [1, 1], bank_disambiguation=True)
+    assert (0, 1) in edges(relaxed)
+
+
+def test_disabled_flag_keeps_classic_behaviour():
+    ops = [Ici("st", ra="x", rb="TR", imm=0),
+           Ici("st", ra="y", rb="E", imm=0)]
+    strict = build_dag(ops, [1, 1])
+    assert (0, 1) in edges(strict)
+
+
+def test_banked_schedule_never_longer():
+    ops = [Ici("st", ra="a", rb="TR", imm=0),
+           Ici("st", ra="b", rb="E", imm=0),
+           Ici("ld", rd="c", ra="H", imm=0),
+           Ici("st", ra="d", rb="BT", imm=0)]
+    shared = schedule_region(ops, ideal())
+    banked_config = ideal("banked")
+    banked_config.bank_disambiguation = True
+    banked = schedule_region(ops, banked_config)
+    assert banked.length <= shared.length

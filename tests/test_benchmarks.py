@@ -1,0 +1,73 @@
+"""Benchmark suite: every program compiles, runs, and agrees with the
+reference interpreter.  Heavy programs rely on the on-disk profile cache
+so repeated test runs stay fast."""
+
+import pytest
+
+from tests.conftest import normalise_vars
+from repro.benchmarks import (
+    PROGRAMS, TABLE_BENCHMARKS, compile_benchmark, run_benchmark,
+    interpret_benchmark, program_fingerprint)
+
+FAST = ["conc30", "divide10", "log10", "ops8", "times10", "nreverse",
+        "qsort", "serialise", "prover", "crypt", "mu", "query",
+        "queens_8", "zebra"]
+HEAVY = ["sendmore", "tak"]
+
+
+def test_catalogue_is_the_paper_suite():
+    assert len(PROGRAMS) == 16
+    for name in ("conc30", "divide10", "log10", "mu", "nreverse", "ops8",
+                 "prover", "qsort", "queens_8", "sendmore", "serialise",
+                 "tak", "times10", "zebra", "crypt", "query"):
+        assert name in PROGRAMS
+
+
+def test_table_benchmarks_exclude_predictability_only_programs():
+    assert "crypt" not in TABLE_BENCHMARKS
+    assert "query" not in TABLE_BENCHMARKS
+    assert len(TABLE_BENCHMARKS) == 14
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_benchmark_compiles(name):
+    program = compile_benchmark(name)
+    assert len(program) > 50
+    assert program_fingerprint(program)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_benchmark_matches_interpreter(name):
+    result = run_benchmark(name)
+    ok, output = interpret_benchmark(name)
+    assert result.succeeded == ok
+    assert normalise_vars(result.output) == normalise_vars(output)
+
+
+@pytest.mark.parametrize("name", HEAVY)
+def test_heavy_benchmark_succeeds(name):
+    result = run_benchmark(name)
+    assert result.succeeded
+    assert result.output
+
+
+def test_known_answers():
+    assert run_benchmark("sendmore").output == "[9,5,6,7,1,0,8,2]\n"
+    assert run_benchmark("crypt").output == "[3,4,8,2,8]\n"
+    assert run_benchmark("queens_8").output.startswith("[")
+    assert "proved" in run_benchmark("prover").output
+    assert run_benchmark("zebra").output == "japanesenorwegian\n"
+    qsorted = run_benchmark("qsort").output.strip("[]\n").split(",")
+    values = [int(v) for v in qsorted]
+    assert values == sorted(values) and len(values) == 50
+
+
+def test_nreverse_reverses():
+    output = run_benchmark("nreverse").output
+    assert output.startswith("[30,29,28")
+
+
+def test_profiles_are_plausible():
+    result = run_benchmark("qsort")
+    assert result.steps == sum(result.counts)
+    assert all(t <= c for t, c in zip(result.taken, result.counts))

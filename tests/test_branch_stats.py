@@ -1,0 +1,79 @@
+"""Branch predictability statistics (Table 2 / Figure 4 machinery)."""
+
+from repro.terms import SymbolTable, tags
+from repro.intcode.program import Builder
+from repro.analysis.branch_stats import (
+    branch_records, average_p_fp, p_fp_histogram, taken_rule_stats,
+    BranchRecord)
+
+
+def looped_program():
+    b = Builder(SymbolTable())
+    b.label("$start")
+    i, n, one = b.fresh_reg(), b.fresh_reg(), b.fresh_reg()
+    b.ldi_int(i, 0)
+    b.ldi_int(n, 10)
+    b.ldi_int(one, 1)
+    b.label("loop")
+    b.alu("add", i, i, rb=one)
+    b.branch("bltv", i, n, "loop")   # backward, taken 9/10
+    b.btag(i, tags.TATM, "skip")     # forward, never taken
+    b.ldi_int(one, 2)
+    b.label("skip")
+    b.halt(0)
+    return b.finish()
+
+
+def run(program):
+    from repro.emulator import Emulator
+    return Emulator(program).run()
+
+
+def test_records_capture_direction_and_counts():
+    program = looped_program()
+    result = run(program)
+    records = branch_records(program, result.counts, result.taken)
+    by_backward = {r.backward: r for r in records}
+    loop = by_backward[True]
+    assert loop.executed == 10 and loop.taken == 9
+    assert abs(loop.p_taken - 0.9) < 1e-12
+    assert abs(loop.p_fp - 0.1) < 1e-12
+    forward = by_backward[False]
+    assert forward.taken == 0
+    assert forward.p_fp == 0.0
+
+
+def test_unexecuted_branches_excluded():
+    program = looped_program()
+    result = run(program)
+    records = branch_records(program, result.counts, result.taken)
+    assert all(r.executed > 0 for r in records)
+
+
+def test_average_weighted_by_execution():
+    records = [BranchRecord(0, 90, 45, False),   # p_fp 0.5, weight 90
+               BranchRecord(1, 10, 0, False)]    # p_fp 0.0, weight 10
+    assert abs(average_p_fp(records) - 0.45) < 1e-12
+
+
+def test_average_of_nothing_is_zero():
+    assert average_p_fp([]) == 0.0
+
+
+def test_histogram_weights_normalised():
+    records = [BranchRecord(0, 50, 0, False),     # p_fp 0 -> first bin
+               BranchRecord(1, 50, 25, False)]    # p_fp 0.5 -> last bin
+    edges, weights = p_fp_histogram(records, bins=5)
+    assert len(edges) == 6 and len(weights) == 5
+    assert abs(sum(weights) - 1.0) < 1e-12
+    assert abs(weights[0] - 0.5) < 1e-12
+    assert abs(weights[-1] - 0.5) < 1e-12
+
+
+def test_taken_rule_statistics():
+    records = [BranchRecord(0, 100, 90, True),
+               BranchRecord(1, 100, 50, False)]
+    stats = taken_rule_stats(records)
+    assert abs(stats["backward"]["mean_taken"] - 0.9) < 1e-12
+    assert abs(stats["forward"]["mean_taken"] - 0.5) < 1e-12
+    assert stats["backward"]["branches"] == 1

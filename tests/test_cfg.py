@@ -1,0 +1,115 @@
+"""Control-flow graph construction over ICI programs."""
+
+from repro.terms import SymbolTable, tags
+from repro.intcode.program import Builder
+from repro.analysis.cfg import Cfg
+from repro.bam import compile_source
+from repro.intcode import translate_module
+
+
+def simple_program():
+    b = Builder(SymbolTable())
+    b.label("$start")
+    r = b.fresh_reg()
+    b.ldi_int(r, 1)                 # 0
+    b.btag(r, tags.TINT, "yes")     # 1  -> block break
+    b.ldi_int(r, 0)                 # 2
+    b.jmp("done")                   # 3
+    b.label("yes")
+    b.ldi_int(r, 2)                 # 4
+    b.label("done")
+    b.halt(0)                       # 5
+    return b.finish()
+
+
+def test_blocks_split_at_branches_and_targets():
+    cfg = Cfg(simple_program())
+    starts = sorted(block.start for block in cfg.blocks)
+    assert starts == [0, 2, 4, 5]
+
+
+def test_branch_block_has_two_successors():
+    cfg = Cfg(simple_program())
+    block = cfg.block_at[0]
+    assert block.succs == [4, 2]  # taken target first, then fall-through
+
+
+def test_jmp_block_single_successor():
+    cfg = Cfg(simple_program())
+    assert cfg.block_at[2].succs == [5]
+
+
+def test_halt_block_no_successors():
+    cfg = Cfg(simple_program())
+    assert cfg.block_at[5].succs == []
+
+
+def test_predecessors_inverse_of_successors():
+    cfg = Cfg(simple_program())
+    assert sorted(cfg.predecessors(cfg.block_at[5])) == [2, 4]
+
+
+def test_fallthrough_block_successor():
+    b = Builder(SymbolTable())
+    b.label("$start")
+    r = b.fresh_reg()
+    b.ldi_int(r, 1)
+    b.label("mid")                  # leader by being a jmp target
+    b.ldi_int(r, 2)
+    b.jmp("mid2")
+    b.label("mid2")
+    b.halt(0)
+    cfg = Cfg(b.finish())
+    # No split at "mid" (labels alone do not split): the first block runs
+    # through both ldi ops up to the jmp, whose target pc is 3.
+    assert cfg.block_at[0].end == 3
+    assert cfg.block_at[0].succs == [3]
+
+
+def test_call_marks_indirect_entries():
+    b = Builder(SymbolTable())
+    b.label("$start")
+    b.call("sub", link="CP")        # 0
+    b.halt(0)                       # 1 (return point)
+    b.label("sub")
+    b.jmpr("CP")                    # 2
+    cfg = Cfg(b.finish())
+    assert 1 in cfg.indirect_entries        # return point
+    assert 2 in cfg.indirect_entries        # call target
+    assert cfg.block_at[0].succs == []      # calls end traces
+
+
+def test_ldi_code_target_is_indirect_entry():
+    b = Builder(SymbolTable())
+    b.label("$start")
+    r = b.fresh_reg()
+    b.ldi_code(r, "handler")
+    b.halt(0)
+    b.label("handler")
+    b.halt(1)
+    cfg = Cfg(b.finish())
+    assert b.labels["handler"] in cfg.indirect_entries
+
+
+def test_real_program_blocks_partition_all_instructions():
+    program = translate_module(compile_source("""
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+        main :- app([1], [2], X), write(X), nl.
+    """))
+    cfg = Cfg(program)
+    covered = sorted(pc for block in cfg.blocks
+                     for pc in range(block.start, block.end))
+    assert covered == list(range(len(program)))
+
+
+def test_dynamic_block_stats_weighting():
+    program = simple_program()
+    cfg = Cfg(program)
+    counts = [0] * len(program)
+    counts[0] = 10   # block [0,2): size 2
+    counts[4] = 10   # block [4,5): size 1
+    counts[5] = 10
+    mean, entries = cfg.dynamic_block_stats(counts)
+    assert entries == 30
+    assert abs(mean - (2 + 1 + 1) / 3) < 1e-9

@@ -1,0 +1,126 @@
+"""Clause compiler: variable classification, environments, cut, LCO."""
+
+from repro.interp import Database
+from repro.bam.normalize import Normalizer
+from repro.bam.clauses import ClauseCompiler
+from repro.bam import instructions as bam
+from repro.bam.descriptors import DVar, DList
+
+
+def compile_one(text, indicator=None):
+    db = Database()
+    db.consult(text)
+    norm = Normalizer().add_database(db)
+    indicator = indicator or norm.order[0]
+    head, goals = norm.predicates[indicator][0]
+    compiler = ClauseCompiler(head, goals)
+    return compiler, compiler.compile()
+
+
+def instr_types(instrs):
+    return [type(i).__name__ for i in instrs]
+
+
+def test_fact_is_gets_then_proceed():
+    _, instrs = compile_one("p(a, X).")
+    assert instr_types(instrs) == ["Get", "Get", "Proceed"]
+
+
+def test_single_chunk_vars_are_temporaries():
+    compiler, _ = compile_one("p(X, Y) :- X = Y.")
+    assert compiler.nslots == 0
+    assert not compiler.needs_env
+
+
+def test_var_across_two_calls_is_permanent():
+    compiler, _ = compile_one("p(X) :- q(X), r(X).")
+    assert compiler.nslots == 1
+    assert compiler.needs_env
+
+
+def test_var_in_head_and_last_call_is_temporary():
+    compiler, _ = compile_one("p(X) :- q(X).")
+    assert compiler.nslots == 0
+    assert not compiler.needs_env
+
+
+def test_env_needed_when_goal_follows_call():
+    compiler, _ = compile_one("p :- q, r.")
+    assert compiler.needs_env
+
+
+def test_inline_goals_do_not_split_chunks():
+    # X occurs in the head and after an arithmetic test: still chunk 0.
+    compiler, _ = compile_one("p(X, Y) :- X < 3, Y = X.")
+    assert compiler.nslots == 0
+
+
+def test_last_call_optimisation_emits_execute():
+    _, instrs = compile_one("p(X) :- q, r(X).")
+    assert isinstance(instrs[-1], bam.Execute)
+    assert isinstance(instrs[-2], bam.Deallocate)
+
+
+def test_non_call_ending_emits_proceed():
+    _, instrs = compile_one("p(X) :- q(X), X = a.")
+    assert isinstance(instrs[-1], bam.Proceed)
+    assert any(isinstance(i, bam.Deallocate) for i in instrs)
+
+
+def test_cut_in_first_chunk_uses_register():
+    _, instrs = compile_one("p(X) :- !, q(X).")
+    cuts = [i for i in instrs if isinstance(i, bam.Cut)]
+    assert cuts and cuts[0].slot is None
+    assert not any(isinstance(i, bam.StoreCutBarrier) for i in instrs)
+
+
+def test_cut_after_call_gets_environment_slot():
+    compiler, instrs = compile_one("p :- q, !, r.")
+    cuts = [i for i in instrs if isinstance(i, bam.Cut)]
+    assert cuts[0].slot is not None
+    assert any(isinstance(i, bam.StoreCutBarrier) for i in instrs)
+    assert compiler.nslots == 1  # the cut slot itself
+
+
+def test_first_occurrence_marking_left_to_right():
+    _, instrs = compile_one("p(X, X).")
+    first_get, second_get = instrs[0], instrs[1]
+    assert first_get.desc.first
+    assert not second_get.desc.first
+
+
+def test_occurrence_marking_inside_structures():
+    _, instrs = compile_one("p([X|X]).")
+    desc = instrs[0].desc
+    assert isinstance(desc, DList)
+    assert desc.head.first and not desc.tail.first
+
+
+def test_fail_truncates_clause():
+    _, instrs = compile_one("p :- fail, q.")
+    assert isinstance(instrs[-1], bam.FailInstr)
+
+
+def test_arith_compiles_to_arith_instr():
+    _, instrs = compile_one("p(X, Y) :- Y is X * 2 + 1.")
+    ariths = [i for i in instrs if isinstance(i, bam.Arith)]
+    assert len(ariths) == 1
+    assert isinstance(ariths[0].dst, DVar)
+
+
+def test_escape_for_write():
+    _, instrs = compile_one("p(X) :- write(X), nl.")
+    escapes = [i for i in instrs if isinstance(i, bam.Escape)]
+    assert [e.service for e in escapes] == ["write", "nl"]
+
+
+def test_call_arguments_put_in_order():
+    _, instrs = compile_one("p(X, Y) :- q(Y, X, 1).")
+    puts = [i for i in instrs if isinstance(i, bam.Put)]
+    assert [p.reg for p in puts] == ["a0", "a1", "a2"]
+
+
+def test_permanent_slots_count_multiple():
+    compiler, _ = compile_one("p(X, Y, Z) :- q(X), r(Y), s(Z).")
+    # X is chunk-0 only; Y and Z survive calls.
+    assert compiler.nslots == 2

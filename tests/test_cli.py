@@ -1,0 +1,113 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, build_parser
+
+SOURCE = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+main :- app([1,2], [3], X), write(X), nl.
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.pl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+def test_run_prints_program_output(program_file):
+    status, text = run_cli(["run", program_file])
+    assert status == 0
+    assert text == "[1,2,3]\n"
+
+
+def test_run_stats_flag(program_file):
+    status, text = run_cli(["run", program_file, "--stats"])
+    assert "steps=" in text and "status=0" in text
+
+
+def test_run_failing_program_reports_status(tmp_path):
+    path = tmp_path / "f.pl"
+    path.write_text("p(a). main :- p(b).")
+    status, text = run_cli(["run", str(path)])
+    assert status == 1
+
+
+def test_run_with_optimize(program_file):
+    status, text = run_cli(["run", program_file, "--optimize"])
+    assert status == 0 and text == "[1,2,3]\n"
+
+
+def test_run_custom_entry(tmp_path):
+    path = tmp_path / "g.pl"
+    path.write_text("go :- write(hi), nl. main :- fail.")
+    status, text = run_cli(["run", str(path), "--entry", "go"])
+    assert status == 0 and text == "hi\n"
+
+
+def test_listing_shows_both_levels(program_file):
+    status, text = run_cli(["listing", program_file])
+    assert "P:app/3" in text        # BAM level
+    assert "jmpr" in text           # ICI level
+
+
+def test_listing_bam_only(program_file):
+    status, text = run_cli(["listing", program_file, "--level", "bam"])
+    assert "Proceed" in text and "jmpr" not in text
+
+
+def test_speedup_default_machine(program_file):
+    status, text = run_cli(["speedup", program_file])
+    assert status == 0
+    assert text.startswith("vliw3")
+    value = float(text.split()[1].rstrip("x"))
+    assert 1.0 < value < 5.0
+
+
+def test_speedup_multiple_machines(program_file):
+    status, text = run_cli(["speedup", program_file, "-m", "seq",
+                            "-m", "ideal"])
+    lines = text.strip().splitlines()
+    assert len(lines) == 2
+    assert abs(float(lines[0].split()[1].rstrip("x")) - 1.0) < 1e-9
+
+
+def test_analyze_reports_mix_and_branches(program_file):
+    status, text = run_cli(["analyze", program_file])
+    assert "dynamic operations:" in text
+    assert "P_fp" in text
+    assert "mem" in text
+
+
+def test_bench_known_name():
+    status, text = run_cli(["bench", "conc30"])
+    assert status == 0
+    assert "steps=" in text
+
+
+def test_bench_unknown_name():
+    status, text = run_cli(["bench", "nonesuch"])
+    assert status == 2
+    assert "available" in text
+
+
+def test_warren_flags(program_file):
+    status, text = run_cli(["run", program_file, "--no-indexing",
+                            "--no-lco"])
+    assert status == 0 and text == "[1,2,3]\n"
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

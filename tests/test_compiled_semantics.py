@@ -1,0 +1,380 @@
+"""Compiled-code semantics: every language feature executed through the
+full pipeline (compile -> ICI -> emulate) must agree with the reference
+interpreter, both in success/failure and in printed output."""
+
+import pytest
+
+from tests.conftest import assert_equivalent, compile_and_run
+
+LIST_LIB = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+mem(X, [X|_]).
+mem(X, [_|T]) :- mem(X, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+"""
+
+
+# -- unification ------------------------------------------------------------
+
+
+def test_fact_match_constant():
+    assert_equivalent("p(a). main :- p(a), write(ok), nl.")
+
+
+def test_fact_mismatch_fails():
+    assert_equivalent("p(a). main :- p(b), write(ok), nl.")
+
+
+def test_head_integer_match():
+    assert_equivalent("p(42). main :- p(42), write(ok), nl.")
+
+
+def test_head_list_destructuring():
+    assert_equivalent("p([H|T]) :- write(H), write(T). main :- p([1,2,3]).")
+
+
+def test_head_struct_destructuring():
+    assert_equivalent(
+        "p(f(X, g(Y))) :- write(X-Y). main :- p(f(1, g(2))).")
+
+
+def test_write_mode_builds_structures():
+    assert_equivalent("p(f(1, [a])). main :- p(X), write(X), nl.")
+
+
+def test_repeated_variable_in_head():
+    assert_equivalent("eq(X, X). main :- eq(f(A, 2), f(1, B)), "
+                      "write(A-B), nl.")
+
+
+def test_repeated_variable_mismatch():
+    assert_equivalent("eq(X, X). main :- eq(a, b), write(bad), nl.")
+
+
+def test_deep_nesting():
+    assert_equivalent("""
+        p(f(g(h(X)), [X, [X]])) :- write(X).
+        main :- p(f(g(h(7)), [7, [7]])).
+    """)
+
+
+def test_unify_builtin_general_case():
+    assert_equivalent(
+        "main :- X = f(A, b), Y = f(1, B), X = Y, write(A-B), nl.")
+
+
+def test_unify_partial_lists():
+    assert_equivalent(
+        "main :- [1, 2 | T] = [1, 2, 3, 4], write(T), nl.")
+
+
+def test_unify_cyclic_free_variables_both_fresh():
+    assert_equivalent("main :- X = Y, Y = 3, write(X), nl.")
+
+
+# -- backtracking and choice points ---------------------------------------
+
+
+def test_clause_alternatives_in_order():
+    assert_equivalent(
+        "p(1). p(2). p(3). main :- p(X), write(X), fail. main.")
+
+
+def test_deep_backtracking_restores_heap_terms():
+    assert_equivalent(LIST_LIB + """
+        main :- app(X, Y, [1,2,3]), write(X-Y), nl, fail.
+        main :- write(done), nl.
+    """)
+
+
+def test_select_permutations():
+    assert_equivalent(LIST_LIB + """
+        main :- sel(X, [a,b,c], R), write(X-R), nl, fail.
+        main.
+    """)
+
+
+def test_bindings_undone_between_alternatives():
+    assert_equivalent("""
+        p(X) :- X = 1, fail.
+        p(X) :- X = 2.
+        main :- p(X), write(X), nl.
+    """)
+
+
+def test_trail_restores_old_heap_cells():
+    assert_equivalent(LIST_LIB + """
+        try(L) :- L = [1|_], fail.
+        try(L) :- L = [2|_].
+        main :- try([X|T]), write(X), nl.
+    """)
+
+
+def test_choice_point_inside_recursion():
+    assert_equivalent(LIST_LIB + """
+        main :- mem(X, [1,2,3]), mem(Y, [a,b]),
+                write(X-Y), nl, fail.
+        main.
+    """)
+
+
+# -- cut ----------------------------------------------------------------------
+
+
+def test_shallow_cut_commits():
+    assert_equivalent("""
+        p(X) :- X >= 0, !, write(pos), nl.
+        p(_) :- write(neg), nl.
+        main :- p(3), p(-2).
+    """)
+
+
+def test_cut_discards_call_choicepoints():
+    assert_equivalent("""
+        q(1). q(2). q(3).
+        first(X) :- q(X), !.
+        main :- first(X), write(X), nl, fail.
+        main :- write(end), nl.
+    """)
+
+
+def test_deep_cut_after_call():
+    assert_equivalent("""
+        q(1). q(2).
+        p(X) :- q(X), X > 1, !, write(X), nl.
+        main :- p(_).
+    """)
+
+
+def test_cut_in_second_chunk_uses_env_slot():
+    assert_equivalent("""
+        q(1). q(2). r(_).
+        p(X) :- q(X), r(X), !, write(X), nl.
+        main :- p(_), fail.
+        main :- write(done), nl.
+    """)
+
+
+def test_cut_then_fail_is_definitive():
+    assert_equivalent("""
+        p :- !, fail.
+        p.
+        main :- p, write(bad), nl.
+        main :- write(ok), nl.
+    """)
+
+
+# -- arithmetic -----------------------------------------------------------------
+
+
+def test_arith_operations():
+    assert_equivalent("""
+        main :- A is 2 + 3, B is 2 - 5, C is 4 * 4, D is 17 // 5,
+                E is 17 mod 5, F is -(3), write([A,B,C,D,E,F]), nl.
+    """)
+
+
+def test_arith_nested_expression():
+    assert_equivalent("main :- X is ((1 + 2) * (3 + 4)) // 2, write(X), nl.")
+
+
+def test_arith_on_bound_result_unifies():
+    assert_equivalent("main :- 7 is 3 + 4, write(yes), nl.")
+    assert_equivalent("main :- 8 is 3 + 4, write(bad), nl.")
+
+
+def test_arith_comparisons_all():
+    assert_equivalent("""
+        main :- 1 < 2, 2 =< 2, 5 > 4, 5 >= 5, 3 =:= 3, 3 =\\= 4,
+                write(ok), nl.
+    """)
+
+
+def test_arith_comparison_failure():
+    assert_equivalent("main :- 2 < 1, write(bad), nl.")
+
+
+def test_arith_type_failure_on_atom():
+    assert_equivalent("""
+        p(X) :- X < 3, write(small), nl.
+        p(_) :- write(other), nl.
+        main :- p(foo).
+    """)
+
+
+def test_negative_numbers():
+    assert_equivalent("main :- X is -7 // 2, Y is -7 mod 2, "
+                      "write(X-Y), nl.")
+
+
+# -- type tests and structural comparison -----------------------------------
+
+
+def test_type_tests_compiled():
+    assert_equivalent("""
+        main :- var(_), nonvar(f(x)), atom([]), integer(3),
+                atomic(a), write(ok), nl.
+    """)
+
+
+def test_var_test_on_bound():
+    assert_equivalent("main :- X = 1, var(X), write(bad), nl.")
+
+
+def test_struct_equal_compiled():
+    assert_equivalent(
+        "main :- f(a, [1, 2]) == f(a, [1, 2]), write(ok), nl.")
+
+
+def test_struct_not_equal_compiled():
+    assert_equivalent("main :- f(a) \\== f(b), write(ok), nl.")
+
+
+def test_struct_equal_distinguishes_unbound():
+    assert_equivalent("main :- X == Y, write(bad), nl.")
+
+
+def test_struct_equal_same_variable():
+    assert_equivalent("main :- X = Y, X == Y, write(ok), nl.")
+
+
+# -- control constructs (normalised into auxiliary predicates) ---------------
+
+
+def test_disjunction_compiled():
+    assert_equivalent("""
+        p(X) :- (X = 1 ; X = 2 ; X = 3).
+        main :- p(X), write(X), fail.
+        main :- nl.
+    """)
+
+
+def test_if_then_else_compiled():
+    assert_equivalent("""
+        sign(X, pos) :- (X > 0 -> true ; fail).
+        classify(X) :- (X > 0 -> write(pos) ; X < 0 -> write(neg)
+                        ; write(zero)), nl.
+        main :- classify(5), classify(-5), classify(0).
+    """)
+
+
+def test_negation_compiled():
+    assert_equivalent(LIST_LIB + """
+        main :- \\+ mem(9, [1,2,3]), write(ok), nl.
+    """)
+
+
+def test_negation_failure_compiled():
+    assert_equivalent(LIST_LIB + """
+        main :- \\+ mem(2, [1,2,3]), write(bad), nl.
+    """)
+
+
+def test_not_unifiable_compiled():
+    assert_equivalent("main :- f(X) \\= g(X), write(ok), nl.")
+
+
+# -- environments, recursion, last-call optimisation ----------------------------
+
+
+def test_deep_recursion_with_lco():
+    assert_equivalent("""
+        count(0) :- !.
+        count(N) :- M is N - 1, count(M).
+        main :- count(500), write(done), nl.
+    """)
+
+
+def test_nested_environments():
+    assert_equivalent(LIST_LIB + """
+        double([], []).
+        double([X|Xs], [Y|Ys]) :- Y is X * 2, double(Xs, Ys).
+        main :- double([1,2,3], D), app(D, [0], R), write(R), nl.
+    """)
+
+
+def test_permanent_variables_survive_calls():
+    assert_equivalent("""
+        q(1). r(2). s(3).
+        p(A, B, C) :- q(A), r(B), s(C), write([A,B,C]), nl.
+        main :- p(_, _, _).
+    """)
+
+
+def test_last_call_argument_safety():
+    # A variable created in the dying environment must be passed safely.
+    assert_equivalent("""
+        id(X, X).
+        p(R) :- id(Y, Y), id(Y, R).
+        main :- p(R), R = done, write(R), nl.
+    """)
+
+
+def test_mutual_recursion():
+    assert_equivalent("""
+        even(0).
+        even(N) :- N > 0, M is N - 1, odd(M).
+        odd(N) :- N > 0, M is N - 1, even(M).
+        main :- even(20), \\+ odd(20), write(ok), nl.
+    """)
+
+
+# -- indexing behaviours --------------------------------------------------------
+
+
+def test_indexing_on_atoms():
+    assert_equivalent("""
+        colour(red, 1). colour(green, 2). colour(blue, 3).
+        main :- colour(green, X), write(X), nl.
+    """)
+
+
+def test_indexing_on_functors():
+    assert_equivalent("""
+        eval(lit(X), X).
+        eval(add(A, B), R) :- eval(A, X), eval(B, Y), R is X + Y.
+        eval(mul(A, B), R) :- eval(A, X), eval(B, Y), R is X * Y.
+        main :- eval(add(lit(2), mul(lit(3), lit(4))), R), write(R), nl.
+    """)
+
+
+def test_indexing_with_unbound_argument_tries_all():
+    assert_equivalent("""
+        t(a). t([x]). t(f(y)). t(7).
+        main :- t(X), write(X), nl, fail.
+        main.
+    """)
+
+
+def test_indexing_mixed_var_clauses():
+    assert_equivalent("""
+        p(a, 1).
+        p(X, 2) :- atom(X).
+        p(b, 3).
+        main :- p(b, N), write(N), nl, fail.
+        main.
+    """)
+
+
+def test_output_order_preserved():
+    result = assert_equivalent("""
+        main :- write(1), write(2), write(3), nl.
+    """)
+    assert result.output == "123\n"
+
+
+# -- error paths ------------------------------------------------------------------
+
+
+def test_undefined_predicate_rejected_at_compile_time():
+    from repro.bam import compile_source, CompileError
+    with pytest.raises(CompileError):
+        compile_source("main :- no_such_predicate(1).")
+
+
+def test_missing_entry_rejected():
+    from repro.bam import compile_source, CompileError
+    with pytest.raises(CompileError):
+        compile_source("p(a).")

@@ -1,0 +1,120 @@
+"""Additional differential semantics coverage for compiler corner cases."""
+
+from tests.conftest import assert_equivalent
+
+
+def test_shared_variable_across_nested_structures():
+    assert_equivalent("""
+        p(f(X, g(X, Y)), Y).
+        main :- p(f(1, g(1, Z)), 2), write(Z), nl.
+    """)
+
+
+def test_write_mode_builds_nested_shared_variables():
+    assert_equivalent("""
+        mk(f(X, [X, g(X)])).
+        main :- mk(T), T = f(7, L), write(L), nl.
+    """)
+
+
+def test_void_variables_in_head():
+    assert_equivalent("p(_, _, _). main :- p(1, [a], f(x)), write(ok).")
+
+
+def test_chain_of_if_then_else():
+    assert_equivalent("""
+        grade(S, G) :- ( S >= 90 -> G = a
+                       ; S >= 80 -> G = b
+                       ; S >= 70 -> G = c
+                       ; G = f ).
+        main :- grade(95, X), grade(85, Y), grade(71, Z), grade(3, W),
+                write([X, Y, Z, W]), nl.
+    """)
+
+
+def test_zero_arity_predicate_chain():
+    assert_equivalent("""
+        a :- fail.
+        a :- b.
+        b :- c, d.
+        c. d.
+        main :- a, write(yes), nl.
+    """)
+
+
+def test_backtracking_through_escape_output():
+    # Output written before a failure must persist (side effects are
+    # not undone) — in both engines.
+    assert_equivalent("""
+        p(1). p(2).
+        main :- p(X), write(X), X > 1, write(win), nl.
+    """)
+
+
+def test_deeply_nested_write_mode_term():
+    assert_equivalent("""
+        deep(f(g(h(i(j(k(1))))))).
+        main :- deep(T), write(T), nl.
+    """)
+
+
+def test_integer_constants_in_clause_heads():
+    assert_equivalent("""
+        fact(0, 1).
+        fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+        main :- fact(8, F), write(F), nl.
+    """)
+
+
+def test_negative_integer_head_constant():
+    assert_equivalent("""
+        sign(-1, minus). sign(0, zero). sign(1, plus).
+        main :- sign(-1, S), write(S), nl.
+    """)
+
+
+def test_atom_arity_overloading():
+    # p/1 and p/2 are distinct predicates.
+    assert_equivalent("""
+        p(one).
+        p(two, X) :- X = 2.
+        main :- p(one), p(two, N), write(N), nl.
+    """)
+
+
+def test_unification_in_head_vs_body_equivalent():
+    assert_equivalent("""
+        h1(f(X), X).
+        h2(T, X) :- T = f(X).
+        main :- h1(f(9), A), h2(f(9), B), A =:= B, write(same), nl.
+    """)
+
+
+def test_long_conjunction_of_builtins():
+    assert_equivalent("""
+        main :- A is 1 + 1, A =:= 2, A == 2, atom(x), integer(A),
+                A < 3, A > 1, A =< 2, A >= 2, 2 =\\= 3,
+                write(all), nl.
+    """)
+
+
+def test_cut_in_zero_arity_aux():
+    assert_equivalent("""
+        flag :- check, !.
+        flag :- write(fallback).
+        check :- fail.
+        main :- flag, nl.
+    """)
+
+
+def test_failure_inside_write_sequence():
+    assert_equivalent("""
+        main :- write(a), fail, write(b).
+        main :- write(c), nl.
+    """)
+
+
+def test_list_tail_sharing_after_unification():
+    assert_equivalent("""
+        main :- L = [1, 2 | T], T = [3], L = [_, _, X], write(X), nl.
+    """)

@@ -1,0 +1,108 @@
+"""Compiler feature switches: the Warren-style baseline stays correct."""
+
+import pytest
+
+from tests.conftest import interpret, normalise_vars
+from repro.bam import compile_source, CompilerOptions
+from repro.bam import instructions as bam
+from repro.bam.normalize import Normalizer
+from repro.bam.predicates import PredicateCompiler
+from repro.interp import Database
+from repro.terms import SymbolTable
+from repro.intcode import translate_module
+from repro.emulator import run_program
+
+PROGRAMS = {
+    "append-enum": """
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+        main :- app(A, B, [1,2,3]), write(A-B), nl, fail.
+        main :- write(done), nl.
+    """,
+    "cut-commit": """
+        max(X, Y, X) :- X >= Y, !.
+        max(_, Y, Y).
+        main :- max(3, 8, M), max(9, 1, N), write(M-N), nl.
+    """,
+    "naf-search": """
+        mem(X, [X|_]).
+        mem(X, [_|T]) :- mem(X, T).
+        pick(1). pick(2). pick(3). pick(4).
+        main :- pick(A), \\+ mem(A, [2,4]), write(A), fail.
+        main :- nl.
+    """,
+    "deep-env": """
+        step(X, Y) :- Y is X + 1.
+        walk(X, X, 0).
+        walk(X, Z, N) :- N > 0, step(X, Y), M is N - 1, walk(Y, Z, M).
+        main :- walk(0, Z, 50), write(Z), nl.
+    """,
+}
+
+OPTION_SETS = {
+    "full": CompilerOptions(),
+    "no-indexing": CompilerOptions(indexing=False),
+    "no-lco": CompilerOptions(lco=False),
+    "warren": CompilerOptions(indexing=False, lco=False),
+}
+
+
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+@pytest.mark.parametrize("options", sorted(OPTION_SETS))
+def test_option_sets_preserve_semantics(program, options):
+    source = PROGRAMS[program]
+    ok, expected = interpret(source)
+    compiled = translate_module(compile_source(
+        source, options=OPTION_SETS[options]))
+    result = run_program(compiled, max_steps=10_000_000)
+    assert result.succeeded == ok
+    assert normalise_vars(result.output) == normalise_vars(expected)
+
+
+def _compile_pred(text, options, indicator=None):
+    db = Database()
+    db.consult(text)
+    norm = Normalizer().add_database(db)
+    indicator = indicator or norm.order[0]
+    name, arity = indicator
+    return PredicateCompiler(name, arity, norm.predicates[indicator],
+                             SymbolTable(), options).compile()
+
+
+def test_no_indexing_emits_plain_chain():
+    instrs = _compile_pred("p(a). p(b).",
+                           CompilerOptions(indexing=False))
+    assert not [i for i in instrs if isinstance(i, bam.SwitchOnTag)]
+    assert len([i for i in instrs if isinstance(i, bam.Try)]) == 1
+
+
+def test_no_lco_emits_call_and_proceed():
+    instrs = _compile_pred("p(X) :- q(X). q(_).",
+                           CompilerOptions(lco=False))
+    assert not [i for i in instrs if isinstance(i, bam.Execute)]
+    calls = [i for i in instrs if isinstance(i, bam.Call)]
+    assert calls and calls[0].name == "q"
+    assert [i for i in instrs if isinstance(i, bam.Allocate)]
+
+
+def test_warren_baseline_runs_more_cycles():
+    source = PROGRAMS["append-enum"]
+    fast = run_program(translate_module(compile_source(source)))
+    slow = run_program(translate_module(compile_source(
+        source, options=OPTION_SETS["warren"])))
+    assert slow.steps > fast.steps
+    assert slow.output == fast.output
+
+
+def test_deep_recursion_without_lco_uses_bounded_env_stack():
+    # 500-deep recursion without tail calls: environments must not
+    # corrupt each other (the monotone-watermark regression).
+    source = """
+        count(0) :- !.
+        count(N) :- M is N - 1, count(M).
+        main :- count(500), write(ok), nl.
+    """
+    compiled = translate_module(compile_source(
+        source, options=CompilerOptions(lco=False)))
+    result = run_program(compiled, max_steps=10_000_000)
+    assert result.succeeded and result.output == "ok\n"

@@ -1,0 +1,69 @@
+"""The steppable debug machine agrees with the production emulator."""
+
+import pytest
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import run_program, EmulatorError
+from repro.emulator.debug import DebugMachine
+
+SOURCES = [
+    "main :- X is 2 + 3, write(X), nl.",
+    """
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+    main :- app([1,2], [3], X), write(X), nl.
+    """,
+    """
+    p(1). p(2).
+    main :- p(X), X > 1, write(X), nl.
+    """,
+    "p(a). main :- p(b).",
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_debug_machine_matches_emulator(source):
+    program = translate_module(compile_source(source))
+    reference = run_program(program)
+    machine = DebugMachine(program)
+    status, output = machine.run()
+    assert status == reference.status
+    assert output == reference.output
+    assert machine.steps == reference.steps
+
+
+def test_stepping_exposes_state():
+    program = translate_module(compile_source(
+        "main :- X is 40 + 2, write(X), nl."))
+    machine = DebugMachine(program)
+    seen_pcs = []
+    while not machine.halted:
+        seen_pcs.append(machine.step())
+    assert seen_pcs[0] == program.entry_pc
+    assert machine.register("H") is not None
+    assert machine.steps == len(seen_pcs)
+
+
+def test_render_register_term():
+    program = translate_module(compile_source(
+        "main :- X = f(1, [a]), write(X), nl."))
+    machine = DebugMachine(program)
+    machine.run()
+    assert "".join(machine.output) == "f(1,[a])\n"
+
+
+def test_step_after_halt_rejected():
+    program = translate_module(compile_source("main :- true."))
+    machine = DebugMachine(program)
+    machine.run()
+    with pytest.raises(EmulatorError):
+        machine.step()
+
+
+def test_run_step_budget():
+    program = translate_module(compile_source(
+        "loop :- loop. main :- loop."))
+    machine = DebugMachine(program)
+    with pytest.raises(EmulatorError):
+        machine.run(max_steps=500)

@@ -1,0 +1,119 @@
+"""Dependence DAG: every dependence class of section 4.3."""
+
+from repro.intcode.ici import Ici
+from repro.analysis.dependence import build_dag
+
+
+def dag_for(instructions, off_live=None, reg_mask=None, bbl=0):
+    durations = [1] * len(instructions)
+    return build_dag(instructions, durations, off_live, reg_mask,
+                     branch_branch_latency=bbl)
+
+
+def edges(dag):
+    return {(pred, index, latency)
+            for index in range(dag.n)
+            for pred, latency in dag.preds[index]}
+
+
+def test_raw_edge_carries_producer_latency():
+    ops = [Ici("ld", rd="a", ra="H", imm=0),
+           Ici("add", rd="b", ra="a", rb="a")]
+    dag = build_dag(ops, durations=[2, 1])
+    assert (0, 1, 2) in edges(dag)
+
+
+def test_war_allows_same_cycle():
+    ops = [Ici("add", rd="x", ra="r", rb="r"),
+           Ici("mov", rd="r", ra="s")]
+    dag = dag_for(ops)
+    assert (0, 1, 0) in edges(dag)
+
+
+def test_waw_strictly_ordered():
+    ops = [Ici("mov", rd="r", ra="a"),
+           Ici("mov", rd="r", ra="b")]
+    dag = dag_for(ops)
+    assert (0, 1, 1) in edges(dag)
+
+
+def test_loads_between_stores_are_ordered():
+    ops = [Ici("st", ra="x", rb="H", imm=0),
+           Ici("ld", rd="y", ra="H", imm=1),
+           Ici("st", ra="z", rb="H", imm=2)]
+    dag = dag_for(ops)
+    assert (0, 1, 1) in edges(dag)   # store -> load
+    assert (1, 2, 0) in edges(dag)   # load -> store (issue order)
+    assert (0, 2, 1) in edges(dag)   # store -> store
+
+
+def test_independent_loads_unordered():
+    ops = [Ici("ld", rd="x", ra="H", imm=0),
+           Ici("ld", rd="y", ra="H", imm=1)]
+    dag = dag_for(ops)
+    assert not edges(dag)
+
+
+def test_branch_order_preserved():
+    ops = [Ici("btag", ra="a", tag=1, label="L"),
+           Ici("btag", ra="b", tag=1, label="L")]
+    dag = dag_for(ops, bbl=0)
+    assert (0, 1, 0) in edges(dag)
+    dag = dag_for(ops, bbl=1)
+    assert (0, 1, 1) in edges(dag)
+
+
+def test_ops_cannot_sink_below_a_branch():
+    ops = [Ici("add", rd="x", ra="a", rb="b"),
+           Ici("btag", ra="c", tag=1, label="L")]
+    dag = dag_for(ops)
+    assert (0, 1, 0) in edges(dag)
+
+
+def test_store_never_moves_above_branch():
+    ops = [Ici("btag", ra="c", tag=1, label="L"),
+           Ici("st", ra="x", rb="H", imm=0)]
+    dag = dag_for(ops)
+    assert (0, 1, 1) in edges(dag)
+
+
+def test_escape_never_moves_above_branch_and_stays_ordered():
+    ops = [Ici("btag", ra="c", tag=1, label="L"),
+           Ici("esc", esc="write", ra="x"),
+           Ici("esc", esc="nl")]
+    dag = dag_for(ops)
+    assert (0, 1, 1) in edges(dag)
+    assert (1, 2, 1) in edges(dag)
+
+
+def test_off_live_write_pinned_below_branch():
+    masks = {0: 0b10}
+    reg_mask = {"x": 0b10, "y": 0b100}.get
+    ops = [Ici("btag", ra="c", tag=1, label="L"),
+           Ici("add", rd="x", ra="a", rb="b"),
+           Ici("add", rd="y", ra="a", rb="b")]
+    dag = build_dag(ops, [1, 1, 1], masks, reg_mask)
+    assert (0, 1, 1) in edges(dag)        # x live off-trace: pinned
+    assert (0, 2, 1) not in edges(dag)    # y dead off-trace: speculable
+
+
+def test_off_live_checked_against_every_prior_branch():
+    # x is live off branch 0 but dead off branch 1: the write after
+    # branch 1 must still be pinned below branch 0.
+    masks = {0: 0b10, 1: 0}
+    reg_mask = {"x": 0b10}.get
+    ops = [Ici("btag", ra="c", tag=1, label="L"),
+           Ici("btag", ra="d", tag=1, label="L"),
+           Ici("add", rd="x", ra="a", rb="b")]
+    dag = build_dag(ops, [1, 1, 1], masks, reg_mask)
+    assert (0, 2, 1) in edges(dag)
+    assert (1, 2, 1) not in edges(dag)
+
+
+def test_heights_reflect_critical_path():
+    ops = [Ici("ld", rd="a", ra="H", imm=0),
+           Ici("add", rd="b", ra="a", rb="a"),
+           Ici("add", rd="c", ra="b", rb="b")]
+    dag = build_dag(ops, durations=[2, 1, 1])
+    heights = dag.heights(lambda i: [2, 1, 1][i])
+    assert heights == [4, 2, 1]

@@ -1,0 +1,79 @@
+"""Dataflow-limit model: executes correctly and bounds sensibly."""
+
+import pytest
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import run_program
+from repro.evaluation.dynamic import dataflow_limit
+from repro.evaluation.pipeline import superblock_regions, machine_cycles
+from repro.compaction import sequential, ideal
+from repro.intcode.ici import OP_CLASS, MEM
+
+SOURCE = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+main :- app([1,2,3,4,5,6], [7,8], X), write(X), nl.
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return translate_module(compile_source(SOURCE))
+
+
+def test_dataflow_executes_the_same_computation(program):
+    result = run_program(program)
+    flow = dataflow_limit(program)
+    assert flow.status == result.status == 0
+    assert flow.steps == result.steps
+
+
+def test_dataflow_cycles_bounded_below_by_memory_port(program):
+    result = run_program(program)
+    mem_ops = sum(count for pc, count in enumerate(result.counts)
+                  if count and OP_CLASS[program.instructions[pc].op] == MEM)
+    flow = dataflow_limit(program)
+    assert flow.cycles >= mem_ops
+
+
+def test_dataflow_no_slower_than_sequential(program):
+    result = run_program(program)
+    from repro.evaluation.pipeline import basic_block_regions
+    seq_cycles = machine_cycles(basic_block_regions(program, result),
+                                sequential())
+    flow = dataflow_limit(program)
+    assert flow.cycles <= seq_cycles
+
+
+def test_dataflow_at_least_as_fast_as_static_trace(program):
+    result = run_program(program)
+    region_set = superblock_regions(program, result)
+    static_cycles = machine_cycles(region_set, ideal())
+    flow = dataflow_limit(program)
+    # Perfect disambiguation + no control constraints: never slower than
+    # the static schedule (both behind one memory port).
+    assert flow.cycles <= static_cycles * 1.05
+
+
+def test_more_ports_never_slower(program):
+    one = dataflow_limit(program, mem_ports=1)
+    two = dataflow_limit(program, mem_ports=2)
+    assert two.cycles <= one.cycles
+
+
+def test_failure_status_propagates():
+    failing = translate_module(compile_source(
+        "p(a). main :- p(b), write(x), nl."))
+    flow = dataflow_limit(failing)
+    assert flow.status == 1
+
+
+def test_step_budget_enforced():
+    looping = translate_module(compile_source("""
+        loop :- loop.
+        main :- loop.
+    """))
+    from repro.emulator import EmulatorError
+    with pytest.raises(EmulatorError):
+        dataflow_limit(looping, max_steps=10_000)

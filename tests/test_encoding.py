@@ -1,0 +1,125 @@
+"""SYMBOL-3 64-bit instruction encoding: field packing and format rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evaluation.encoding import (
+    FormatA, FormatB, EncodingError, classify_cycle, N_REGISTERS)
+from repro.intcode.ici import Ici
+
+
+def test_format_a_roundtrip():
+    instr = FormatA(mem_op="ld", mem_reg=3, mem_base=14, mem_off=-5,
+                    alu_op="add", alu_rd=1, alu_ra=2, alu_rb=3, alu_tag=4,
+                    move=True, move_rd=7, move_rs=8)
+    word = instr.pack()
+    assert word < (1 << 64)
+    back = FormatA.unpack(word)
+    for field in ("mem_op", "mem_reg", "mem_base", "mem_off", "alu_op",
+                  "alu_rd", "alu_ra", "alu_rb", "alu_tag", "move",
+                  "move_rd", "move_rs"):
+        assert getattr(back, field) == getattr(instr, field), field
+
+
+def test_format_b_roundtrip():
+    instr = FormatB(ctrl_op="btag", ctrl_ra=5, ctrl_tag=3, priority=2,
+                    imm=-123456, mem_op="st", mem_reg=1, mem_base=2,
+                    mem_off=7)
+    back = FormatB.unpack(instr.pack())
+    for field in ("ctrl_op", "ctrl_ra", "ctrl_rb", "ctrl_tag", "priority",
+                  "imm", "mem_op", "mem_reg", "mem_base", "mem_off"):
+        assert getattr(back, field) == getattr(instr, field), field
+
+
+def test_format_bit_distinguishes():
+    a = FormatA().pack()
+    b = FormatB().pack()
+    assert a >> 63 == 0
+    assert b >> 63 == 1
+    with pytest.raises(EncodingError):
+        FormatA.unpack(b)
+    with pytest.raises(EncodingError):
+        FormatB.unpack(a)
+
+
+def test_register_bank_limit_enforced():
+    with pytest.raises(EncodingError):
+        FormatA(alu_op="add", alu_rd=N_REGISTERS).pack()
+
+
+def test_immediate_width_enforced():
+    FormatB(imm=(1 << 27) - 1).pack()
+    with pytest.raises(EncodingError):
+        FormatB(imm=1 << 27).pack()
+    FormatB(imm=-(1 << 27)).pack()
+    with pytest.raises(EncodingError):
+        FormatB(imm=-(1 << 27) - 1).pack()
+
+
+def test_offset_width_enforced():
+    with pytest.raises(EncodingError):
+        FormatA(mem_op="ld", mem_off=200).pack()
+    with pytest.raises(EncodingError):
+        FormatB(mem_op="ld", mem_off=20).pack()
+
+
+@given(st.integers(0, 15), st.integers(0, 15),
+       st.integers(-128, 127), st.integers(0, 7))
+def test_format_a_fields_never_interfere(rd, rs, off, tag):
+    instr = FormatA(mem_op="st", mem_reg=rd, mem_base=rs, mem_off=off,
+                    alu_op="lea", alu_rd=rs, alu_ra=rd, alu_tag=tag)
+    back = FormatA.unpack(instr.pack())
+    assert back.mem_off == off
+    assert back.alu_tag == tag
+    assert back.mem_reg == rd and back.mem_base == rs
+
+
+@given(st.integers(-(1 << 27), (1 << 27) - 1), st.integers(0, 7))
+def test_format_b_immediate_exact(imm, priority):
+    back = FormatB.unpack(FormatB(ctrl_op="jmp", imm=imm,
+                                  priority=priority).pack())
+    assert back.imm == imm and back.priority == priority
+
+
+# -- cycle classification ---------------------------------------------------
+
+
+def test_classify_direct_cycle():
+    ops = [Ici("ld", rd="r1", ra="r2", imm=0),
+           Ici("add", rd="r3", ra="r1", rb="r2"),
+           Ici("mov", rd="r4", ra="r3")]
+    kind = classify_cycle(ops)
+    assert kind[0] == "A"
+
+
+def test_classify_control_cycle():
+    ops = [Ici("btag", ra="r1", tag=2, label="L"),
+           Ici("st", ra="r1", rb="r2", imm=0)]
+    kind = classify_cycle(ops)
+    assert kind[0] == "B"
+
+
+def test_immediate_move_uses_format_b():
+    kind = classify_cycle([Ici("ldi", rd="r1", imm=7)])
+    assert kind[0] == "B"
+
+
+def test_control_excludes_alu():
+    ops = [Ici("btag", ra="r1", tag=2, label="L"),
+           Ici("add", rd="r3", ra="r1", rb="r2")]
+    with pytest.raises(EncodingError):
+        classify_cycle(ops)
+
+
+def test_two_ops_of_same_class_rejected():
+    ops = [Ici("add", rd="r1", ra="r2", rb="r3"),
+           Ici("sub", rd="r4", ra="r5", rb="r6")]
+    with pytest.raises(EncodingError):
+        classify_cycle(ops)
+
+
+def test_control_plus_immediate_move_conflict():
+    ops = [Ici("btag", ra="r1", tag=2, label="L"),
+           Ici("ldi", rd="r2", imm=3)]
+    with pytest.raises(EncodingError):
+        classify_cycle(ops)

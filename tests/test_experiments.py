@@ -1,0 +1,110 @@
+"""Experiment harness: each table/figure computes and the paper's
+qualitative claims hold on our reproduction.
+
+These tests exercise the full evaluation pipeline; results are memoised
+on disk, so only the first run on a machine is expensive.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure2, figure3, figure4, table1, table2, table3, table4, table5,
+    run_all, ALL_EXPERIMENTS)
+from repro.intcode.ici import MEM, CTRL
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2.compute()
+
+
+def test_figure2_memory_fraction_near_paper(fig2):
+    """Paper: memory operations ~32% of dynamic instructions."""
+    assert 0.25 < fig2["average"][MEM] < 0.40
+
+
+def test_figure2_control_fraction_above_15_percent(fig2):
+    assert fig2["average"][CTRL] > 0.15
+
+
+def test_figure2_fractions_sum_to_one(fig2):
+    for name, entry in fig2["benchmarks"].items():
+        assert abs(sum(entry["mix"].values()) - 1.0) < 1e-9
+
+
+def test_figure3_amdahl_bound_near_three(fig2):
+    data = figure3.compute(fig2["average"][MEM])
+    assert 2.5 < data["asymptote"] < 4.0
+    overlapped = data["series"]["overlapped"]
+    # Saturation: the last two points are equal (memory bound).
+    assert abs(overlapped[-1] - overlapped[-2]) < 1e-9
+
+
+def test_table1_claims():
+    data = table1.compute()
+    average = data["average"]
+    # Basic-block limit near the paper's 1.65.
+    assert 1.4 < average["bb_speedup"] < 1.9
+    # Global compaction clearly better (paper: ~30% faster).
+    assert data["trace_gain"] > 1.15
+    # Regions lengthen substantially beyond basic blocks.
+    assert average["trace_length"] > 2.5 * average["bb_length"]
+    for entry in data["benchmarks"].values():
+        assert entry["trace_speedup"] >= entry["bb_speedup"] - 0.05
+
+
+def test_table2_branches_are_predictable():
+    data = table2.compute()
+    # Paper: average P_fp about 0.15 — far from the 0.5 of random flow.
+    assert data["average"] < 0.25
+    for entry in data["benchmarks"].values():
+        assert 0.0 <= entry["p_fp"] <= 0.5
+
+
+def test_figure4_mass_concentrated_near_zero():
+    data = figure4.compute()
+    assert data["weights"][0] > 0.3
+    assert abs(sum(data["weights"]) - 1.0) < 1e-9
+
+
+def test_figure4_refutes_90_50_rule():
+    data = figure4.compute()
+    backward = data["taken_rule"]["backward"]["mean_taken"]
+    # Numeric code would have backward branches ~90% taken.
+    assert backward < 0.8
+
+
+def test_table3_shape():
+    data = table3.compute()
+    average = data["average"]
+    # BAM near the paper's 1.58.
+    assert 1.3 < average["bam"] < 1.9
+    # Monotone unit scaling...
+    units = [average["vliw%d" % n] for n in range(1, 6)]
+    assert all(a <= b + 1e-9 for a, b in zip(units, units[1:]))
+    # ...with saturation by 3-4 units (Amdahl): the 4->5 step is tiny.
+    assert units[4] - units[3] < 0.05
+    # And a visible gain from 1 to 3 units.
+    assert units[2] - units[0] > 0.1
+    # Every VLIW configuration beats the BAM stand-in on average.
+    assert units[0] > average["bam"]
+
+
+def test_table4_ratios():
+    data = table4.compute()
+    # Paper: SYMBOL-3 ~0.83x BAM; ours should be the same order.
+    assert 0.5 < data["mean_bam_over_symbol3"] < 1.6
+    assert 0.3 < data["nreverse_mlips"] < 5.0
+
+
+def test_table5_prototype_speedup_near_paper():
+    data = table5.compute()
+    # Paper: 1.9 average over the matched sequential machine.
+    assert 1.5 < data["average_speedup"] < 2.5
+    assert data["average_speedup"] > data["average_bam"]
+
+
+def test_all_experiments_render_text():
+    for name, module in ALL_EXPERIMENTS.items():
+        text = module.render()
+        assert isinstance(text, str) and len(text) > 100, name

@@ -1,0 +1,48 @@
+"""Extended benchmark set: known answers + interpreter equivalence +
+full-pipeline sanity."""
+
+import pytest
+
+from tests.conftest import normalise_vars
+from repro.benchmarks.extended import EXTENDED_PROGRAMS, EXPECTED_OUTPUT
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import run_program
+from repro.interp import Engine
+from repro.evaluation.pipeline import superblock_regions, machine_cycles, \
+    basic_block_regions
+from repro.compaction import sequential, vliw
+
+
+def compiled_result(name):
+    program = translate_module(
+        compile_source(EXTENDED_PROGRAMS[name].source))
+    return program, run_program(program, max_steps=50_000_000)
+
+
+@pytest.mark.parametrize("name", sorted(EXTENDED_PROGRAMS))
+def test_known_answer(name):
+    _, result = compiled_result(name)
+    assert result.succeeded
+    assert result.output == EXPECTED_OUTPUT[name]
+
+
+@pytest.mark.parametrize("name", sorted(EXTENDED_PROGRAMS))
+def test_matches_interpreter(name):
+    engine = Engine()
+    engine.consult(EXTENDED_PROGRAMS[name].source)
+    ok = engine.run_query("main")
+    _, result = compiled_result(name)
+    assert result.succeeded == ok
+    assert normalise_vars(result.output) == \
+        normalise_vars(engine.output_text())
+
+
+@pytest.mark.parametrize("name", ["fib", "btree", "primes"])
+def test_pipeline_speedup_in_expected_band(name):
+    program, result = compiled_result(name)
+    seq = machine_cycles(basic_block_regions(program, result),
+                         sequential())
+    traced = machine_cycles(superblock_regions(program, result), vliw(3))
+    speedup = seq / traced
+    assert 1.2 < speedup < 4.5, speedup

@@ -1,0 +1,63 @@
+"""Beyond-the-paper studies: ablations, future work, registers, the
+Warren baseline.  These reuse the on-disk evaluation cache, so they are
+cheap after the first full run on a machine."""
+
+import pytest
+
+from repro.experiments import ablations, future_work, registers, \
+    wam_baseline, EXTRA_EXPERIMENTS
+
+SMALL = ["nreverse", "qsort"]
+
+
+def test_ablation_memory_ports_monotone():
+    data = ablations.memory_ports(SMALL, ports=(1, 2))
+    assert data["speedup"][1] >= data["speedup"][0] - 1e-9
+
+
+def test_ablation_speculation_helps():
+    data = ablations.speculation(SMALL)
+    assert data["spec_on"] >= data["spec_off"]
+
+
+def test_ablation_inter_unit_penalty_never_helps():
+    data = ablations.inter_unit_moves(SMALL)
+    assert data["free"] >= data["penalty"] - 1e-9
+
+
+def test_ablation_tail_dup_budget_lengthens_regions():
+    rows = ablations.tail_dup_budget(SMALL, budgets=(0, 48))
+    assert rows[1]["length"] >= rows[0]["length"]
+
+
+def test_future_work_dynamic_bounds_static():
+    data = future_work.dynamic_vs_static(SMALL)
+    for entry in data["benchmarks"].values():
+        assert entry["dynamic"] >= entry["static"] * 0.95
+    assert 0 < data["average"]["captured"] <= 1.05
+
+
+def test_future_work_multibank_ordering():
+    banks = future_work.multibank(SMALL)
+    assert banks["banked"] >= banks["shared"] - 1e-9
+    assert banks["banked4"] >= banks["banked"] - 1e-9
+
+
+def test_register_pressure_shapes():
+    data = registers.benchmark_pressure("nreverse")
+    assert data["mean_maxlive"] > 1
+    fractions = data["spill_fraction"]
+    assert fractions[8] >= fractions[16] >= fractions[32]
+    assert 0.0 <= fractions[32] <= 1.0
+
+
+def test_wam_baseline_ratio_above_one():
+    bam_cycles, wam_cycles = wam_baseline.benchmark_ratio("nreverse")
+    assert wam_cycles > bam_cycles
+
+
+def test_extras_registry_renders():
+    for name, module in EXTRA_EXPERIMENTS.items():
+        render = getattr(module, "render", None) \
+            or getattr(module, "render_all")
+        assert callable(render), name

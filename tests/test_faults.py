@@ -1,0 +1,45 @@
+"""Machine and interpreter fault behaviour."""
+
+import pytest
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import run_program, EmulatorError
+from repro.interp import Engine, PrologError
+
+
+def test_division_by_zero_is_a_machine_fault():
+    program = translate_module(compile_source(
+        "main :- X is 1 // 0, write(X)."))
+    with pytest.raises(EmulatorError) as info:
+        run_program(program)
+    assert "division by zero" in str(info.value)
+    assert "pc=" in str(info.value)
+
+
+def test_mod_by_zero_is_a_machine_fault():
+    program = translate_module(compile_source(
+        "main :- X is 1 mod 0, write(X)."))
+    with pytest.raises(EmulatorError):
+        run_program(program)
+
+
+def test_interpreter_division_by_zero_raises():
+    engine = Engine()
+    engine.consult("main :- X is 1 // 0.")
+    with pytest.raises(PrologError) as info:
+        engine.run_query("main")
+    assert "zero" in str(info.value)
+
+
+def test_interpreter_comparison_by_zero_raises():
+    engine = Engine()
+    engine.consult("main :- 1 // 0 < 2.")
+    with pytest.raises(PrologError):
+        engine.run_query("main")
+
+
+def test_non_integer_arithmetic_still_fails_quietly():
+    engine = Engine()
+    engine.consult("p(X) :- Y is X + 1, write(Y). main :- p(a).")
+    assert not engine.run_query("main")

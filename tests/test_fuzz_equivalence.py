@@ -1,0 +1,131 @@
+"""Property-based differential testing: random queries over a library of
+list/arithmetic predicates, executed both by the compiled ICI machine and
+the reference interpreter, must agree exactly.
+
+This is the fuzzing layer over the single most important invariant of the
+reproduction (compiled semantics == source semantics).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import compile_and_run, interpret, normalise_vars
+
+LIBRARY = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+mem(X, [X|_]).
+mem(X, [_|T]) :- mem(X, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+rev([], A, A).
+rev([H|T], A, R) :- rev(T, [H|A], R).
+last([X], X).
+last([_|T], X) :- last(T, X).
+sum([], 0).
+sum([H|T], S) :- sum(T, S1), S is S1 + H.
+maxl([X], X).
+maxl([H|T], M) :- maxl(T, M1), (H > M1 -> M = H ; M = M1).
+take(0, _, []) :- !.
+take(N, [H|T], [H|R]) :- N > 0, M is N - 1, take(M, T, R).
+interleave([], L, L).
+interleave([H|T], L, [H|R]) :- interleave(L, T, R).
+"""
+
+
+def _plist(items):
+    return "[%s]" % ",".join(str(i) for i in items)
+
+
+@st.composite
+def queries(draw):
+    xs = draw(st.lists(st.integers(-9, 9), max_size=6))
+    ys = draw(st.lists(st.integers(-9, 9), max_size=5))
+    n = draw(st.integers(0, 6))
+    kind = draw(st.sampled_from([
+        "app({xs}, {ys}, R), write(R)",
+        "app(A, B, {xs}), write(A-B), nl, fail",
+        "mem({n}, {xs}), write(yes)",
+        "sel({n}, {xs}, R), write(R), nl, fail",
+        "len({xs}, N), write(N)",
+        "rev({xs}, [], R), write(R)",
+        "last({xs}, X), write(X)",
+        "sum({xs}, S), write(S)",
+        "maxl({xs}, M), write(M)",
+        "take({n}, {xs}, R), write(R)",
+        "interleave({xs}, {ys}, R), write(R)",
+        "app(_, [X|_], {xs}), X > 0, write(X)",
+    ]))
+    return kind.format(xs=_plist(xs), ys=_plist(ys), n=n)
+
+
+@settings(max_examples=120, deadline=None)
+@given(queries())
+def test_random_queries_agree(query):
+    source = LIBRARY + "main :- %s, nl.\nmain :- write(no), nl.\n" % query
+    ok, expected = interpret(source)
+    result = compile_and_run(source)
+    assert result.succeeded == ok
+    assert normalise_vars(result.output) == normalise_vars(expected)
+
+
+@st.composite
+def arith_expressions(draw, depth=3):
+    if depth == 0:
+        return str(draw(st.integers(-20, 20)))
+    left = draw(arith_expressions(depth=depth - 1))
+    right = draw(arith_expressions(depth=depth - 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    if draw(st.booleans()):
+        op = draw(st.sampled_from(["//", "mod"]))
+        right = str(draw(st.integers(1, 9)))  # avoid division by zero
+    return "(%s %s %s)" % (left, op, right)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arith_expressions())
+def test_random_arithmetic_agrees(expression):
+    source = "main :- X is %s, write(X), nl." % expression
+    ok, expected = interpret(source)
+    result = compile_and_run(source)
+    assert result.succeeded == ok
+    assert result.output == expected
+
+
+@st.composite
+def ground_terms(draw, depth=2):
+    if depth == 0:
+        return draw(st.sampled_from(["a", "b", "c", "1", "-2", "[]"]))
+    args = draw(st.lists(ground_terms(depth=depth - 1), min_size=1,
+                         max_size=3))
+    shape = draw(st.sampled_from(["f(%s)", "g(%s)", "[%s]"]))
+    return shape % ",".join(args)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ground_terms(), ground_terms())
+def test_random_unification_agrees(left, right):
+    source = ("main :- X = %s, Y = %s, (X = Y -> write(u) ; write(n)), "
+              "(X == Y -> write(e) ; write(d)), nl." % (left, right))
+    ok, expected = interpret(source)
+    result = compile_and_run(source)
+    assert result.succeeded == ok
+    assert result.output == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=8))
+def test_sorting_pipeline_agrees(values):
+    source = LIBRARY + """
+qs([], R, R).
+qs([X|L], R, R0) :- part(L, X, L1, L2), qs(L2, R1, R0), qs(L1, R, [X|R1]).
+part([], _, [], []).
+part([X|L], Y, [X|L1], L2) :- X =< Y, !, part(L, Y, L1, L2).
+part([X|L], Y, L1, [X|L2]) :- part(L, Y, L1, L2).
+main :- qs(%s, S, []), write(S), nl.
+""" % _plist(values)
+    result = compile_and_run(source)
+    assert result.succeeded
+    assert result.output == "[%s]\n" % ",".join(
+        str(v) for v in sorted(values))

@@ -1,0 +1,81 @@
+"""Fuzzing the superblock transform: for random queries over the standard
+predicate library, the transformed program must behave identically to the
+original — status, output, everything observable."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import Emulator
+from repro.compaction.transform import form_superblocks
+from repro.intcode.optimize import optimize_program
+
+LIBRARY = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+rev([], A, A).
+rev([H|T], A, R) :- rev(T, [H|A], R).
+mem(X, [X|_]).
+mem(X, [_|T]) :- mem(X, T).
+"""
+
+
+def _plist(items):
+    return "[%s]" % ",".join(str(i) for i in items)
+
+
+@st.composite
+def sources(draw):
+    xs = draw(st.lists(st.integers(-5, 5), max_size=5))
+    ys = draw(st.lists(st.integers(-5, 5), max_size=4))
+    n = draw(st.integers(0, 5))
+    body = draw(st.sampled_from([
+        "app({xs}, {ys}, R), write(R)",
+        "app(A, B, {xs}), write(A), write(B), nl, fail",
+        "sel({n}, {xs}, R), write(R), nl, fail",
+        "rev({xs}, [], R), write(R)",
+        "mem({n}, {xs}), write(y)",
+        "sel(X, {xs}, _), X > 0, write(X)",
+    ])).format(xs=_plist(xs), ys=_plist(ys), n=n)
+    return (LIBRARY
+            + "main :- %s, nl.\n" % body
+            + "main :- write(none), nl.\n")
+
+
+@settings(max_examples=60, deadline=None)
+@given(sources(), st.sampled_from([0, 24, 64]))
+def test_transform_preserves_behaviour(source, budget):
+    program = translate_module(compile_source(source))
+    baseline = Emulator(program, max_steps=2_000_000).run()
+    transform = form_superblocks(program, baseline.counts,
+                                 baseline.taken, tail_dup_budget=budget)
+    transformed = Emulator(transform.program, max_steps=4_000_000).run()
+    assert transformed.status == baseline.status
+    assert transformed.output == baseline.output
+
+
+@settings(max_examples=40, deadline=None)
+@given(sources())
+def test_optimizer_preserves_behaviour(source):
+    program = translate_module(compile_source(source))
+    baseline = Emulator(program, max_steps=2_000_000).run()
+    optimized, _ = optimize_program(program)
+    result = Emulator(optimized, max_steps=2_000_000).run()
+    assert result.status == baseline.status
+    assert result.output == baseline.output
+    assert result.steps <= baseline.steps
+
+
+@settings(max_examples=25, deadline=None)
+@given(sources())
+def test_transform_then_optimize_compose(source):
+    program = translate_module(compile_source(source))
+    baseline = Emulator(program, max_steps=2_000_000).run()
+    transform = form_superblocks(program, baseline.counts,
+                                 baseline.taken)
+    optimized, _ = optimize_program(transform.program)
+    result = Emulator(optimized, max_steps=4_000_000).run()
+    assert result.status == baseline.status
+    assert result.output == baseline.output

@@ -1,0 +1,237 @@
+"""Reference interpreter semantics: resolution, cut, control, builtins."""
+
+import pytest
+
+from repro.interp import Engine, PrologError
+from repro.interp.unify import unify, undo_to, evaluate, ArithmeticError_
+from repro.reader import parse_term
+from repro.terms import Var, Int, Atom, Struct
+
+
+def run(source, query="main"):
+    engine = Engine()
+    engine.consult(source)
+    ok = engine.run_query(query)
+    return ok, engine.output_text()
+
+
+def count_solutions(source, query, limit=100):
+    engine = Engine()
+    engine.consult(source)
+    goal = parse_term(query)
+    return sum(1 for _ in engine.solutions(goal, limit=limit))
+
+
+# -- resolution ----------------------------------------------------------
+
+
+def test_fact_succeeds():
+    assert run("p(a). main :- p(a).")[0]
+
+
+def test_unbound_query_binds():
+    ok, out = run("p(a). main :- p(X), write(X).")
+    assert ok and out == "a"
+
+
+def test_failure():
+    assert not run("p(a). main :- p(b).")[0]
+
+
+def test_backtracking_order_is_source_order():
+    ok, out = run("p(1). p(2). p(3). main :- p(X), write(X), fail. main.")
+    assert ok and out == "123"
+
+
+def test_recursion():
+    ok, out = run("""
+        len([], 0).
+        len([_|T], N) :- len(T, M), N is M + 1.
+        main :- len([a,b,c], N), write(N).
+    """)
+    assert ok and out == "3"
+
+
+def test_all_solutions_counted():
+    assert count_solutions("p(1). p(2). p(3).", "p(_)") == 3
+
+
+def test_undefined_predicate_raises():
+    with pytest.raises(PrologError):
+        run("main :- undefined_thing(1).")
+
+
+# -- cut -----------------------------------------------------------------
+
+
+def test_cut_prunes_clause_alternatives():
+    assert count_solutions("p(1) :- !. p(2).", "p(_)") == 1
+
+
+def test_cut_prunes_goal_alternatives_to_its_left():
+    assert count_solutions("q(1). q(2). p(X) :- q(X), !.", "p(_)") == 1
+
+
+def test_cut_is_local_to_predicate():
+    # The cut inside q must not prune p's alternatives.
+    assert count_solutions("q :- !. p(1) :- q. p(2).", "p(_)") == 2
+
+
+def test_cut_after_call():
+    ok, out = run("""
+        max(X, Y, X) :- X >= Y, !.
+        max(_, Y, Y).
+        main :- max(2, 7, M1), max(9, 3, M2), write(M1-M2).
+    """)
+    assert ok and out == "-(7,9)"
+
+
+def test_cut_fail_combination():
+    assert not run("p :- !, fail. p. main :- p.")[0]
+
+
+# -- control constructs ----------------------------------------------------
+
+
+def test_disjunction_both_branches():
+    assert count_solutions("p(X) :- (X = 1 ; X = 2).", "p(_)") == 2
+
+
+def test_if_then_else_then_branch():
+    ok, out = run("main :- (1 < 2 -> write(yes) ; write(no)).")
+    assert ok and out == "yes"
+
+
+def test_if_then_else_else_branch():
+    ok, out = run("main :- (2 < 1 -> write(yes) ; write(no)).")
+    assert ok and out == "no"
+
+
+def test_if_then_else_commits_to_first_condition_solution():
+    source = "q(1). q(2). main :- (q(X) -> write(X) ; true), fail. main."
+    ok, out = run(source)
+    assert ok and out == "1"
+
+
+def test_negation_as_failure():
+    ok, _ = run("p(a). main :- \\+ p(b).")
+    assert ok
+    ok, _ = run("p(a). main :- \\+ p(a).")
+    assert not ok
+
+
+def test_negation_undoes_bindings():
+    ok, out = run("p(a). main :- \\+ (p(X), fail), write(X).")
+    assert ok and out.startswith("_")
+
+
+def test_call_meta():
+    assert run("p(a). main :- call(p(a)).")[0]
+
+
+# -- builtins ---------------------------------------------------------------
+
+
+def test_unify_builtin():
+    ok, out = run("main :- X = f(Y), Y = 3, write(X).")
+    assert ok and out == "f(3)"
+
+
+def test_not_unify_builtin():
+    assert run("main :- f(a) \\= f(b).")[0]
+    assert not run("main :- f(X) \\= f(b).")[0]
+
+
+def test_is_evaluates():
+    ok, out = run("main :- X is 2 + 3 * 4, write(X).")
+    assert ok and out == "14"
+
+
+def test_integer_division_truncates_toward_zero():
+    ok, out = run("main :- X is -7 // 2, Y is 7 // -2, write(X-Y).")
+    assert ok and out == "-(-3,-3)"
+
+
+def test_mod():
+    ok, out = run("main :- X is 7 mod 3, write(X).")
+    assert ok and out == "1"
+
+
+def test_comparisons():
+    assert run("main :- 1 < 2, 2 =< 2, 3 > 1, 3 >= 3, 4 =:= 4, 4 =\\= 5.")[0]
+
+
+def test_structural_equality():
+    assert run("main :- f(a, [1]) == f(a, [1]).")[0]
+    assert run("main :- f(a) \\== f(b).")[0]
+    assert not run("main :- X == Y.")[0]
+    assert run("main :- X = Y, X == Y.")[0]
+
+
+def test_type_tests():
+    assert run("main :- var(_), nonvar(a), atom(a), integer(1), "
+               "atomic(a), atomic(1).")[0]
+    assert not run("main :- atom([a]).")[0]
+    assert not run("main :- var(a).")[0]
+
+
+def test_functor_decompose():
+    ok, out = run("main :- functor(f(a,b), N, A), write(N/A).")
+    assert ok and out == "/(f,2)"
+
+
+def test_functor_construct():
+    ok, out = run("main :- functor(T, f, 2), write(T).")
+    assert ok and out.startswith("f(_")
+
+
+def test_arg():
+    ok, out = run("main :- arg(2, f(a,b,c), X), write(X).")
+    assert ok and out == "b"
+
+
+def test_is_with_unbound_raises():
+    with pytest.raises(PrologError):
+        run("main :- X is Y + 1.")
+
+
+# -- unification core ---------------------------------------------------------
+
+
+def test_unify_undo_restores_bindings():
+    trail = []
+    x = Var("X")
+    assert unify(x, Int(1), trail)
+    assert x.ref == Int(1)
+    undo_to(trail, 0)
+    assert x.ref is None
+
+
+def test_unify_struct_recursive():
+    trail = []
+    x, y = Var("X"), Var("Y")
+    a = Struct("f", [x, Int(2)])
+    b = Struct("f", [Int(1), y])
+    assert unify(a, b, trail)
+    assert x.ref == Int(1) and y.ref == Int(2)
+
+
+def test_unify_mismatch_fails():
+    assert not unify(Struct("f", [Int(1)]), Struct("g", [Int(1)]), [])
+    assert not unify(Atom("a"), Int(1), [])
+
+
+def test_evaluate_expression_tree():
+    term = parse_term("(2 + 3) * 4 - 1")
+    assert evaluate(term) == 19
+
+
+def test_evaluate_unbound_raises():
+    with pytest.raises(ArithmeticError_):
+        evaluate(Var("X"))
+
+
+def test_directive_runs_on_consult():
+    engine = Engine()
+    engine.consult(":- X = 1, write(X). p(a).")
+    assert engine.output_text() == "1"

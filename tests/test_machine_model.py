@@ -1,0 +1,78 @@
+"""Machine models: slot feasibility, latencies, penalties."""
+
+from repro.intcode.ici import MEM, ALU, MOVE, CTRL
+from repro.compaction.machine_model import (
+    MachineConfig, sequential, bam_like, vliw, ideal, symbol3,
+    symbol3_sequential)
+
+
+def test_default_latencies_follow_the_paper():
+    config = vliw(3)
+    assert config.duration("ld") == 2
+    assert config.duration("btag") == 2
+    assert config.duration("add") == 1
+    assert config.duration("mov") == 1
+
+
+def test_prototype_latencies():
+    config = symbol3()
+    assert config.duration("ld") == 3
+    assert config.duration("jmp") == 3
+
+
+def test_taken_cost_by_machine():
+    assert sequential().taken_cost() == 1   # 2-cycle ctrl, nothing filled
+    assert bam_like().taken_cost() == 0     # delay slot filled
+    assert vliw(3).taken_cost() == 0        # delayed branches allowed
+    assert symbol3().taken_cost() == 2      # two squashed delay cycles
+
+
+def test_memory_port_is_global_not_per_unit():
+    config = vliw(4)
+    assert config.slots_feasible({MEM: 1})
+    assert not config.slots_feasible({MEM: 2})
+
+
+def test_per_unit_class_limits():
+    config = vliw(2)
+    assert config.slots_feasible({ALU: 2, MOVE: 2, CTRL: 2, MEM: 1})
+    assert not config.slots_feasible({ALU: 3})
+    assert not config.slots_feasible({MOVE: 3})
+    assert not config.slots_feasible({CTRL: 3})
+
+
+def test_multiway_disabled_limits_ctrl_to_one():
+    config = MachineConfig("m", n_units=4, multiway=False)
+    assert not config.slots_feasible({CTRL: 2})
+    assert config.slots_feasible({CTRL: 1})
+
+
+def test_issue_width_caps_total():
+    config = sequential()
+    assert config.slots_feasible({ALU: 1})
+    assert not config.slots_feasible({ALU: 1, MOVE: 1})
+
+
+def test_prototype_format_constraint():
+    config = symbol3()  # 3 units
+    # Three control ops leave no format-A units for ALU work.
+    assert config.slots_feasible({CTRL: 3})
+    assert not config.slots_feasible({CTRL: 3, ALU: 1})
+    assert config.slots_feasible({CTRL: 1, ALU: 2, MOVE: 2, MEM: 1})
+    assert not config.slots_feasible({CTRL: 2, ALU: 2})
+
+
+def test_branch_branch_latency_depends_on_multiway():
+    assert vliw(2).branch_branch_latency == 0
+    assert sequential().branch_branch_latency == 1
+
+
+def test_ideal_has_many_units():
+    assert ideal().n_units >= 32
+
+
+def test_symbol_sequential_matches_prototype_durations():
+    config = symbol3_sequential()
+    assert config.duration("ld") == 3
+    assert config.in_order
+    assert config.taken_cost() == 2

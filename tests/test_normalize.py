@@ -1,0 +1,99 @@
+"""Clause normalisation: flattening and control-construct lifting."""
+
+import pytest
+
+from repro.interp import Database
+from repro.bam.normalize import Normalizer, NormalizeError
+from repro.reader import parse_term
+from repro.terms import Atom, Struct
+
+
+def normalise(text):
+    db = Database()
+    db.consult(text)
+    return Normalizer().add_database(db)
+
+
+def test_fact_has_empty_body():
+    norm = normalise("p(a).")
+    head, goals = norm.predicates[("p", 1)][0]
+    assert goals == []
+
+
+def test_conjunction_flattened_in_order():
+    norm = normalise("p :- a, b, c.")
+    _, goals = norm.predicates[("p", 0)][0]
+    assert [g.name for g in goals] == ["a", "b", "c"]
+
+
+def test_true_removed():
+    norm = normalise("p :- true, a, true.")
+    _, goals = norm.predicates[("p", 0)][0]
+    assert [g.name for g in goals] == ["a"]
+
+
+def test_disjunction_lifted_to_aux_predicate():
+    norm = normalise("p(X) :- (q(X) ; r(X)).")
+    _, goals = norm.predicates[("p", 1)][0]
+    assert len(goals) == 1
+    aux = goals[0]
+    assert aux.name.startswith("$disj")
+    aux_clauses = norm.predicates[(aux.name, 1)]
+    assert len(aux_clauses) == 2
+
+
+def test_disjunction_aux_receives_shared_variables():
+    norm = normalise("p(X, Y) :- (q(X) ; r(Y)).")
+    _, goals = norm.predicates[("p", 2)][0]
+    assert len(goals[0].args) == 2
+
+
+def test_if_then_else_lifted_with_cut():
+    norm = normalise("p(X) :- (X > 0 -> q(X) ; r(X)).")
+    _, goals = norm.predicates[("p", 1)][0]
+    aux = goals[0]
+    assert aux.name.startswith("$ite")
+    clauses = norm.predicates[(aux.name, 1)]
+    assert len(clauses) == 2
+    _, then_goals = clauses[0]
+    assert any(g == Atom("!") for g in then_goals)
+
+
+def test_naf_lifted_to_cut_fail():
+    norm = normalise("p :- \\+ q.")
+    _, goals = norm.predicates[("p", 0)][0]
+    aux = goals[0]
+    clauses = norm.predicates[(aux.name, 0)]
+    assert len(clauses) == 2
+    _, first = clauses[0]
+    assert [g.name for g in first] == ["q", "!", "fail"]
+    _, second = clauses[1]
+    assert second == []
+
+
+def test_not_unifiable_becomes_naf_of_unify():
+    norm = normalise("p(X) :- X \\= a.")
+    _, goals = norm.predicates[("p", 1)][0]
+    aux_clauses = norm.predicates[(goals[0].name, 1)]
+    _, first = aux_clauses[0]
+    assert first[0].indicator == ("=", 2)
+
+
+def test_nested_constructs():
+    norm = normalise("p :- (a ; (b -> c ; d)).")
+    disj = norm.predicates[("p", 0)][0][1][0]
+    branches = norm.predicates[(disj.name, 0)]
+    assert len(branches) == 2
+    _, second = branches[1]
+    assert second[0].name.startswith("$ite")
+
+
+def test_unbound_body_goal_rejected():
+    with pytest.raises(NormalizeError):
+        normalise("p :- X.")
+
+
+def test_clause_order_preserved():
+    norm = normalise("p(1). p(2). p(3).")
+    values = [head.args[0].value for head, _ in norm.predicates[("p", 1)]]
+    assert values == [1, 2, 3]

@@ -1,0 +1,131 @@
+"""ICI optimiser: the passes shrink code and never change behaviour."""
+
+import pytest
+
+from repro.terms import SymbolTable
+from repro.intcode.program import Builder
+from repro.intcode.optimize import optimize_program
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import Emulator, run_program
+from repro.benchmarks import PROGRAMS, compile_benchmark
+
+
+def build(fill):
+    b = Builder(SymbolTable())
+    b.label("$start")
+    fill(b)
+    b.halt(0)
+    return b.finish()
+
+
+def test_copy_propagation_rewrites_uses():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.mov("b", "a")
+        b.alu("add", "c", "b", rb="b")
+        b.st("c", "H", 0)
+    program = build(fill)
+    optimized, stats = optimize_program(program)
+    adds = [i for i in optimized.instructions if i.op == "add"]
+    assert adds[0].ra == "a" and adds[0].rb == "a"
+    assert stats.copies_propagated >= 1
+
+
+def test_dead_move_removed():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.mov("b", "a")      # b never used again
+        b.st("a", "H", 0)
+    program = build(fill)
+    optimized, stats = optimize_program(program)
+    assert stats.dead_removed >= 1
+    assert not [i for i in optimized.instructions if i.op == "mov"]
+
+
+def test_live_out_values_not_removed():
+    def fill(b):
+        b.ldi_int("a", 1)
+        done = b.fresh_label("next")
+        b.jmp(done)
+        b.label(done)
+        b.st("a", "H", 0)     # 'a' used in the NEXT block
+    program = build(fill)
+    optimized, _ = optimize_program(program)
+    assert [i for i in optimized.instructions if i.op == "ldi"]
+
+
+def test_constant_reuse_within_block():
+    def fill(b):
+        b.ldi_int("a", 7)
+        b.ldi_int("b", 7)
+        b.alu("add", "c", "a", rb="b")
+        b.st("c", "H", 0)
+    program = build(fill)
+    optimized, stats = optimize_program(program)
+    assert stats.constants_reused == 1
+    adds = [i for i in optimized.instructions if i.op == "add"]
+    assert adds[0].ra == adds[0].rb == "a"
+
+
+def test_propagation_stops_at_redefinition():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.mov("b", "a")
+        b.ldi_int("a", 2)            # a redefined: copy is stale
+        b.st("b", "H", 0)
+    program = build(fill)
+    optimized, _ = optimize_program(program)
+    stores = [i for i in optimized.instructions if i.op == "st"]
+    assert stores[0].ra == "b"
+    result = _final_word(optimized)
+    from repro.terms import tags
+    assert tags.value_of(result) == 1
+
+
+def _final_word(program):
+    from tests.test_emulator import _step_all
+    from repro.intcode import layout
+    return _step_all(program)[layout.HEAP_BASE]
+
+
+def test_labels_preserved():
+    program = translate_module(compile_source("""
+        p(a). p(b).
+        main :- p(X), write(X), nl, fail.
+        main.
+    """))
+    optimized, _ = optimize_program(program)
+    for name in ("$start", "$fail", "$unify", "P:p/1", "P:main/0"):
+        assert name in optimized.labels
+
+
+@pytest.mark.parametrize("name", ["conc30", "qsort", "serialise",
+                                  "queens_8", "mu", "crypt"])
+def test_optimised_benchmarks_behave_identically(name):
+    program = compile_benchmark(name)
+    optimized, stats = optimize_program(program)
+    assert len(optimized) < len(program)
+    baseline = run_program(program)
+    result = run_program(optimized)
+    assert result.status == baseline.status
+    assert result.output == baseline.output
+    assert result.steps < baseline.steps
+
+
+def test_optimiser_is_idempotent_in_behaviour():
+    program = compile_benchmark("nreverse")
+    once, _ = optimize_program(program)
+    twice, stats = optimize_program(once)
+    first = run_program(once)
+    second = run_program(twice)
+    assert first.output == second.output
+    assert len(twice) <= len(once)
+
+
+def test_shrink_statistics_reported():
+    program = compile_benchmark("qsort")
+    _, stats = optimize_program(program)
+    assert stats.copies_propagated > 0
+    assert stats.dead_removed > 0
+    assert "propagated" in repr(stats)

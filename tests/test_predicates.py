@@ -1,0 +1,151 @@
+"""Predicate-level compilation: first-argument indexing and chains."""
+
+from repro.terms import SymbolTable, tags
+from repro.interp import Database
+from repro.bam.normalize import Normalizer
+from repro.bam.predicates import PredicateCompiler, first_arg_pattern
+from repro.bam import instructions as bam
+from repro.reader import parse_term
+
+
+def compile_pred(text, indicator=None):
+    db = Database()
+    db.consult(text)
+    norm = Normalizer().add_database(db)
+    indicator = indicator or norm.order[0]
+    name, arity = indicator
+    return PredicateCompiler(name, arity, norm.predicates[indicator],
+                             SymbolTable()).compile()
+
+
+def find(instrs, cls):
+    return [i for i in instrs if isinstance(i, cls)]
+
+
+# -- pattern classification ------------------------------------------------
+
+
+def test_pattern_variable():
+    assert first_arg_pattern(parse_term("p(X)")) is None
+
+
+def test_pattern_atom_int_list_struct():
+    assert first_arg_pattern(parse_term("p(a)")) == ("atm", "a")
+    assert first_arg_pattern(parse_term("p(7)")) == ("int", 7)
+    assert first_arg_pattern(parse_term("p([H|T])")) == ("lst",)
+    assert first_arg_pattern(parse_term("p(f(X))")) == ("str", ("f", 1))
+
+
+def test_pattern_zero_arity():
+    assert first_arg_pattern(parse_term("p")) is None
+
+
+# -- dispatch structure -----------------------------------------------------
+
+
+def test_single_clause_no_choice_point():
+    instrs = compile_pred("p(a).")
+    assert not find(instrs, bam.Try)
+    assert not find(instrs, bam.SwitchOnTag)
+
+
+def test_nil_cons_predicate_is_deterministic():
+    instrs = compile_pred("""
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    """)
+    switch = find(instrs, bam.SwitchOnTag)[0]
+    cases = dict(switch.cases)
+    # Atom and list tags dispatch straight to clause code; only the
+    # unbound-argument case needs a choice-point chain.
+    assert cases[tags.TATM].startswith("C0:")
+    assert cases[tags.TLST].startswith("C1:")
+    assert cases[tags.TREF].startswith("H")
+    assert len(find(instrs, bam.Try)) == 1
+
+
+def test_variable_clause_appears_in_every_chain():
+    instrs = compile_pred("""
+        p(a) :- x.
+        p(X) :- y(X).
+        p([_]) :- z.
+        x. y(_). z.
+    """, ("p", 1))
+    switch = find(instrs, bam.SwitchOnTag)[0]
+    cases = dict(switch.cases)
+    # Integer argument: only the variable-headed clause matches.
+    assert cases[tags.TINT].startswith("C1:")
+    # Atom / list arguments need two-clause chains.
+    assert cases[tags.TATM].startswith("H")
+    assert cases[tags.TLST].startswith("H")
+
+
+def test_constant_second_level_dispatch():
+    instrs = compile_pred("""
+        c(red, 1). c(green, 2). c(blue, 3).
+    """)
+    consts = find(instrs, bam.SwitchOnConstant)
+    assert len(consts) == 1
+    assert len(consts[0].cases) == 3
+    # Constant leaves are single clauses (deterministic); only the
+    # unbound-argument chain creates a choice point.
+    assert all(label.startswith("C") for _, label in consts[0].cases)
+    assert len(find(instrs, bam.Try)) == 1
+
+
+def test_functor_second_level_dispatch():
+    instrs = compile_pred("""
+        d(f(X), X).
+        d(g(X, _), X).
+    """)
+    functors = find(instrs, bam.SwitchOnFunctor)
+    assert len(functors) == 1
+    assert dict(functors[0].cases)[("f", 1)].startswith("C0:")
+    # Only the unbound-argument chain needs a choice point.
+    assert len(find(instrs, bam.Try)) == 1
+
+
+def test_retry_chain_order_and_trust():
+    instrs = compile_pred("p(1). p(2). p(3).", ("p", 1))
+    # All three clauses share the integer constant dispatch, but the
+    # unbound case needs a full try/retry/trust chain.
+    stubs = find(instrs, bam.RetryStub)
+    assert len(stubs) == 2
+    assert stubs[0].next_label is not None
+    assert stubs[-1].next_label is None  # trust
+
+
+def test_chains_are_shared_between_leaves():
+    instrs = compile_pred("""
+        p(a). p(b). p(a).
+    """, ("p", 1))
+    # Leaf for 'a' = clauses 0,2; leaf for 'b' = clause 1; var = all.
+    tries = find(instrs, bam.Try)
+    assert len(tries) == 2  # chain {0,2} and chain {0,1,2}
+
+
+def test_zero_arity_multi_clause_plain_chain():
+    instrs = compile_pred("p :- a. p :- b. a. b.", ("p", 0))
+    assert not find(instrs, bam.SwitchOnTag)
+    assert len(find(instrs, bam.Try)) == 1
+    assert len(find(instrs, bam.RetryStub)) == 1
+
+
+def test_entry_sets_cut_barrier():
+    instrs = compile_pred("p(a).")
+    assert isinstance(instrs[1], bam.SetB0)
+
+
+def test_first_arg_marked_derefed_when_indexed():
+    instrs = compile_pred("""
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    """)
+    gets = [i for i in find(instrs, bam.Get) if i.reg == "a0"]
+    assert gets and all(g.derefed for g in gets)
+
+
+def test_first_arg_not_derefed_without_indexing():
+    instrs = compile_pred("p(a).")
+    gets = [i for i in find(instrs, bam.Get) if i.reg == "a0"]
+    assert gets and not any(g.derefed for g in gets)

@@ -1,0 +1,203 @@
+"""Lexer and parser: token kinds, operator precedence, list syntax,
+error reporting."""
+
+import pytest
+
+from repro.reader import tokenize, parse_term, parse_program, \
+    ParseError, LexError
+from repro.terms import Atom, Int, Var, Struct, term_to_string
+
+
+# -- lexer --------------------------------------------------------------
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]  # drop eof
+
+
+def test_tokenize_atoms_vars_ints():
+    assert kinds("foo Bar 42 _x") == [
+        ("atom", "foo"), ("var", "Bar"), ("int", 42), ("var", "_x")]
+
+
+def test_tokenize_symbolic_atoms():
+    assert kinds("X =:= Y") == [("var", "X"), ("atom", "=:="),
+                                ("var", "Y")]
+
+
+def test_tokenize_quoted_atom_with_escape():
+    assert kinds(r"'a b\n'") == [("atom", "a b\n")]
+
+
+def test_tokenize_doubled_quote():
+    assert kinds("'it''s'") == [("atom", "it's")]
+
+
+def test_tokenize_char_code():
+    assert kinds("0'a 0'\\n") == [("int", 97), ("int", 10)]
+
+
+def test_tokenize_string_is_string_token():
+    assert kinds('"ab"') == [("string", "ab")]
+
+
+def test_line_comment_skipped():
+    assert kinds("a % comment\nb") == [("atom", "a"), ("atom", "b")]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* x\ny */ b") == [("atom", "a"), ("atom", "b")]
+
+
+def test_clause_end_detected():
+    tokens = tokenize("a.")
+    assert tokens[1].kind == "end"
+
+
+def test_dot_inside_symbolic_atom():
+    assert kinds("X =.. L")[1] == ("atom", "=..")
+
+
+def test_unterminated_quote_raises_with_line():
+    with pytest.raises(LexError):
+        tokenize("'abc")
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_layout_before_tracking():
+    tokens = tokenize("f (x)")
+    assert tokens[1].layout_before  # '(' preceded by a space
+
+
+# -- parser -------------------------------------------------------------
+
+
+def test_parse_functor_application():
+    term = parse_term("f(a, B, 1)")
+    assert isinstance(term, Struct)
+    assert term.indicator == ("f", 3)
+    assert isinstance(term.args[0], Atom)
+    assert isinstance(term.args[1], Var)
+    assert isinstance(term.args[2], Int)
+
+
+def test_layout_blocks_functor_application():
+    term = parse_term("- (1)")
+    assert isinstance(term, Struct) and term.indicator == ("-", 1)
+
+
+def test_operator_precedence_multiplication_binds_tighter():
+    term = parse_term("1 + 2 * 3")
+    assert term.name == "+"
+    assert term.args[1].name == "*"
+
+
+def test_left_associativity_of_minus():
+    term = parse_term("1 - 2 - 3")
+    assert term.name == "-"
+    assert term.args[0].name == "-"
+    assert term.args[1].value == 3
+
+
+def test_right_associativity_of_conjunction():
+    term = parse_term("(a , b , c)")
+    assert term.indicator == (",", 2)
+    assert term.args[1].indicator == (",", 2)
+
+
+def test_clause_neck_priority():
+    term = parse_term("h :- a, b")
+    assert term.indicator == (":-", 2)
+    assert term.args[1].indicator == (",", 2)
+
+
+def test_negative_integer_literal():
+    term = parse_term("-5")
+    assert isinstance(term, Int) and term.value == -5
+
+
+def test_unary_minus_on_variable():
+    term = parse_term("-X")
+    assert term.indicator == ("-", 1)
+
+
+def test_list_sugar():
+    term = parse_term("[1, 2 | T]")
+    assert term.indicator == (".", 2)
+    assert term.args[1].args[0].value == 2
+    assert isinstance(term.args[1].args[1], Var)
+
+
+def test_empty_list_is_nil_atom():
+    assert parse_term("[]") == Atom("[]")
+
+
+def test_nested_list_rendering_roundtrip():
+    text = "[a,[b,c],[]]"
+    assert term_to_string(parse_term(text)) == text
+
+
+def test_string_becomes_code_list():
+    term = parse_term('"ab"')
+    assert term_to_string(term) == "[97,98]"
+
+
+def test_disjunction_bar_alias():
+    term = parse_term("(a | b)")
+    assert term.indicator == (";", 2)
+
+
+def test_if_then_else_shape():
+    term = parse_term("(c -> t ; e)")
+    assert term.indicator == (";", 2)
+    assert term.args[0].indicator == ("->", 2)
+
+
+def test_variables_shared_within_clause():
+    term = parse_term("f(X, X)")
+    assert term.args[0] is term.args[1]
+
+
+def test_anonymous_variables_are_fresh():
+    term = parse_term("f(_, _)")
+    assert term.args[0] is not term.args[1]
+
+
+def test_parse_program_multiple_clauses():
+    clauses = parse_program("a. b :- c. d(1).")
+    assert len(clauses) == 3
+
+
+def test_variables_not_shared_across_clauses():
+    clauses = parse_program("f(X). g(X).")
+    assert clauses[0].args[0] is not clauses[1].args[0]
+
+
+def test_curly_braces():
+    term = parse_term("{a, b}")
+    assert term.indicator == ("{}", 1)
+
+
+def test_missing_close_paren_raises():
+    with pytest.raises(ParseError):
+        parse_term("f(a, b")
+
+
+def test_missing_clause_dot_raises():
+    with pytest.raises(ParseError):
+        parse_program("a :- b")
+
+
+def test_operator_priority_limit_in_arguments():
+    # A bare ',' at priority 1000 cannot appear in an argument (999).
+    term = parse_term("f((a, b))")
+    assert term.args[0].indicator == (",", 2)
+
+
+def test_comparison_is_xfx_non_associative():
+    with pytest.raises(ParseError):
+        parse_term("1 < 2 < 3")

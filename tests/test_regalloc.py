@@ -1,0 +1,86 @@
+"""Register-pressure analysis and linear-scan binding."""
+
+from repro.intcode.ici import Ici
+from repro.compaction import vliw, ideal
+from repro.compaction.scheduler import schedule_region
+from repro.compaction.regalloc import (
+    region_pressure, is_interface, Interval, PressureReport)
+
+
+def pressure(ops, config=None):
+    config = config or vliw(4)
+    schedule = schedule_region(ops, config)
+    return region_pressure(ops, schedule)
+
+
+def test_interface_classification():
+    assert is_interface("H")
+    assert is_interface("a0")
+    assert is_interface("a12")
+    assert is_interface("B0")
+    assert is_interface("u1")
+    assert not is_interface("r42")
+    assert not is_interface("v7")
+
+
+def test_serial_chain_has_low_pressure():
+    ops = [Ici("add", rd="r1", ra="a0", rb="a0"),
+           Ici("add", rd="r2", ra="r1", rb="r1"),
+           Ici("add", rd="r3", ra="r2", rb="r2")]
+    report = pressure(ops)
+    # One local live at a time, plus the a0 interface register.
+    assert report.max_live <= 2 + len(report.reserved)
+
+
+def test_parallel_values_raise_pressure():
+    ops = [Ici("ldi", rd="r%d" % i, imm=i) for i in range(6)]
+    ops.append(Ici("add", rd="s", ra="r0", rb="r5"))
+    for index in range(1, 5):
+        ops.append(Ici("add", rd="s%d" % index, ra="r%d" % index,
+                       rb="r%d" % index))
+    report = pressure(ops, ideal())
+    assert report.max_live >= 6
+
+
+def test_spills_zero_when_bank_large_enough():
+    ops = [Ici("ldi", rd="r%d" % i, imm=i) for i in range(4)]
+    ops.append(Ici("add", rd="s", ra="r0", rb="r3"))
+    report = pressure(ops)
+    assert report.spills_for(32) == 0
+
+
+def test_spills_grow_as_bank_shrinks():
+    ops = [Ici("ldi", rd="r%d" % i, imm=i) for i in range(12)]
+    ops.append(Ici("add", rd="s", ra="r0", rb="r11"))
+    report = pressure(ops, ideal())
+    spills = [report.spills_for(k) for k in (4, 8, 16, 64)]
+    assert spills[0] >= spills[1] >= spills[2] >= spills[3]
+    assert spills[0] > 0
+    assert spills[3] == 0
+
+
+def test_reserved_registers_occupy_bank_slots():
+    ops = [Ici("add", rd="r1", ra="H", rb="TR"),
+           Ici("add", rd="r2", ra="E", rb="B")]
+    report = pressure(ops)
+    assert {"H", "TR", "E", "B"} <= report.reserved
+    # A bank smaller than the reserved set cannot hold anything.
+    assert report.spills_for(2) >= len(report.intervals)
+
+
+def test_interval_endpoints_span_def_to_last_use():
+    ops = [Ici("ldi", rd="r1", imm=1),
+           Ici("mov", rd="r2", ra="a0"),
+           Ici("add", rd="r3", ra="r1", rb="r1")]
+    config = vliw(1)
+    schedule = schedule_region(ops, config)
+    report = region_pressure(ops, schedule)
+    interval = {i.reg: i for i in report.intervals}["r1"]
+    assert interval.start == schedule.cycles[0]
+    assert interval.end >= schedule.cycles[2]
+
+
+def test_empty_region():
+    report = region_pressure([], schedule_region([], vliw(1)))
+    assert report.max_live == 0
+    assert report.spills_for(16) == 0

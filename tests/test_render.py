@@ -1,0 +1,110 @@
+"""Rendering utilities: machine-term reconstruction, program listings,
+experiment table/figure text."""
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import run_program
+from repro.experiments.render import (
+    render_table, render_histogram, render_curve, fmt)
+
+
+def output_of(goal_body):
+    program = translate_module(compile_source(
+        "main :- %s." % goal_body))
+    result = run_program(program)
+    assert result.succeeded
+    return result.output
+
+
+# -- machine-term reconstruction (esc write goes through render_term) ----
+
+
+def test_render_integers_and_atoms():
+    assert output_of("write(42), write(foo), write(-7)") == "42foo-7"
+
+
+def test_render_nested_structure():
+    assert output_of("write(f(g(1), h))") == "f(g(1),h)"
+
+
+def test_render_proper_list():
+    assert output_of("X = [1, [2, a], []], write(X)") == "[1,[2,a],[]]"
+
+
+def test_render_partial_list_with_variable_tail():
+    text = output_of("X = [1, 2 | _], write(X)")
+    assert text.startswith("[1,2|_")
+
+
+def test_render_unbound_variable():
+    assert output_of("write(_)").startswith("_")
+
+
+def test_render_shared_variable_consistent_names():
+    text = output_of("X = f(A, A), write(X)")
+    inside = text[2:-1].split(",")
+    assert inside[0] == inside[1]
+
+
+def test_render_quoted_atom():
+    assert output_of("write('Hello world')") == "'Hello world'"
+
+
+# -- program listings -----------------------------------------------------
+
+
+def test_program_listing_contains_labels_and_comments():
+    program = translate_module(compile_source("p(a). main :- p(a)."))
+    listing = program.listing()
+    assert "P:p/1:" in listing
+    assert "$unify:" in listing
+    assert "; predicate p/1" in listing
+
+
+def test_listing_window():
+    program = translate_module(compile_source("main :- true."))
+    window = program.listing(0, 3)
+    assert len(window.splitlines()) <= 6
+
+
+def test_bam_module_listing():
+    module = compile_source("p(a). main :- p(a).")
+    text = module.listing()
+    assert "% p/1" in text
+    assert "SetB0" in text
+
+
+# -- experiment rendering helpers -------------------------------------------
+
+
+def test_render_table_aligns_columns():
+    text = render_table("T", ["col", "x"], [["a", 1], ["bb", 22]],
+                        note="n")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert set(lines[1]) == {"="}
+    assert lines[-1] == "n"
+    header, rule, row1, row2 = lines[2:6]
+    assert len(row1) == len(row2) == len(header)
+
+
+def test_render_histogram_bars_scale():
+    text = render_histogram("H", [0, 0.25, 0.5], [0.75, 0.25])
+    lines = text.splitlines()
+    assert lines[2].count("#") > lines[3].count("#")
+    assert "75.0%" in lines[2]
+
+
+def test_render_curve_contains_series_legend():
+    text = render_curve("C", [1, 2, 3],
+                        {"alpha": [1.0, 2.0, 3.0],
+                         "beta": [3.0, 2.0, 1.0]})
+    assert "* = alpha" in text
+    assert "+ = beta" in text
+
+
+def test_fmt_variants():
+    assert fmt(None) == "-"
+    assert fmt(1.234) == "1.23"
+    assert fmt(1.234, 1) == "1.2"
+    assert fmt(7) == "7"

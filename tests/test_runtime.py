@@ -1,0 +1,242 @@
+"""Runtime library routines exercised through hand-built ICI harnesses."""
+
+from repro.terms import SymbolTable, tags
+from repro.intcode.program import Builder
+from repro.intcode import layout, runtime
+from repro.emulator import Emulator
+
+HEAP = layout.HEAP_BASE
+
+
+def harness(fill):
+    """Build a program around the runtime library.
+
+    *fill* receives the builder and emits the test body, which should end
+    by storing probe words relative to a fresh base or halting.
+    """
+    builder = Builder(SymbolTable())
+    builder.label("$start")
+    fill(builder)
+    builder.halt(0)
+    # Branch targets inside the runtime routines must exist even when the
+    # body does not call them.
+    if "$fail" not in builder.labels:
+        runtime.emit_runtime(builder)
+    return builder.finish()
+
+
+def run_ok(program):
+    result = Emulator(program, max_steps=100_000).run()
+    assert result.succeeded
+    return result
+
+
+def test_deref_constant_is_identity():
+    def fill(b):
+        r = b.fresh_reg()
+        b.ldi_int(r, 5)
+        runtime.emit_deref(b, r)
+        b.st(r, "H", 0)
+        out = b.fresh_reg()
+        b.ld(out, "H", 0)
+        b.bntag(out, tags.TINT, "$fail")
+    run_ok(harness(fill))
+
+
+def test_deref_follows_reference_chain():
+    def fill(b):
+        # Build: cell0 -> cell1 -> TINT(9); deref TREF(cell0) must be 9.
+        v = b.fresh_reg()
+        b.ldi_int(v, 9)
+        b.st(v, "H", 1)                      # cell1 holds 9
+        ref1 = b.fresh_reg()
+        b.lea(ref1, "H", 1, tags.TREF)
+        b.st(ref1, "H", 0)                   # cell0 -> cell1
+        r = b.fresh_reg()
+        b.lea(r, "H", 0, tags.TREF)
+        runtime.emit_deref(b, r)
+        k = b.fresh_reg()
+        b.ldi_int(k, 9)
+        b.branch("bne", r, k, "$fail")
+    run_ok(harness(fill))
+
+
+def test_deref_stops_at_unbound_cell():
+    def fill(b):
+        cell = b.fresh_reg()
+        runtime.emit_new_unbound(b, cell)
+        r = b.fresh_reg()
+        b.mov(r, cell)
+        runtime.emit_deref(b, r)
+        b.branch("bne", r, cell, "$fail")   # still the same TREF
+    run_ok(harness(fill))
+
+
+def test_trail_records_old_cells_only():
+    def fill(b):
+        old = b.fresh_reg()
+        runtime.emit_new_unbound(b, old)     # below HB after we bump it
+        b.mov("HB", "H")                     # watermark above `old`
+        new = b.fresh_reg()
+        runtime.emit_new_unbound(b, new)     # above HB: not trailed
+        value = b.fresh_reg()
+        b.ldi_int(value, 1)
+        runtime.emit_bind(b, old, value)     # trailed
+        runtime.emit_bind(b, new, value)     # not trailed
+        # TR must have advanced by exactly one entry.
+        expect = b.fresh_reg()
+        b.ldi(expect, tags.pack(layout.TRAIL_BASE + 1, tags.TRAW))
+        b.mktag(expect, expect, tags.TRAW)
+        probe = b.fresh_reg()
+        b.mktag(probe, "TR", tags.TRAW)
+        b.branch("bne", probe, expect, "$fail")
+    run_ok(harness(fill))
+
+
+def unify_harness(setup, expect_success=True):
+    """Run $unify on the two words produced by *setup* (u0, u1 set)."""
+    def fill(b):
+        runtime.emit_runtime(b)
+        b.label("$test")
+        setup(b)
+        b.call("$unify", link="RL")
+        b.halt(0)
+    builder = Builder(SymbolTable())
+    builder.label("$start")
+    # Sentinel frame so $fail halts with status 1.
+    retry = builder.fresh_reg()
+    builder.ldi_code(retry, "$no")
+    builder.st(retry, "B", layout.CP_RETRY)
+    top = builder.fresh_reg()
+    builder.lea(top, "B", layout.CP_FIXED_SLOTS, tags.TRAW)
+    builder.st(top, "B", layout.CP_SELF_TOP)
+    builder.st("B", "B", layout.CP_PREV_B)
+    builder.st("E", "B", layout.CP_SAVED_E)
+    builder.st("CP", "B", layout.CP_SAVED_CP)
+    builder.st("H", "B", layout.CP_SAVED_H)
+    builder.st("TR", "B", layout.CP_SAVED_TR)
+    builder.st("ES", "B", layout.CP_SAVED_ES)
+    builder.mov("BT", top)
+    builder.jmp("$test")
+    builder.label("$no")
+    builder.halt(1)
+    fill(builder)
+    result = Emulator(builder.finish(), max_steps=100_000).run()
+    assert result.succeeded == expect_success
+    return result
+
+
+def test_unify_identical_atoms():
+    def setup(b):
+        b.ldi_atom("u0", "a")
+        b.ldi_atom("u1", "a")
+    unify_harness(setup)
+
+
+def test_unify_distinct_atoms_fails():
+    def setup(b):
+        b.ldi_atom("u0", "a")
+        b.ldi_atom("u1", "b")
+    unify_harness(setup, expect_success=False)
+
+
+def test_unify_var_against_constant_binds():
+    def setup(b):
+        cell = b.fresh_reg()
+        runtime.emit_new_unbound(b, cell)
+        b.mov("u0", cell)
+        b.ldi_int("u1", 3)
+    unify_harness(setup)
+
+
+def test_unify_lists_elementwise():
+    def setup(b):
+        # [1|X] vs [1,2]
+        one = b.fresh_reg()
+        two = b.fresh_reg()
+        nil = b.fresh_reg()
+        b.ldi_int(one, 1)
+        b.ldi_int(two, 2)
+        b.ldi_atom(nil, "[]")
+        var = b.fresh_reg()
+        runtime.emit_new_unbound(b, var)
+        b.st(one, "H", 0)
+        b.st(var, "H", 1)
+        b.lea("u0", "H", 0, tags.TLST)
+        b.st(two, "H", 2)
+        b.st(nil, "H", 3)
+        cell = b.fresh_reg()
+        b.lea(cell, "H", 2, tags.TLST)
+        b.st(one, "H", 4)
+        b.st(cell, "H", 5)
+        b.lea("u1", "H", 4, tags.TLST)
+        b.lea("H", "H", 6, tags.TRAW)
+    unify_harness(setup)
+
+
+def test_unify_structures_checks_functor():
+    def setup(b):
+        f = b.fresh_reg()
+        g = b.fresh_reg()
+        x = b.fresh_reg()
+        b.ldi_functor(f, "f", 1)
+        b.ldi_functor(g, "g", 1)
+        b.ldi_int(x, 1)
+        b.st(f, "H", 0)
+        b.st(x, "H", 1)
+        b.lea("u0", "H", 0, tags.TSTR)
+        b.st(g, "H", 2)
+        b.st(x, "H", 3)
+        b.lea("u1", "H", 2, tags.TSTR)
+        b.lea("H", "H", 4, tags.TRAW)
+    unify_harness(setup, expect_success=False)
+
+
+def test_unify_structure_arguments_recursively():
+    def setup(b):
+        f = b.fresh_reg()
+        x = b.fresh_reg()
+        b.ldi_functor(f, "f", 2)
+        b.ldi_int(x, 1)
+        var = b.fresh_reg()
+        runtime.emit_new_unbound(b, var)
+        b.st(f, "H", 0)
+        b.st(x, "H", 1)
+        b.st(var, "H", 2)
+        b.lea("u0", "H", 0, tags.TSTR)
+        y = b.fresh_reg()
+        b.ldi_int(y, 7)
+        b.st(f, "H", 3)
+        b.st(x, "H", 4)
+        b.st(y, "H", 5)
+        b.lea("u1", "H", 3, tags.TSTR)
+        b.lea("H", "H", 6, tags.TRAW)
+    unify_harness(setup)
+
+
+def test_unify_failure_resets_pushdown_list():
+    """A failing deep unification must leave PD empty for the next call
+    (the regression that broke backtracking through list unification)."""
+    def setup(b):
+        one = b.fresh_reg()
+        two = b.fresh_reg()
+        nil = b.fresh_reg()
+        b.ldi_int(one, 1)
+        b.ldi_int(two, 2)
+        b.ldi_atom(nil, "[]")
+        # u0 = [1,1]  u1 = [2,1]: cars differ with cdrs already pushed.
+        b.st(one, "H", 0)
+        b.st(nil, "H", 1)
+        t0 = b.fresh_reg()
+        b.lea(t0, "H", 0, tags.TLST)
+        b.st(one, "H", 2)
+        b.st(t0, "H", 3)
+        b.lea("u0", "H", 2, tags.TLST)
+        b.st(two, "H", 4)
+        b.st(t0, "H", 5)
+        b.lea("u1", "H", 4, tags.TLST)
+        b.lea("H", "H", 6, tags.TRAW)
+    result = unify_harness(setup, expect_success=False)
+    # After failure the machine halted through $fail with an empty PD;
+    # nothing left to assert beyond clean failure (status 1).
+    assert result.status == 1

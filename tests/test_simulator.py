@@ -1,0 +1,111 @@
+"""Timing replay: exact cycle accounting on constructed regions."""
+
+import pytest
+
+from repro.terms import SymbolTable, tags
+from repro.intcode.program import Builder
+from repro.compaction.machine_model import sequential, vliw
+from repro.compaction.scheduler import schedule_region
+from repro.compaction.transform import Region
+from repro.evaluation.simulator import (
+    replay_region, replay_program, dynamic_region_stats)
+
+
+def build_region(fill):
+    b = Builder(SymbolTable())
+    b.label("$start")
+    fill(b)
+    program = b.finish()
+    region = Region(0, len(program))
+    return program, region
+
+
+def test_straight_line_region_cost_is_length_times_entries():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.ldi_int("b", 2)
+        b.alu("add", "c", "a", rb="b")
+        b.halt(0)
+    program, region = build_region(fill)
+    config = sequential()
+    schedule = schedule_region(program.instructions, config)
+    counts = [10] * len(program)
+    taken = [0] * len(program)
+    taken[3] = 10  # the halt exits
+    cycles = replay_region(program, region, schedule, counts, taken)
+    # 4 issue cycles + taken penalty 1, per entry.
+    assert cycles == 10 * (schedule.exit_cost(3))
+
+
+def test_branch_exit_charged_at_branch_cycle():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.btag("a", tags.TINT, "out")
+        b.ldi_int("b", 2)
+        b.ldi_int("c", 3)
+        b.label("out")
+        b.halt(0)
+    program, region_all = build_region(fill)
+    region = Region(0, 4)  # up to (excluding) the halt
+    config = sequential()
+    schedule = schedule_region(program.instructions[0:4], config)
+    counts = [100, 100, 70, 70, 100]
+    taken = [0, 30, 0, 0, 0]
+    cycles = replay_region(program, region, schedule, counts, taken)
+    expected = 30 * schedule.exit_cost(1) + 70 * schedule.fall_through_cost
+    assert cycles == expected
+
+
+def test_region_with_no_entries_costs_nothing():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.halt(0)
+    program, region = build_region(fill)
+    schedule = schedule_region(program.instructions, sequential())
+    assert replay_region(program, region, schedule,
+                         [0, 0], [0, 0]) == 0
+
+
+def test_more_exits_than_entries_is_an_error():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.btag("a", tags.TINT, "$start")
+    program, region = build_region(fill)
+    schedule = schedule_region(program.instructions, sequential())
+    with pytest.raises(AssertionError):
+        replay_region(program, region, schedule, [5, 5], [0, 9])
+
+
+def test_replay_program_sums_regions():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.jmp("second")
+        b.label("second")
+        b.ldi_int("b", 2)
+        b.halt(0)
+    program, _ = build_region(fill)
+    regions = [Region(0, 2), Region(2, 4)]
+    config = vliw(1)
+    schedules = [schedule_region(program.instructions[r.start:r.end],
+                                 config) for r in regions]
+    counts = [7, 7, 7, 7]
+    taken = [0, 0, 0, 0]
+    total = replay_program(program, regions, schedules, counts, taken)
+    each = [replay_region(program, r, s, counts, taken)
+            for r, s in zip(regions, schedules)]
+    assert total == sum(each)
+
+
+def test_dynamic_region_stats():
+    def fill(b):
+        b.ldi_int("a", 1)
+        b.ldi_int("b", 1)
+        b.halt(0)
+        b.ldi_int("c", 1)
+        b.halt(0)
+    program, _ = build_region(fill)
+    regions = [Region(0, 3), Region(3, 5)]
+    counts = [10, 10, 10, 30, 30]
+    mean, entries = dynamic_region_stats(program, regions, counts)
+    assert entries == 40
+    assert abs(mean - (10 * 3 + 30 * 2) / 40) < 1e-9

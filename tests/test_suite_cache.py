@@ -1,0 +1,59 @@
+"""Benchmark suite driver: fingerprinting and the on-disk profile cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks.suite import (
+    program_fingerprint, run_program_cached, cache_dir)
+from repro.bam import compile_source
+from repro.intcode import translate_module
+
+
+def program_for(source):
+    return translate_module(compile_source(source))
+
+
+SOURCE_A = "main :- X = 1, write(X), nl."
+SOURCE_B = "main :- X = 2, write(X), nl."
+
+
+def test_fingerprint_stable_across_recompiles():
+    assert program_fingerprint(program_for(SOURCE_A)) == \
+        program_fingerprint(program_for(SOURCE_A))
+
+
+def test_fingerprint_distinguishes_programs():
+    assert program_fingerprint(program_for(SOURCE_A)) != \
+        program_fingerprint(program_for(SOURCE_B))
+
+
+def test_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    program = program_for(SOURCE_A)
+    first = run_program_cached(program, "t-")
+    files = list(tmp_path.iterdir())
+    assert len(files) == 1
+    second = run_program_cached(program, "t-")
+    assert second.output == first.output
+    assert second.counts == first.counts
+    assert list(tmp_path.iterdir()) == files  # no new entries
+
+
+def test_corrupt_cache_entry_recomputed(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    program = program_for(SOURCE_A)
+    run_program_cached(program, "t-")
+    path = next(tmp_path.iterdir())
+    path.write_text("{not json")
+    result = run_program_cached(program, "t-")
+    assert result.output == "1\n"
+    assert json.load(open(path))["output"] == "1\n"
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sub"))
+    path = cache_dir()
+    assert path == str(tmp_path / "sub")
+    assert os.path.isdir(path)

@@ -1,0 +1,76 @@
+"""Tagged-word packing: exactness for all field combinations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.terms import tags
+
+
+ALL_TAGS = sorted(tags.TAG_NAMES)
+
+
+def test_pack_fields_roundtrip_simple():
+    word = tags.pack(42, tags.TINT)
+    assert tags.value_of(word) == 42
+    assert tags.tag_of(word) == tags.TINT
+    assert tags.cdr_of(word) == 0
+
+
+def test_pack_with_cdr_bit():
+    word = tags.pack(7, tags.TLST, cdr=1)
+    assert tags.cdr_of(word) == 1
+    assert tags.value_of(word) == 7
+    assert tags.tag_of(word) == tags.TLST
+
+
+def test_negative_values_are_exact():
+    word = tags.pack(-1, tags.TINT)
+    assert tags.value_of(word) == -1
+    assert tags.tag_of(word) == tags.TINT
+
+
+def test_with_tag_replaces_only_tag():
+    word = tags.pack(-123456, tags.TREF, cdr=1)
+    retagged = tags.with_tag(word, tags.TSTR)
+    assert tags.tag_of(retagged) == tags.TSTR
+    assert tags.value_of(retagged) == -123456
+    assert tags.cdr_of(retagged) == 1
+
+
+def test_tags_are_distinct_3_bit_values():
+    assert len(set(ALL_TAGS)) == 8
+    assert all(0 <= tag < 8 for tag in ALL_TAGS)
+
+
+def test_describe_mentions_tag_name_and_value():
+    text = tags.describe(tags.pack(5, tags.TATM))
+    assert "atm" in text and "5" in text
+
+
+@given(st.integers(min_value=-(2 ** 60), max_value=2 ** 60),
+       st.sampled_from(ALL_TAGS), st.integers(min_value=0, max_value=1))
+def test_pack_unpack_roundtrip(value, tag, cdr):
+    word = tags.pack(value, tag, cdr)
+    assert tags.value_of(word) == value
+    assert tags.tag_of(word) == tag
+    assert tags.cdr_of(word) == cdr
+
+
+@given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+       st.sampled_from(ALL_TAGS), st.sampled_from(ALL_TAGS))
+def test_with_tag_composition(value, tag1, tag2):
+    word = tags.pack(value, tag1)
+    assert tags.with_tag(word, tag2) == tags.pack(value, tag2)
+
+
+@given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+def test_distinct_tags_give_distinct_words(value):
+    words = {tags.pack(value, tag) for tag in ALL_TAGS}
+    assert len(words) == len(ALL_TAGS)
+
+
+def test_prototype_field_widths():
+    assert tags.WORD_BITS == 32
+    assert tags.VALUE_BITS == 28
+    assert tags.TAG_BITS == 3
+    assert tags.CDR_BITS == 1

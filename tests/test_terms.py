@@ -1,0 +1,132 @@
+"""Term model: construction, rendering, interning, hypothesis roundtrips."""
+
+from hypothesis import given, strategies as st
+
+from repro.terms import (
+    Atom, Int, Var, Struct, make_list, deref, list_items, term_to_string,
+    SymbolTable, NIL)
+from repro.reader import parse_term
+
+
+def test_atom_equality_by_name():
+    assert Atom("a") == Atom("a")
+    assert Atom("a") != Atom("b")
+    assert hash(Atom("x")) == hash(Atom("x"))
+
+
+def test_int_equality():
+    assert Int(3) == Int(3)
+    assert Int(3) != Int(4)
+
+
+def test_var_identity_not_name():
+    assert Var("X") is not Var("X")
+
+
+def test_struct_requires_args():
+    import pytest
+    with pytest.raises(ValueError):
+        Struct("f", [])
+
+
+def test_make_list_and_items_roundtrip():
+    items = [Int(1), Atom("a"), Int(2)]
+    term = make_list(items)
+    out, tail = list_items(term)
+    assert out == items
+    assert tail == NIL
+
+
+def test_make_list_with_tail():
+    tail_var = Var("T")
+    term = make_list([Int(1)], tail_var)
+    items, tail = list_items(term)
+    assert items == [Int(1)]
+    assert tail is tail_var
+
+
+def test_deref_follows_chains():
+    a, b = Var("A"), Var("B")
+    a.ref = b
+    b.ref = Int(9)
+    assert deref(a) == Int(9)
+
+
+def test_render_quoted_atom():
+    assert term_to_string(Atom("Hello world")) == "'Hello world'"
+    assert term_to_string(Atom("[]")) == "[]"
+    assert term_to_string(Atom("+")) == "+"
+
+
+def test_render_escapes_quotes():
+    assert term_to_string(Atom("it's")) == r"'it\'s'"
+
+
+def test_render_partial_list():
+    term = make_list([Int(1)], Var("T"))
+    assert term_to_string(term).startswith("[1|_")
+
+
+def test_render_canonical_struct():
+    term = Struct("f", [Int(1), Struct("g", [Atom("a")])])
+    assert term_to_string(term) == "f(1,g(a))"
+
+
+# -- symbol table ---------------------------------------------------------
+
+
+def test_atoms_interned_stably():
+    table = SymbolTable()
+    index = table.atom("foo")
+    assert table.atom("foo") == index
+    assert table.atom_name(index) == "foo"
+
+
+def test_functor_interning_keyed_by_arity():
+    table = SymbolTable()
+    f1 = table.functor("f", 1)
+    f2 = table.functor("f", 2)
+    assert f1 != f2
+    assert table.functor_key(f2) == ("f", 2)
+    assert table.functor_arity(f2) == 2
+
+
+def test_nil_pre_interned():
+    table = SymbolTable()
+    assert table.atom("[]") == table.nil
+
+
+# -- property: rendering parses back -----------------------------------
+
+
+_atoms = st.sampled_from(["a", "b", "foo", "bar_baz", "[]", "+", "it's"])
+
+
+def _terms(depth):
+    if depth == 0:
+        return st.one_of(_atoms.map(Atom),
+                         st.integers(-1000, 1000).map(Int))
+    sub = _terms(depth - 1)
+    return st.one_of(
+        _atoms.map(Atom),
+        st.integers(-1000, 1000).map(Int),
+        st.lists(sub, min_size=1, max_size=3).map(make_list),
+        st.lists(sub, min_size=1, max_size=3).map(
+            lambda args: Struct("f", args)),
+    )
+
+
+def _ground_equal(a, b):
+    if isinstance(a, Atom):
+        return isinstance(b, Atom) and a.name == b.name
+    if isinstance(a, Int):
+        return isinstance(b, Int) and a.value == b.value
+    return (isinstance(b, Struct) and a.name == b.name
+            and len(a.args) == len(b.args)
+            and all(_ground_equal(x, y) for x, y in zip(a.args, b.args)))
+
+
+@given(_terms(3))
+def test_ground_term_rendering_parses_back(term):
+    text = term_to_string(term)
+    assert _ground_equal(parse_term(text), term)

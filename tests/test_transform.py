@@ -1,0 +1,158 @@
+"""Trace picking and superblock transformation.
+
+The central property: the transformed program is semantically identical —
+same halt status, same output — on a battery of programs with heavy
+backtracking, and its regions partition the code with single entries.
+"""
+
+import pytest
+
+from tests.conftest import compile_and_run
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import Emulator
+from repro.analysis.cfg import Cfg
+from repro.compaction.trace import pick_traces, edge_counts
+from repro.compaction.transform import form_superblocks
+
+PROGRAMS = {
+    "append": """
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+        main :- app([1,2,3], [4], X), write(X), nl.
+    """,
+    "split-backtrack": """
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+        main :- app(X, [3|_], [1,2,3,4]), write(X), nl.
+    """,
+    "failure": """
+        p(1). p(2).
+        main :- p(3), write(bad), nl.
+    """,
+    "cut": """
+        q(1). q(2). q(3).
+        first(X) :- q(X), !.
+        main :- first(X), write(X), nl.
+    """,
+    "nondeterminism": """
+        sel(X, [X|T], T).
+        sel(X, [H|T], [H|R]) :- sel(X, T, R).
+        main :- sel(X, [a,b,c], R), write(X-R), nl, fail.
+        main :- write(done), nl.
+    """,
+    "arith-ite": """
+        f(X, Y) :- (X > 10 -> Y is X - 10 ; Y is 10 - X).
+        main :- f(3, A), f(30, B), write(A-B), nl.
+    """,
+}
+
+
+def transformed(source, budget=48):
+    program = translate_module(compile_source(source))
+    result = Emulator(program).run()
+    return program, result, form_superblocks(program, result.counts,
+                                             result.taken, budget)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_transform_preserves_semantics(name):
+    program, result, transform = transformed(PROGRAMS[name])
+    new_result = Emulator(transform.program).run()
+    assert new_result.status == result.status
+    assert new_result.output == result.output
+
+
+@pytest.mark.parametrize("budget", [0, 8, 48, 200])
+def test_transform_preserves_semantics_across_budgets(budget):
+    program, result, transform = transformed(
+        PROGRAMS["split-backtrack"], budget)
+    new_result = Emulator(transform.program).run()
+    assert (new_result.status, new_result.output) == (result.status,
+                                                      result.output)
+
+
+def test_regions_partition_the_new_program():
+    _, _, transform = transformed(PROGRAMS["append"])
+    covered = []
+    for region in transform.regions:
+        covered.extend(range(region.start, region.end))
+    assert sorted(covered) == list(range(len(transform.program)))
+
+
+def test_regions_have_single_entry():
+    """No branch/jump may target the interior of a region."""
+    _, _, transform = transformed(PROGRAMS["nondeterminism"])
+    program = transform.program
+    heads = {region.start for region in transform.regions}
+    interior_targets = set()
+    for instruction in program.instructions:
+        if instruction.label is not None and instruction.op != "call":
+            target = program.labels[instruction.label]
+            if target not in heads:
+                interior_targets.add(target)
+    # ldi-code labels point at region heads too (indirect entries).
+    assert not interior_targets
+
+
+def test_zero_count_blocks_become_singleton_regions():
+    _, _, transform = transformed(PROGRAMS["failure"])
+    new_result = Emulator(transform.program).run()
+    assert new_result.status == 1
+
+
+def test_code_growth_reported():
+    _, _, transform = transformed(PROGRAMS["split-backtrack"])
+    assert transform.code_growth >= 1.0
+    assert transform.duplicated_ops >= 0
+
+
+def test_budget_zero_means_no_duplication():
+    _, _, transform = transformed(PROGRAMS["split-backtrack"], budget=0)
+    assert transform.duplicated_ops == 0
+
+
+def test_traces_follow_hot_edges():
+    program = translate_module(compile_source(PROGRAMS["append"]))
+    result = Emulator(program).run()
+    cfg = Cfg(program)
+    traces = pick_traces(cfg, result.counts, result.taken)
+    heads = {trace.head.start for trace in traces}
+    assert program.entry_pc in {b.start for t in traces for b in t.blocks}
+    # Every block is in exactly one trace.
+    assigned = [b.start for t in traces for b in t.blocks]
+    assert len(assigned) == len(set(assigned)) == len(cfg.blocks)
+    # At least one trace is longer than a single block (the hot path).
+    assert any(len(t) > 1 for t in traces)
+
+
+def test_indirect_entries_are_trace_heads():
+    program = translate_module(compile_source(PROGRAMS["append"]))
+    result = Emulator(program).run()
+    cfg = Cfg(program)
+    traces = pick_traces(cfg, result.counts, result.taken)
+    heads = {trace.head.start for trace in traces}
+    for entry in cfg.indirect_entries:
+        assert entry in heads, "indirect entry %d absorbed mid-trace" % entry
+
+
+def test_edge_counts_match_block_counts():
+    program = translate_module(compile_source(PROGRAMS["append"]))
+    result = Emulator(program).run()
+    cfg = Cfg(program)
+    edges = edge_counts(cfg, result.counts, result.taken)
+    for (src, dst), count in edges.items():
+        assert count >= 0
+        assert count <= result.counts[src]
+
+
+@pytest.mark.parametrize("name", ["append", "nondeterminism", "cut"])
+def test_transform_of_transform_is_stable_semantics(name):
+    """Applying the transform to its own output must stay correct."""
+    _, result, transform = transformed(PROGRAMS[name])
+    second_input = transform.program
+    second_result = Emulator(second_input).run()
+    second = form_superblocks(second_input, second_result.counts,
+                              second_result.taken)
+    final = Emulator(second.program).run()
+    assert (final.status, final.output) == (result.status, result.output)
