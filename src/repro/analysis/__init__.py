@@ -1,8 +1,14 @@
-"""Static and dynamic code analysis: CFG, liveness, dependence, Amdahl."""
+"""Static and dynamic code analysis: CFG, liveness, dependence, Amdahl,
+and the independent lint/verify checkers."""
 
 from repro.analysis.cfg import Cfg, BasicBlock
 from repro.analysis.liveness import Liveness
 from repro.analysis.dependence import build_dag, DependenceDag
+from repro.analysis.lint import Diagnostic, lint_program, \
+    format_diagnostics
+from repro.analysis.verify import (
+    VerificationError, check_schedule, check_transform, check_regions,
+    check_allocation, NameLiveness, off_live_names, raise_if_failed)
 
 __all__ = [
     "Cfg",
@@ -10,4 +16,15 @@ __all__ = [
     "Liveness",
     "build_dag",
     "DependenceDag",
+    "Diagnostic",
+    "lint_program",
+    "format_diagnostics",
+    "VerificationError",
+    "check_schedule",
+    "check_transform",
+    "check_regions",
+    "check_allocation",
+    "NameLiveness",
+    "off_live_names",
+    "raise_if_failed",
 ]

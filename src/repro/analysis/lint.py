@@ -1,0 +1,368 @@
+"""ICI well-formedness lint ("the checker", part 1).
+
+An independent static validity pass over :class:`~repro.intcode.program.
+Program` objects, run after translation and again after every rewriting
+stage (block-local optimisation, superblock transformation).  It re-derives
+everything it checks from the instruction stream itself — it shares no
+analysis results with the compiler passes it polices.
+
+Rules (each produces a :class:`Diagnostic` with a stable ``rule`` name):
+
+``operand-shape``
+    Every opcode carries exactly the operands its hardware semantics use
+    (the decode tables of section 3.1 / the emulator): registers are
+    names, immediates are integers, tag immediates fit the 3-bit tag
+    field, escapes name a known host service.
+``label-unresolved`` / ``label-out-of-range`` / ``entry-missing``
+    Control-transfer and code-address operands resolve in the label
+    table, and every label maps into the instruction stream.
+``block-terminator``
+    The program cannot fall off its own end: the last instruction is an
+    unconditional control transfer.
+``use-before-def``
+    Definite-assignment dataflow over the program's own control-flow
+    edges: a register read must be written on every static path from an
+    entry point.  Machine registers and the ABI set (argument registers
+    and runtime temporaries, mirroring the liveness ABI rule) are defined
+    at indirect entry points.
+
+The lint is deliberately conservative where control flow is indirect:
+blocks entered through ``jmpr`` (continuations, retry addresses) assume
+only the ABI set, exactly the contract the code generator promises.
+"""
+
+from repro.intcode.ici import BRANCH_OPS
+from repro.intcode import layout
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "lint_program",
+    "check_operands",
+    "format_diagnostics",
+]
+
+#: host escape services the emulator implements
+KNOWN_ESCAPES = frozenset(["write", "nl"])
+
+#: 3-bit tag field
+MAX_TAG = 7
+
+_ALU_BINARY = frozenset(
+    ["add", "sub", "mul", "div", "mod", "and", "or", "xor", "sll", "sra"])
+_CMP_BRANCHES = frozenset(["beq", "bne", "bltv", "blev", "bgtv", "bgev"])
+
+#: opcode -> (required fields, optional fields); anything else must be None
+_SIGNATURES = {}
+
+
+def _sig(ops, required, optional=()):
+    for op in ops:
+        _SIGNATURES[op] = (tuple(required), tuple(optional))
+
+
+_sig(["ld"], ("rd", "ra"), ("imm",))
+_sig(["st"], ("ra", "rb"), ("imm",))
+_sig(_ALU_BINARY, ("rd", "ra", "rb"))
+_sig(["lea"], ("rd", "ra", "tag"), ("imm",))
+_sig(["mktag"], ("rd", "ra", "tag"))
+_sig(["gettag"], ("rd", "ra"))
+_sig(["mov"], ("rd", "ra"))
+_sig(["ldi"], ("rd",), ("imm", "label"))      # exactly one of imm/label
+_sig(["btag", "bntag"], ("ra", "tag", "label"))
+_sig(_CMP_BRANCHES, ("ra", "rb", "label"))
+_sig(["jmp"], ("label",))
+_sig(["call"], ("rd", "label"))
+_sig(["jmpr"], ("ra",))
+_sig(["esc"], ("esc",), ("ra",))
+_sig(["halt"], (), ("imm",))
+
+_ALL_FIELDS = ("rd", "ra", "rb", "imm", "tag", "label", "esc")
+_REGISTER_FIELDS = ("rd", "ra", "rb")
+
+
+class Diagnostic:
+    """One structured checker finding.
+
+    * ``stage``  — which checker produced it (``lint``, ``schedule``,
+      ``transform``, ``regalloc``).
+    * ``rule``   — stable kebab-case rule identifier.
+    * ``pos``    — instruction index (program pc, or region-relative
+      position for schedule rules); ``None`` for program-level findings.
+    * ``region`` — ``(start, end)`` of the region under check, if any.
+    * ``message`` — human-readable explanation.
+    """
+
+    __slots__ = ("stage", "rule", "pos", "region", "message")
+
+    def __init__(self, stage, rule, message, pos=None, region=None):
+        self.stage = stage
+        self.rule = rule
+        self.message = message
+        self.pos = pos
+        self.region = region
+
+    def format(self):
+        where = ""
+        if self.region is not None:
+            where += " region[%d,%d)" % self.region
+        if self.pos is not None:
+            where += " op %d" % self.pos
+        return "%s:%s%s: %s" % (self.stage, self.rule, where, self.message)
+
+    def __repr__(self):
+        return "Diagnostic(%s)" % self.format()
+
+
+class LintError(Exception):
+    """Raised when a checked stage is asked to fail hard on findings."""
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        super().__init__(format_diagnostics(self.diagnostics))
+
+
+def format_diagnostics(diagnostics):
+    return "\n".join(d.format() for d in diagnostics)
+
+
+# -- operand shapes ----------------------------------------------------------
+
+def check_operands(instruction, pc=None, stage="lint"):
+    """Shape-check one instruction; returns a list of diagnostics."""
+    diags = []
+
+    def bad(rule, message):
+        diags.append(Diagnostic(stage, rule, "%r: %s"
+                                % (instruction, message), pos=pc))
+
+    signature = _SIGNATURES.get(instruction.op)
+    if signature is None:
+        bad("unknown-opcode", "opcode not in the ICI set")
+        return diags
+    required, optional = signature
+    allowed = set(required) | set(optional)
+    for field in _ALL_FIELDS:
+        value = getattr(instruction, field)
+        if field in required and value is None:
+            bad("operand-shape", "missing %s operand" % field)
+        elif field not in allowed and value is not None:
+            bad("operand-shape", "unexpected %s operand" % field)
+    for field in _REGISTER_FIELDS:
+        value = getattr(instruction, field)
+        if value is not None and not isinstance(value, str):
+            bad("operand-shape", "%s is not a register name" % field)
+    if instruction.imm is not None and not isinstance(instruction.imm, int):
+        bad("operand-shape", "imm is not an integer")
+    if instruction.tag is not None and not (
+            isinstance(instruction.tag, int)
+            and 0 <= instruction.tag <= MAX_TAG):
+        bad("operand-shape", "tag %r outside the 3-bit tag field"
+            % (instruction.tag,))
+    if instruction.op == "esc" and instruction.esc not in KNOWN_ESCAPES:
+        bad("operand-shape", "unknown escape service %r"
+            % (instruction.esc,))
+    if instruction.op == "ldi":
+        has_imm = instruction.imm is not None
+        has_label = instruction.label is not None
+        if has_imm == has_label:
+            bad("operand-shape",
+                "ldi needs exactly one of imm / label, has %s"
+                % ("both" if has_imm else "neither"))
+    return diags
+
+
+# -- control flow ------------------------------------------------------------
+
+def _label_diagnostics(program, stage):
+    diags = []
+    n = len(program.instructions)
+    for name, target in program.labels.items():
+        if not isinstance(target, int) or not 0 <= target <= n:
+            diags.append(Diagnostic(
+                stage, "label-out-of-range",
+                "label %r -> %r outside the instruction stream [0,%d]"
+                % (name, target, n)))
+    for pc, instruction in enumerate(program.instructions):
+        if instruction.label is not None \
+                and instruction.label not in program.labels:
+            diags.append(Diagnostic(
+                stage, "label-unresolved",
+                "%r references undefined label %r"
+                % (instruction, instruction.label), pos=pc))
+    if program.entry not in program.labels:
+        diags.append(Diagnostic(
+            stage, "entry-missing",
+            "entry label %r is not defined" % program.entry))
+    return diags
+
+
+def _terminator_diagnostics(program, stage):
+    instructions = program.instructions
+    if not instructions:
+        return [Diagnostic(stage, "block-terminator", "empty program")]
+    last = instructions[-1]
+    if last.op not in ("jmp", "jmpr", "halt", "call"):
+        return [Diagnostic(
+            stage, "block-terminator",
+            "program ends in %r; execution would fall off the end"
+            % last, pos=len(instructions) - 1)]
+    return []
+
+
+# -- definite assignment -----------------------------------------------------
+
+def _abi_registers():
+    """Registers defined at every indirect entry point: the machine state
+    plus the argument/linkage convention (mirrors the liveness ABI)."""
+    regs = set(layout.MACHINE_REGISTERS)
+    regs.update(("B0", "u0", "u1", "EQR"))
+    regs.update("a%d" % index for index in range(16))
+    return regs
+
+
+def _leaders_and_entries(program):
+    """Own leader scan (shared with no other pass): block start pcs and
+    the subset reachable indirectly."""
+    instructions = program.instructions
+    n = len(instructions)
+    leaders = {0}
+    indirect = set()
+    returns = set()
+    if program.entry in program.labels:
+        entry_pc = program.labels[program.entry]
+        leaders.add(entry_pc)
+        indirect.add(entry_pc)
+    for pc, instruction in enumerate(instructions):
+        op = instruction.op
+        target = program.labels.get(instruction.label) \
+            if instruction.label is not None else None
+        if op in BRANCH_OPS or op == "jmp" or op == "call":
+            if target is not None and target < n:
+                leaders.add(target)
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+            if op == "call":
+                if target is not None and target < n:
+                    indirect.add(target)
+                if pc + 1 < n:
+                    returns.add(pc + 1)
+        elif op in ("jmpr", "halt"):
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op == "ldi" and instruction.label is not None:
+            if target is not None and target < n:
+                leaders.add(target)
+                indirect.add(target)
+    return sorted(leaders), indirect, returns
+
+
+def _definite_assignment(program, stage):
+    """Forward all-paths dataflow: which registers are certainly written
+    before each block; flag reads outside that set."""
+    instructions = program.instructions
+    n = len(instructions)
+    if n == 0:
+        return []
+    leaders, indirect, returns = _leaders_and_entries(program)
+    starts = leaders
+    block_end = {}
+    for index, start in enumerate(starts):
+        block_end[start] = starts[index + 1] if index + 1 < len(starts) \
+            else n
+
+    succs = {}
+    for start in starts:
+        end = block_end[start]
+        terminator = instructions[end - 1]
+        op = terminator.op
+        out = []
+        if op in BRANCH_OPS:
+            out.append(program.labels.get(terminator.label))
+            if end < n:
+                out.append(end)
+        elif op == "jmp":
+            out.append(program.labels.get(terminator.label))
+        elif op == "call":
+            # Values flow *around* a call to its return point: runtime
+            # routines preserve caller temporaries, and the liveness
+            # analysis makes the same assumption (its extra_succs rule).
+            if end < n:
+                out.append(end)
+        elif op in ("jmpr", "halt"):
+            pass
+        elif end < n:
+            out.append(end)
+        succs[start] = [s for s in out if s is not None and s < n]
+
+    abi = _abi_registers()
+    universe = set(abi)
+    for instruction in instructions:
+        universe.update(instruction.writes())
+
+    def block_defs(start):
+        written = set()
+        for pc in range(start, block_end[start]):
+            written.update(instructions[pc].writes())
+        return written
+
+    defs_of = {start: block_defs(start) for start in starts}
+    preds = {start: [] for start in starts}
+    for start in starts:
+        for succ in succs[start]:
+            preds[succ].append(start)
+
+    # Indirect entries (procedure entries, retry addresses, call returns)
+    # are pinned to the ABI contract; other blocks take the intersection
+    # of their static predecessors' guarantees.  Start optimistic (full
+    # universe) and shrink to the greatest fixpoint.
+    abi_in = abi & universe
+    defined_in = {start: set(universe) for start in starts}
+    for start in indirect:
+        defined_in[start] = set(abi_in)
+    changed = True
+    while changed:
+        changed = False
+        for start in starts:
+            if start in indirect:
+                continue
+            if not preds[start]:
+                continue        # statically unreachable: keep optimistic
+            new = set.intersection(
+                *(defined_in[p] | defs_of[p] for p in preds[start]))
+            if start in returns:
+                # The callee re-establishes the machine state and the
+                # argument convention on top of the preserved values.
+                new |= abi_in
+            if new != defined_in[start]:
+                defined_in[start] = new
+                changed = True
+
+    diags = []
+    for start in starts:
+        defined = set(defined_in[start])
+        for pc in range(start, block_end[start]):
+            instruction = instructions[pc]
+            for name in instruction.reads():
+                if name not in defined:
+                    diags.append(Diagnostic(
+                        stage, "use-before-def",
+                        "%r reads %s, which is not written on every "
+                        "path reaching pc %d" % (instruction, name, pc),
+                        pos=pc))
+                    defined.add(name)   # report each register once
+            defined.update(instruction.writes())
+    return diags
+
+
+def lint_program(program, stage="lint", definite_assignment=True):
+    """Run every lint rule over *program*; returns the diagnostics."""
+    diags = []
+    for pc, instruction in enumerate(program.instructions):
+        diags.extend(check_operands(instruction, pc, stage))
+    diags.extend(_label_diagnostics(program, stage))
+    diags.extend(_terminator_diagnostics(program, stage))
+    if definite_assignment and not diags:
+        # Dataflow needs resolvable labels; skip it when shape is broken.
+        diags.extend(_definite_assignment(program, stage))
+    return diags

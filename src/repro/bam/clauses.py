@@ -10,7 +10,7 @@ from repro.terms import Atom, Int, Var, Struct, deref
 from repro.bam import instructions as bam
 from repro.bam.descriptors import (
     VarLoc, DAtom, DInt, DVar, DList, DStruct)
-from repro.bam.normalize import NormalizeError, goal_indicator
+from repro.bam.normalize import goal_indicator
 
 #: body goals compiled inline; all others are predicate calls ending a chunk
 _ARITH_TESTS = {"<", ">", "=<", ">=", "=:=", "=\\="}

@@ -7,7 +7,7 @@ source-to-source transformation.  The result is a mapping from predicate
 indicator to an ordered list of ``(head, [goal, ...])`` pairs.
 """
 
-from repro.terms import Atom, Int, Var, Struct, deref
+from repro.terms import Atom, Var, Struct, deref
 
 
 class NormalizeError(Exception):

@@ -8,6 +8,11 @@
     python -m repro analyze program.pl        # mix + branch statistics
     python -m repro bench qsort               # one suite benchmark
     python -m repro evaluate [--extras]       # the paper's tables/figures
+    python -m repro lint program.pl           # ICI well-formedness lint
+    python -m repro verify [--bench qsort]    # independent checker sweep
+
+Exit codes: 0 = success/clean, 1 = violations found (lint/verify) or a
+failing program status, 2 = usage error.  Diagnostics go to stderr.
 """
 
 import argparse
@@ -56,7 +61,7 @@ def _add_compile_flags(parser):
                         help="disable last-call optimisation")
 
 
-def cmd_run(args, out):
+def cmd_run(args, out, err):
     _, program = _load(args)
     result = run_program(program, max_steps=args.max_steps)
     out.write(result.output)
@@ -66,7 +71,7 @@ def cmd_run(args, out):
     return result.status
 
 
-def cmd_listing(args, out):
+def cmd_listing(args, out, err):
     module, program = _load(args)
     if args.level in ("bam", "both"):
         out.write(module.listing() + "\n")
@@ -75,7 +80,7 @@ def cmd_listing(args, out):
     return 0
 
 
-def cmd_speedup(args, out):
+def cmd_speedup(args, out, err):
     import repro
     _, program = _load(args)
     for name in args.machine:
@@ -87,7 +92,7 @@ def cmd_speedup(args, out):
     return 0
 
 
-def cmd_analyze(args, out):
+def cmd_analyze(args, out, err):
     from repro.analysis.branch_stats import branch_records, average_p_fp
     _, program = _load(args)
     result = run_program(program, max_steps=args.max_steps)
@@ -106,10 +111,10 @@ def cmd_analyze(args, out):
     return 0
 
 
-def cmd_bench(args, out):
+def cmd_bench(args, out, err):
     from repro.benchmarks import PROGRAMS, run_benchmark
     if args.name not in PROGRAMS:
-        out.write("unknown benchmark %r; available: %s\n"
+        err.write("unknown benchmark %r; available: %s\n"
                   % (args.name, ", ".join(sorted(PROGRAMS))))
         return 2
     result = run_benchmark(args.name)
@@ -119,11 +124,89 @@ def cmd_bench(args, out):
     return result.status
 
 
-def cmd_evaluate(args, out):
+def cmd_evaluate(args, out, err):
     from repro.experiments import run_all
     for name, text in run_all(extras=args.extras).items():
         out.write(text + "\n\n")
     return 0
+
+
+def cmd_lint(args, out, err):
+    from repro.analysis import lint_program, format_diagnostics
+    _, program = _load(args)
+    diagnostics = lint_program(program)
+    if diagnostics:
+        err.write(format_diagnostics(diagnostics) + "\n")
+        err.write("%s: %d lint finding(s)\n"
+                  % (args.file, len(diagnostics)))
+        return 1
+    out.write("%s: clean (%d ops)\n" % (args.file, len(program)))
+    return 0
+
+
+def cmd_verify(args, out, err):
+    from repro.analysis import format_diagnostics
+    from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS, \
+        compile_benchmark
+    from repro.benchmarks.suite import run_program_cached
+    from repro.evaluation.pipeline import verify_evaluation
+    from repro.experiments.data import master_configs
+
+    configs = master_configs()
+    if args.machine:
+        unknown = [m for m in args.machine if m not in configs]
+        if unknown:
+            err.write("unknown machine key(s) %s; available: %s\n"
+                      % (", ".join(sorted(unknown)),
+                         ", ".join(sorted(configs))))
+            return 2
+        configs = {key: configs[key] for key in args.machine}
+
+    targets = []
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+        options = CompilerOptions()
+        module = compile_source(source, entry=(args.entry, 0),
+                                options=options)
+        program = translate_module(module)
+        if args.optimize:
+            program, _ = optimize_program(program)
+        targets.append((args.file, program))
+    names = args.bench or ([] if args.file else list(TABLE_BENCHMARKS))
+    for name in names:
+        if name not in PROGRAMS:
+            err.write("unknown benchmark %r; available: %s\n"
+                      % (name, ", ".join(sorted(PROGRAMS))))
+            return 2
+        targets.append((name, compile_benchmark(name)))
+
+    import os
+    status = 0
+    total = 0
+    for name, program in targets:
+        hint = os.path.basename(name) + "-"
+        result = run_program_cached(program, hint)
+        diagnostics = verify_evaluation(
+            program, result, configs,
+            tail_dup_budget=args.tail_dup_budget,
+            cache_hint=hint, bank_size=args.bank_size)
+        if diagnostics:
+            status = 1
+            total += len(diagnostics)
+            err.write("== %s ==\n" % name)
+            err.write(format_diagnostics(diagnostics) + "\n")
+            out.write("%-12s FAIL  %d finding(s)\n"
+                      % (name, len(diagnostics)))
+        else:
+            out.write("%-12s ok    %d ops, %d machine config(s)\n"
+                      % (name, len(program), len(configs)))
+    if status:
+        err.write("verify: %d finding(s) across %d target(s)\n"
+                  % (total, len(targets)))
+    else:
+        out.write("verify: all %d target(s) clean\n" % len(targets))
+    return status
 
 
 def build_parser():
@@ -164,15 +247,41 @@ def build_parser():
     p.add_argument("--extras", action="store_true",
                    help="include ablations / future-work studies")
     p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("lint",
+                       help="check a compiled program's ICI for "
+                            "well-formedness")
+    _add_compile_flags(p)
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("verify",
+                       help="run the independent checker over the "
+                            "evaluation pipeline")
+    p.add_argument("--bench", action="append", metavar="NAME",
+                   help="suite benchmark to verify (repeatable; "
+                        "default: the paper's table benchmarks)")
+    p.add_argument("--file", help="verify a Prolog source file instead")
+    p.add_argument("--entry", default="main",
+                   help="entry predicate for --file (default main)")
+    p.add_argument("--optimize", action="store_true",
+                   help="optimise the --file program before verifying")
+    p.add_argument("-m", "--machine", action="append", metavar="KEY",
+                   help="machine config key (repeatable; default: all "
+                        "master configs)")
+    p.add_argument("--tail-dup-budget", type=int, default=48)
+    p.add_argument("--bank-size", type=int, default=16,
+                   help="register bank size for allocation checking")
+    p.set_defaults(func=cmd_verify)
     return parser
 
 
-def main(argv=None, out=None):
+def main(argv=None, out=None, err=None):
     out = out or sys.stdout
+    err = err or sys.stderr
     args = build_parser().parse_args(argv)
     if args.command == "speedup" and not args.machine:
         args.machine = ["vliw3"]
-    return args.func(args, out)
+    return args.func(args, out, err)
 
 
 if __name__ == "__main__":

@@ -8,8 +8,14 @@ from repro.compaction.trace import Trace, pick_traces, edge_counts, \
 from repro.compaction.transform import (
     form_superblocks, TransformResult, Region)
 from repro.compaction.scheduler import Schedule, schedule_region
+from repro.compaction.regalloc import (
+    PressureReport, Allocation, region_pressure, is_interface)
 
 __all__ = [
+    "PressureReport",
+    "Allocation",
+    "region_pressure",
+    "is_interface",
     "MachineConfig",
     "sequential",
     "bam_like",

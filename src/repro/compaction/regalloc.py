@@ -45,6 +45,37 @@ class Interval:
         return "Interval(%s, [%d,%d])" % (self.reg, self.start, self.end)
 
 
+class Allocation:
+    """A concrete binding of one region's values onto a register bank.
+
+    * ``assignment`` — local virtual register -> physical index;
+    * ``spilled``    — locals that did not fit (stack-resident);
+    * ``reserved``   — interface register -> pinned physical index;
+    * ``bank_size``  — the bank the binding targets.
+
+    The independent checker (:func:`repro.analysis.verify.
+    check_allocation`) validates that no two simultaneously-live values
+    share a physical register.
+    """
+
+    __slots__ = ("assignment", "spilled", "reserved", "bank_size")
+
+    def __init__(self, assignment, spilled, reserved, bank_size):
+        self.assignment = assignment
+        self.spilled = spilled
+        self.reserved = reserved
+        self.bank_size = bank_size
+
+    @property
+    def spill_count(self):
+        return len(self.spilled)
+
+    def __repr__(self):
+        return ("Allocation(bank=%d, placed=%d, spilled=%d, reserved=%d)"
+                % (self.bank_size, len(self.assignment),
+                   len(self.spilled), len(self.reserved)))
+
+
 class PressureReport:
     """Pressure and allocation summary for one scheduled region."""
 
@@ -95,6 +126,50 @@ class PressureReport:
                     active[-1] = interval.end
                 spills += 1
         return spills
+
+    def allocate(self, bank_size):
+        """Concrete linear-scan binding onto a *bank_size* bank.
+
+        Same policy as :meth:`spills_for` (interface registers pinned,
+        furthest-end eviction), but returns the actual
+        :class:`Allocation` so an independent checker can validate the
+        binding.  ``allocation.spill_count == spills_for(bank_size)``
+        whenever the machine state itself fits the bank.
+        """
+        reserved = {name: index
+                    for index, name in enumerate(sorted(self.reserved))}
+        assignment = {}
+        spilled = set()
+        available = bank_size - len(reserved)
+        if available <= 0:
+            spilled.update(interval.reg for interval in self.intervals)
+            return Allocation(assignment, spilled, reserved, bank_size)
+        free = list(range(len(reserved), bank_size))
+        active = []                      # (end, phys, reg), bank-resident
+        for interval in sorted(self.intervals, key=lambda i: i.start):
+            expired = [entry for entry in active
+                       if entry[0] < interval.start]
+            active = [entry for entry in active
+                      if entry[0] >= interval.start]
+            for end, phys, reg in expired:
+                free.append(phys)
+            if free:
+                free.sort()
+                phys = free.pop(0)
+                assignment[interval.reg] = phys
+                active.append((interval.end, phys, interval.reg))
+            else:
+                # Spill the interval ending furthest away.
+                active.sort()
+                if active and active[-1][0] > interval.end:
+                    end, phys, reg = active.pop()
+                    assignment.pop(reg, None)
+                    spilled.add(reg)
+                    assignment[interval.reg] = phys
+                    active.append((interval.end, phys, interval.reg))
+                else:
+                    spilled.add(interval.reg)
+        return Allocation(assignment, spilled, reserved, bank_size)
 
 
 def region_pressure(instructions, schedule):

@@ -14,28 +14,49 @@ import os
 
 from repro.analysis.cfg import Cfg
 from repro.analysis.liveness import Liveness
+from repro.analysis.lint import Diagnostic, lint_program
+from repro.analysis.verify import (
+    VerificationError, NameLiveness, check_schedule, check_transform,
+    check_regions, check_allocation, off_live_names, raise_if_failed)
 from repro.compaction.transform import form_superblocks, Region
 from repro.compaction.scheduler import schedule_region
+from repro.compaction.regalloc import region_pressure
 from repro.evaluation.simulator import replay_program, dynamic_region_stats
 from repro.benchmarks.suite import (
     compile_benchmark, run_program_cached, program_fingerprint, cache_dir)
+
+#: the SYMBOL prototype's register bank (section 5.2), used when the
+#: checked pipeline validates register bindings
+VERIFY_BANK_SIZE = 16
 
 
 class RegionSet:
     """A program cut into scheduling regions, with its dynamic profile."""
 
-    def __init__(self, program, regions, counts, taken, liveness=None):
+    def __init__(self, program, regions, counts, taken, liveness=None,
+                 transform=None, source_program=None):
         self.program = program
         self.regions = regions
         self.counts = counts
         self.taken = taken
         self.liveness = liveness
+        #: the TransformResult that produced this layout (trace regions)
+        self.transform = transform
+        #: the pre-transform program (for transform verification)
+        self.source_program = source_program
+        self._name_liveness = None
 
     def executed_regions(self):
         return [r for r in self.regions if self.counts[r.start] > 0]
 
     def stats(self):
         return dynamic_region_stats(self.program, self.regions, self.counts)
+
+    def name_liveness(self):
+        """The independent checker's own liveness, built lazily."""
+        if self._name_liveness is None:
+            self._name_liveness = NameLiveness(self.program)
+        return self._name_liveness
 
 
 def basic_block_regions(program, result):
@@ -62,7 +83,8 @@ def superblock_regions(program, result, tail_dup_budget=48,
             "superblock transformation changed program behaviour")
     liveness = Liveness(Cfg(transform.program))
     return RegionSet(transform.program, transform.regions,
-                     new_result.counts, new_result.taken, liveness)
+                     new_result.counts, new_result.taken, liveness,
+                     transform=transform, source_program=program)
 
 
 def _off_live_map(region_set, region):
@@ -81,11 +103,19 @@ def _off_live_map(region_set, region):
     return masks, reg_mask
 
 
-def machine_cycles(region_set, config):
-    """Total cycles of the program on *config* (schedule + replay)."""
+def machine_cycles(region_set, config, verify=False, diagnostics=None):
+    """Total cycles of the program on *config* (schedule + replay).
+
+    With ``verify=True`` every schedule is validated by the independent
+    checker (:mod:`repro.analysis.verify`) as it is produced; violations
+    raise :class:`VerificationError` — unless *diagnostics* is a list,
+    in which case findings are appended there and the replay continues.
+    """
     program = region_set.program
     schedules = []
     regions = []
+    checker_liveness = region_set.name_liveness() if verify else None
+    found = diagnostics if diagnostics is not None else []
     for region in region_set.regions:
         if region_set.counts[region.start] == 0:
             continue
@@ -94,11 +124,100 @@ def machine_cycles(region_set, config):
             off_live, reg_mask = _off_live_map(region_set, region)
         else:
             off_live, reg_mask = None, None
-        schedules.append(schedule_region(instructions, config,
-                                         off_live, reg_mask))
+        schedule = schedule_region(instructions, config,
+                                   off_live, reg_mask)
+        if verify:
+            checker_off_live = off_live_names(
+                program, region.start, region.end, checker_liveness)
+            found.extend(check_schedule(
+                instructions, schedule, config, checker_off_live,
+                region=(region.start, region.end)))
+        schedules.append(schedule)
         regions.append(region)
+    if verify and diagnostics is None and found:
+        raise VerificationError(
+            found, "illegal schedule under machine %r" % config.name)
     return replay_program(program, regions, schedules,
                           region_set.counts, region_set.taken)
+
+
+def region_set_diagnostics(region_set):
+    """Static checks that depend only on the layout, not the machine:
+    ICI lint of the (transformed) program, transform bisimulation
+    against the pre-transform program, and region-table sanity."""
+    diags = lint_program(region_set.program, stage="lint")
+    if region_set.transform is not None:
+        diags.extend(check_transform(region_set.source_program,
+                                     region_set.program))
+        diags.extend(check_regions(region_set.program,
+                                   region_set.regions))
+    return diags
+
+
+def allocation_diagnostics(region_set, config, bank_size=VERIFY_BANK_SIZE):
+    """Bind every executed region onto the prototype's register bank and
+    check the binding for interference (independent intervals)."""
+    diags = []
+    program = region_set.program
+    for region in region_set.regions:
+        if region_set.counts[region.start] == 0:
+            continue
+        instructions = program.instructions[region.start:region.end]
+        if config.speculation and region_set.liveness is not None:
+            off_live, reg_mask = _off_live_map(region_set, region)
+        else:
+            off_live, reg_mask = None, None
+        schedule = schedule_region(instructions, config,
+                                   off_live, reg_mask)
+        allocation = region_pressure(instructions, schedule) \
+            .allocate(bank_size)
+        diags.extend(check_allocation(
+            instructions, schedule, allocation,
+            region=(region.start, region.end)))
+    return diags
+
+
+def verify_evaluation(program, result, configs, tail_dup_budget=48,
+                      cache_hint="", bank_size=VERIFY_BANK_SIZE):
+    """Run the full checker stack over one compiled+profiled program.
+
+    ``configs`` maps result keys to ``(MachineConfig, regioning)`` pairs
+    exactly like :func:`evaluate_benchmark`.  Returns the list of all
+    diagnostics (empty when every stage verifies clean); never raises.
+    """
+    diags = lint_program(program, stage="lint")
+    region_sets = {}
+
+    def get_region_set(regioning):
+        if regioning not in region_sets:
+            if regioning == "bb":
+                region_sets[regioning] = basic_block_regions(program,
+                                                             result)
+            else:
+                region_sets[regioning] = superblock_regions(
+                    program, result, tail_dup_budget, cache_hint)
+                diags.extend(
+                    region_set_diagnostics(region_sets[regioning]))
+        return region_sets[regioning]
+
+    seen_alloc = set()
+    for key in sorted(configs):
+        config, regioning = configs[key]
+        try:
+            region_set = get_region_set(regioning)
+        except AssertionError as error:
+            # The transform's own dynamic self-check tripped; report it
+            # through the same channel as the static findings.
+            diags.append(Diagnostic(
+                "transform", "behaviour-changed", str(error)))
+            continue
+        machine_cycles(region_set, config, verify=True,
+                       diagnostics=diags)
+        if regioning not in seen_alloc:
+            seen_alloc.add(regioning)
+            diags.extend(allocation_diagnostics(region_set, config,
+                                                bank_size))
+    return diags
 
 
 class BenchmarkEvaluation:
@@ -120,12 +239,18 @@ class BenchmarkEvaluation:
 
 
 def evaluate_benchmark(name, configs, tail_dup_budget=48,
-                       use_cache=True):
+                       use_cache=True, verify=False):
     """Evaluate benchmark *name* under every config in *configs*.
 
     ``configs`` maps result keys to ``(MachineConfig, regioning)`` where
     regioning is ``"bb"`` or ``"trace"``.  Returns a
     :class:`BenchmarkEvaluation` with cycle counts and region statistics.
+
+    With ``verify=True`` the independent checker validates the program
+    (lint), the superblock transform, and every schedule as they are
+    produced; any finding raises :class:`VerificationError`.  Cached
+    results are not trusted while verifying — the pipeline re-runs so
+    there is something to check.
     """
     program = compile_benchmark(name)
     fingerprint = program_fingerprint(program)
@@ -133,9 +258,13 @@ def evaluate_benchmark(name, configs, tail_dup_budget=48,
         name, fingerprint, tail_dup_budget,
         "_".join(sorted(configs)))
     path = os.path.join(cache_dir(), cache_key + ".json")
-    if use_cache and os.path.exists(path):
+    if use_cache and not verify and os.path.exists(path):
         with open(path) as handle:
             return BenchmarkEvaluation(name, json.load(handle))
+
+    if verify:
+        raise_if_failed(lint_program(program, stage="lint"),
+                        "ICI lint of benchmark %r" % name)
 
     result = run_program_cached(program, name + "-")
     region_sets = {}
@@ -148,11 +277,16 @@ def evaluate_benchmark(name, configs, tail_dup_budget=48,
             else:
                 region_sets[regioning] = superblock_regions(
                     program, result, tail_dup_budget, name + "-")
+                if verify:
+                    raise_if_failed(
+                        region_set_diagnostics(region_sets[regioning]),
+                        "superblock transform of benchmark %r" % name)
         return region_sets[regioning]
 
     cycles = {}
     for key, (config, regioning) in configs.items():
-        cycles[key] = machine_cycles(get_region_set(regioning), config)
+        cycles[key] = machine_cycles(get_region_set(regioning), config,
+                                     verify=verify)
 
     region_stats = {}
     for regioning, region_set in region_sets.items():

@@ -14,7 +14,7 @@ These go beyond the paper's tables and quantify its central assumptions:
   trace-length / code-growth trade-off of section 4.4.
 """
 
-from repro.compaction import MachineConfig, sequential, vliw
+from repro.compaction import sequential, vliw
 from repro.evaluation import evaluate_benchmark
 from repro.experiments.render import render_table, fmt
 

@@ -13,7 +13,7 @@ models.  These experiments quantify both on the same workloads:
   area pointer), with and without extra ports.
 """
 
-from repro.compaction import sequential, vliw, ideal
+from repro.compaction import sequential, ideal
 from repro.evaluation import evaluate_benchmark
 from repro.evaluation.dynamic import dataflow_limit
 from repro.experiments.render import render_table, fmt

@@ -4,6 +4,7 @@ import re
 
 import pytest
 
+from repro.analysis import lint_program, format_diagnostics
 from repro.bam import compile_source
 from repro.intcode import translate_module
 from repro.emulator import run_program
@@ -41,6 +42,23 @@ def assert_equivalent(source, query="main"):
     return result
 
 
+def assert_lint_clean(program, stage="lint"):
+    """The independent ICI lint must find nothing in *program*."""
+    diagnostics = lint_program(program, stage=stage)
+    assert diagnostics == [], format_diagnostics(diagnostics)
+
+
 @pytest.fixture
 def engine():
     return Engine()
+
+
+@pytest.fixture(scope="session")
+def verifier_configs():
+    """A representative slice of the master configuration set for the
+    checker: both regionings, speculation on/off, the prototype format,
+    and an unconstrained machine."""
+    from repro.experiments.data import master_configs
+    full = master_configs()
+    keys = ("seq", "bam", "vliw3", "symbol3", "tr_ideal")
+    return {key: full[key] for key in keys}

@@ -22,53 +22,54 @@ def program_file(tmp_path):
 
 def run_cli(argv):
     out = io.StringIO()
-    status = main(argv, out=out)
-    return status, out.getvalue()
+    err = io.StringIO()
+    status = main(argv, out=out, err=err)
+    return status, out.getvalue(), err.getvalue()
 
 
 def test_run_prints_program_output(program_file):
-    status, text = run_cli(["run", program_file])
+    status, text, errors = run_cli(["run", program_file])
     assert status == 0
     assert text == "[1,2,3]\n"
 
 
 def test_run_stats_flag(program_file):
-    status, text = run_cli(["run", program_file, "--stats"])
+    status, text, errors = run_cli(["run", program_file, "--stats"])
     assert "steps=" in text and "status=0" in text
 
 
 def test_run_failing_program_reports_status(tmp_path):
     path = tmp_path / "f.pl"
     path.write_text("p(a). main :- p(b).")
-    status, text = run_cli(["run", str(path)])
+    status, text, errors = run_cli(["run", str(path)])
     assert status == 1
 
 
 def test_run_with_optimize(program_file):
-    status, text = run_cli(["run", program_file, "--optimize"])
+    status, text, errors = run_cli(["run", program_file, "--optimize"])
     assert status == 0 and text == "[1,2,3]\n"
 
 
 def test_run_custom_entry(tmp_path):
     path = tmp_path / "g.pl"
     path.write_text("go :- write(hi), nl. main :- fail.")
-    status, text = run_cli(["run", str(path), "--entry", "go"])
+    status, text, errors = run_cli(["run", str(path), "--entry", "go"])
     assert status == 0 and text == "hi\n"
 
 
 def test_listing_shows_both_levels(program_file):
-    status, text = run_cli(["listing", program_file])
+    status, text, errors = run_cli(["listing", program_file])
     assert "P:app/3" in text        # BAM level
     assert "jmpr" in text           # ICI level
 
 
 def test_listing_bam_only(program_file):
-    status, text = run_cli(["listing", program_file, "--level", "bam"])
+    status, text, errors = run_cli(["listing", program_file, "--level", "bam"])
     assert "Proceed" in text and "jmpr" not in text
 
 
 def test_speedup_default_machine(program_file):
-    status, text = run_cli(["speedup", program_file])
+    status, text, errors = run_cli(["speedup", program_file])
     assert status == 0
     assert text.startswith("vliw3")
     value = float(text.split()[1].rstrip("x"))
@@ -76,7 +77,7 @@ def test_speedup_default_machine(program_file):
 
 
 def test_speedup_multiple_machines(program_file):
-    status, text = run_cli(["speedup", program_file, "-m", "seq",
+    status, text, errors = run_cli(["speedup", program_file, "-m", "seq",
                             "-m", "ideal"])
     lines = text.strip().splitlines()
     assert len(lines) == 2
@@ -84,26 +85,63 @@ def test_speedup_multiple_machines(program_file):
 
 
 def test_analyze_reports_mix_and_branches(program_file):
-    status, text = run_cli(["analyze", program_file])
+    status, text, errors = run_cli(["analyze", program_file])
     assert "dynamic operations:" in text
     assert "P_fp" in text
     assert "mem" in text
 
 
 def test_bench_known_name():
-    status, text = run_cli(["bench", "conc30"])
+    status, text, errors = run_cli(["bench", "conc30"])
     assert status == 0
     assert "steps=" in text
 
 
 def test_bench_unknown_name():
-    status, text = run_cli(["bench", "nonesuch"])
+    status, text, errors = run_cli(["bench", "nonesuch"])
     assert status == 2
-    assert "available" in text
+    assert "available" in errors
+
+
+def test_lint_clean_program(program_file):
+    status, text, errors = run_cli(["lint", program_file])
+    assert status == 0
+    assert "clean" in text and errors == ""
+
+
+def test_lint_optimized_program(program_file):
+    status, text, errors = run_cli(["lint", program_file, "--optimize"])
+    assert status == 0
+
+
+def test_verify_single_benchmark_single_machine():
+    status, text, errors = run_cli(
+        ["verify", "--bench", "conc30", "-m", "vliw3", "-m", "seq"])
+    assert status == 0
+    assert "conc30" in text and "clean" in text
+
+
+def test_verify_unknown_benchmark():
+    status, text, errors = run_cli(["verify", "--bench", "nonesuch"])
+    assert status == 2
+    assert "available" in errors
+
+
+def test_verify_unknown_machine():
+    status, text, errors = run_cli(["verify", "-m", "warp9"])
+    assert status == 2
+    assert "warp9" in errors
+
+
+def test_verify_source_file(program_file):
+    status, text, errors = run_cli(
+        ["verify", "--file", program_file, "-m", "vliw3"])
+    assert status == 0
+    assert "clean" in text
 
 
 def test_warren_flags(program_file):
-    status, text = run_cli(["run", program_file, "--no-indexing",
+    status, text, errors = run_cli(["run", program_file, "--no-indexing",
                             "--no-lco"])
     assert status == 0 and text == "[1,2,3]\n"
 

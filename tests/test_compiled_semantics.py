@@ -4,7 +4,7 @@ interpreter, both in success/failure and in printed output."""
 
 import pytest
 
-from tests.conftest import assert_equivalent, compile_and_run
+from tests.conftest import assert_equivalent
 
 LIST_LIB = """
 app([], L, L).

@@ -5,7 +5,7 @@ import pytest
 from repro.terms import SymbolTable, tags
 from repro.intcode.program import Builder
 from repro.intcode import layout
-from repro.emulator import Emulator, EmulatorError, run_program
+from repro.emulator import Emulator, EmulatorError
 
 
 def build(body):

@@ -9,7 +9,7 @@ import pytest
 
 from repro.experiments import (
     figure2, figure3, figure4, table1, table2, table3, table4, table5,
-    run_all, ALL_EXPERIMENTS)
+    ALL_EXPERIMENTS)
 from repro.intcode.ici import MEM, CTRL
 
 

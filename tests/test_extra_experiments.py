@@ -2,7 +2,6 @@
 Warren baseline.  These reuse the on-disk evaluation cache, so they are
 cheap after the first full run on a machine."""
 
-import pytest
 
 from repro.experiments import ablations, future_work, registers, \
     wam_baseline, EXTRA_EXPERIMENTS

@@ -8,7 +8,11 @@ reproduction (compiled semantics == source semantics).
 
 from hypothesis import given, settings, strategies as st
 
-from tests.conftest import compile_and_run, interpret, normalise_vars
+from repro.bam import compile_source
+from repro.intcode import translate_module, optimize_program
+
+from tests.conftest import (
+    assert_lint_clean, compile_and_run, interpret, normalise_vars)
 
 LIBRARY = """
 app([], L, L).
@@ -68,6 +72,18 @@ def test_random_queries_agree(query):
     result = compile_and_run(source)
     assert result.succeeded == ok
     assert normalise_vars(result.output) == normalise_vars(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries())
+def test_compiled_queries_lint_clean(query):
+    """Every compiled fuzz case must be statically well-formed ICI, both
+    straight out of the translator and after the optimiser."""
+    source = LIBRARY + "main :- %s, nl.\nmain :- write(no), nl.\n" % query
+    program = translate_module(compile_source(source))
+    assert_lint_clean(program)
+    optimized, _ = optimize_program(program)
+    assert_lint_clean(optimized, stage="optimize")
 
 
 @st.composite

@@ -1,12 +1,20 @@
 """Fuzzing the superblock transform: for random queries over the standard
 predicate library, the transformed program must behave identically to the
-original — status, output, everything observable."""
+original — status, output, everything observable — and every artefact
+must pass the independent static checker (lint, transform bisimulation,
+region sanity, schedule legality)."""
 
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import (
+    lint_program, check_transform, check_regions, check_schedule,
+    off_live_names, NameLiveness, format_diagnostics)
+from repro.analysis.cfg import Cfg
+from repro.analysis.liveness import Liveness
 from repro.bam import compile_source
 from repro.intcode import translate_module
 from repro.emulator import Emulator
+from repro.compaction import vliw, schedule_region
 from repro.compaction.transform import form_superblocks
 from repro.intcode.optimize import optimize_program
 
@@ -54,6 +62,11 @@ def test_transform_preserves_behaviour(source, budget):
     transformed = Emulator(transform.program, max_steps=4_000_000).run()
     assert transformed.status == baseline.status
     assert transformed.output == baseline.output
+    # Static legality, independently re-derived by the checker.
+    diagnostics = (lint_program(transform.program)
+                   + check_transform(program, transform.program)
+                   + check_regions(transform.program, transform.regions))
+    assert diagnostics == [], format_diagnostics(diagnostics)
 
 
 @settings(max_examples=40, deadline=None)
@@ -66,6 +79,37 @@ def test_optimizer_preserves_behaviour(source):
     assert result.status == baseline.status
     assert result.output == baseline.output
     assert result.steps <= baseline.steps
+
+
+@settings(max_examples=20, deadline=None)
+@given(sources(), st.sampled_from([2, 3]))
+def test_schedules_statically_legal(source, n_units):
+    """Every region schedule of a fuzzed program must satisfy the
+    checker's independently re-derived dependence and resource rules."""
+    program = translate_module(compile_source(source))
+    baseline = Emulator(program, max_steps=2_000_000).run()
+    transform = form_superblocks(program, baseline.counts, baseline.taken)
+    compacted = transform.program
+    config = vliw(n_units)
+    liveness = Liveness(Cfg(compacted))
+    checker_liveness = NameLiveness(compacted)
+    for region in transform.regions:
+        instructions = compacted.instructions[region.start:region.end]
+        masks = {}
+        for position in range(region.end - region.start):
+            instruction = compacted.instructions[region.start + position]
+            if instruction.is_branch:
+                target = compacted.labels[instruction.label]
+                masks[position] = liveness.live_in_mask(target)
+        schedule = schedule_region(
+            instructions, config, masks,
+            lambda name: 1 << liveness.reg_id(name))
+        diagnostics = check_schedule(
+            instructions, schedule, config,
+            off_live_names(compacted, region.start, region.end,
+                           checker_liveness),
+            region=(region.start, region.end))
+        assert diagnostics == [], format_diagnostics(diagnostics)
 
 
 @settings(max_examples=25, deadline=None)

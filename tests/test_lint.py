@@ -1,0 +1,221 @@
+"""ICI well-formedness lint: operand shapes, label resolution, and the
+definite-assignment dataflow, exercised on hand-built programs and on
+seeded corruptions of compiled ones."""
+
+from repro.analysis import lint_program, format_diagnostics
+from repro.analysis.lint import check_operands
+from repro.bam import compile_source
+from repro.intcode import translate_module, optimize_program
+from repro.intcode.ici import Ici
+from repro.intcode.program import Program
+
+SOURCE = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+main :- app([1,2], [3], X), write(X), nl.
+"""
+
+
+def prog(instructions, labels=None, entry="$start"):
+    labels = dict(labels or {})
+    labels.setdefault(entry, 0)
+    return Program(list(instructions), labels, None, entry=entry)
+
+
+def rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def assert_clean(diagnostics):
+    assert diagnostics == [], format_diagnostics(diagnostics)
+
+
+# -- operand shapes ----------------------------------------------------------
+
+def test_well_formed_instructions_pass():
+    for instruction in (
+            Ici("ld", rd="r1", ra="H", imm=2),
+            Ici("st", ra="r1", rb="E"),
+            Ici("add", rd="r2", ra="r1", rb="a0"),
+            Ici("lea", rd="r3", ra="H", imm=1, tag=2),
+            Ici("ldi", rd="r4", imm=9),
+            Ici("ldi", rd="r4", label="L"),
+            Ici("btag", ra="a0", tag=0, label="L"),
+            Ici("esc", esc="write", ra="a0"),
+            Ici("halt")):
+        assert_clean(check_operands(instruction))
+
+
+def test_missing_required_operand():
+    diags = check_operands(Ici("add", rd="r1", ra="r2"))
+    assert rules(diags) == {"operand-shape"}
+    assert "missing rb" in diags[0].message
+
+
+def test_unexpected_operand():
+    diags = check_operands(Ici("mov", rd="r1", ra="r2", imm=3))
+    assert rules(diags) == {"operand-shape"}
+    assert "unexpected imm" in diags[0].message
+
+
+def test_tag_outside_field():
+    diags = check_operands(Ici("btag", ra="a0", tag=9, label="L"))
+    assert rules(diags) == {"operand-shape"}
+    assert "3-bit" in diags[0].message
+
+
+def test_unknown_escape_service():
+    diags = check_operands(Ici("esc", esc="reboot", ra="a0"))
+    assert rules(diags) == {"operand-shape"}
+
+
+def test_ldi_needs_exactly_one_payload():
+    both = check_operands(Ici("ldi", rd="r1", imm=1, label="L"))
+    neither = check_operands(Ici("ldi", rd="r1"))
+    assert rules(both) == {"operand-shape"}
+    assert any("missing" in d.message or "neither" in d.message
+               for d in neither)
+
+
+def test_register_field_must_be_a_name():
+    diags = check_operands(Ici("mov", rd=7, ra="r1"))
+    assert rules(diags) == {"operand-shape"}
+
+
+def test_unknown_opcode_is_reported():
+    instruction = Ici("add", rd="r1", ra="r2", rb="r3")
+    instruction.op = "frob"
+    assert rules(check_operands(instruction)) == {"unknown-opcode"}
+
+
+# -- labels and program shape ------------------------------------------------
+
+def test_clean_program_lints_clean():
+    assert_clean(lint_program(prog([
+        Ici("ldi", rd="r1", imm=5),
+        Ici("add", rd="r2", ra="r1", rb="a0"),
+        Ici("halt"),
+    ])))
+
+
+def test_unresolved_branch_label():
+    diags = lint_program(prog([
+        Ici("btag", ra="a0", tag=0, label="nowhere"),
+        Ici("halt"),
+    ]))
+    assert "label-unresolved" in rules(diags)
+
+
+def test_label_out_of_range():
+    diags = lint_program(prog([Ici("halt")], labels={"bogus": 99}))
+    assert "label-out-of-range" in rules(diags)
+
+
+def test_entry_label_must_exist():
+    program = Program([Ici("halt")], {}, None, entry="$start")
+    assert "entry-missing" in rules(lint_program(program))
+
+
+def test_program_must_not_fall_off_the_end():
+    diags = lint_program(prog([
+        Ici("ldi", rd="r1", imm=1),
+        Ici("add", rd="r2", ra="r1", rb="a0"),
+    ]))
+    assert "block-terminator" in rules(diags)
+
+
+# -- definite assignment -----------------------------------------------------
+
+def test_use_of_never_written_register():
+    diags = lint_program(prog([
+        Ici("add", rd="r2", ra="r9", rb="a0"),
+        Ici("halt"),
+    ]))
+    assert rules(diags) == {"use-before-def"}
+    assert "r9" in diags[0].message
+
+
+def test_abi_registers_are_defined_at_entry():
+    assert_clean(lint_program(prog([
+        Ici("add", rd="r1", ra="a0", rb="a1"),
+        Ici("st", ra="r1", rb="H"),
+        Ici("halt"),
+    ])))
+
+
+def test_write_on_one_path_only_is_flagged():
+    # Taken path (pc 0 -> 2) skips the ldi, so r1 is not written on
+    # every path reaching the add.
+    diags = lint_program(prog([
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("add", rd="r2", ra="r1", rb="a0"),
+        Ici("halt"),
+    ], labels={"L": 2}))
+    assert rules(diags) == {"use-before-def"}
+    assert diags[0].pos == 2
+
+
+def test_write_on_both_paths_is_clean():
+    assert_clean(lint_program(prog([
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("jmp", label="M"),
+        Ici("ldi", rd="r1", imm=2),
+        Ici("add", rd="r2", ra="r1", rb="a0"),
+        Ici("halt"),
+    ], labels={"L": 3, "M": 4})))
+
+
+def test_temporaries_survive_calls():
+    # Runtime routines preserve caller registers; r5 written before the
+    # call must still count as defined at the return point.
+    assert_clean(lint_program(prog([
+        Ici("ldi", rd="r5", imm=1),
+        Ici("call", rd="RL", label="fn"),
+        Ici("add", rd="r6", ra="r5", rb="a0"),
+        Ici("halt"),
+        Ici("jmpr", ra="RL"),
+    ], labels={"fn": 4})))
+
+
+def test_indirect_entries_assume_only_the_abi():
+    # The block at "fn" is reachable via a materialised code address, so
+    # it may only rely on the ABI contract — not on r5.
+    diags = lint_program(prog([
+        Ici("ldi", rd="r5", imm=1),
+        Ici("ldi", rd="r7", label="fn"),
+        Ici("jmpr", ra="r7"),
+        Ici("add", rd="r6", ra="r5", rb="a0"),
+        Ici("jmpr", ra="RL"),
+    ], labels={"fn": 3}))
+    assert rules(diags) == {"use-before-def"}
+    assert "r5" in diags[0].message
+
+
+def test_dataflow_skipped_when_shape_is_broken():
+    diags = lint_program(prog([
+        Ici("btag", ra="a0", tag=0, label="nowhere"),
+        Ici("add", rd="r1", ra="r9", rb="a0"),
+        Ici("halt"),
+    ]))
+    assert "label-unresolved" in rules(diags)
+    assert "use-before-def" not in rules(diags)
+
+
+# -- compiled programs -------------------------------------------------------
+
+def test_compiled_program_lints_clean_pre_and_post_optimize():
+    program = translate_module(compile_source(SOURCE))
+    assert_clean(lint_program(program))
+    optimized, _ = optimize_program(program)
+    assert_clean(lint_program(optimized, stage="optimize"))
+
+
+def test_stage_is_carried_into_diagnostics():
+    diags = lint_program(prog([
+        Ici("add", rd="r2", ra="r9", rb="a0"),
+        Ici("halt"),
+    ]), stage="optimize")
+    assert diags[0].stage == "optimize"
+    assert diags[0].format().startswith("optimize:use-before-def")

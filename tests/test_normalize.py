@@ -4,8 +4,7 @@ import pytest
 
 from repro.interp import Database
 from repro.bam.normalize import Normalizer, NormalizeError
-from repro.reader import parse_term
-from repro.terms import Atom, Struct
+from repro.terms import Atom
 
 
 def normalise(text):

@@ -7,8 +7,8 @@ from repro.intcode.program import Builder
 from repro.intcode.optimize import optimize_program
 from repro.bam import compile_source
 from repro.intcode import translate_module
-from repro.emulator import Emulator, run_program
-from repro.benchmarks import PROGRAMS, compile_benchmark
+from repro.emulator import run_program
+from repro.benchmarks import compile_benchmark
 
 
 def build(fill):

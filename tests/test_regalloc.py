@@ -3,8 +3,7 @@
 from repro.intcode.ici import Ici
 from repro.compaction import vliw, ideal
 from repro.compaction.scheduler import schedule_region
-from repro.compaction.regalloc import (
-    region_pressure, is_interface, Interval, PressureReport)
+from repro.compaction.regalloc import region_pressure, is_interface
 
 
 def pressure(ops, config=None):

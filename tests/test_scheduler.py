@@ -5,7 +5,7 @@ from collections import Counter
 
 from hypothesis import given, settings, strategies as st
 
-from repro.intcode.ici import Ici, OP_CLASS, MEM, ALU, MOVE, CTRL
+from repro.intcode.ici import Ici, OP_CLASS
 from repro.analysis.dependence import build_dag
 from repro.compaction.machine_model import (
     MachineConfig, sequential, bam_like, vliw, ideal, symbol3)

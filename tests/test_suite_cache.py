@@ -3,7 +3,6 @@
 import json
 import os
 
-import pytest
 
 from repro.benchmarks.suite import (
     program_fingerprint, run_program_cached, cache_dir)

@@ -1,6 +1,5 @@
 """Tagged-word packing: exactness for all field combinations."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.terms import tags

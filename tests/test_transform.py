@@ -7,7 +7,6 @@ backtracking, and its regions partition the code with single entries.
 
 import pytest
 
-from tests.conftest import compile_and_run
 from repro.bam import compile_source
 from repro.intcode import translate_module
 from repro.emulator import Emulator

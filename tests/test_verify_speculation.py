@@ -1,0 +1,227 @@
+"""Speculation edge cases for the independent checker (section 4.3's
+code-motion rules): off-live on exactly one exit, stores adjacent to
+branches, write-after-write through the shared memory port, and register
+bindings at spill boundaries."""
+
+from repro.analysis import check_schedule, check_allocation, \
+    format_diagnostics
+from repro.compaction import MachineConfig, schedule_region
+from repro.compaction.scheduler import Schedule
+from repro.compaction.regalloc import region_pressure
+from repro.intcode.ici import Ici
+
+
+def cfg(**kw):
+    defaults = dict(n_units=4, mem_ports=1, mem_latency=2, ctrl_latency=2,
+                    alu_latency=1, move_latency=1)
+    defaults.update(kw)
+    return MachineConfig("test", **defaults)
+
+
+def rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def assert_clean(diagnostics):
+    assert diagnostics == [], format_diagnostics(diagnostics)
+
+
+# -- off-live on exactly one exit --------------------------------------------
+
+TWO_EXIT_REGION = [
+    Ici("btag", ra="a0", tag=0, label="uses_x"),     # x live off-trace
+    Ici("btag", ra="a1", tag=0, label="ignores_x"),  # x dead off-trace
+    Ici("ldi", rd="x", imm=1),
+]
+
+TWO_EXIT_OFF_LIVE = {0: {"x"}, 1: set()}
+
+
+def test_speculating_above_the_dead_exit_is_legal():
+    config = cfg()
+    schedule = Schedule(TWO_EXIT_REGION, [0, 1, 1], config)
+    assert_clean(check_schedule(TWO_EXIT_REGION, schedule, config,
+                                off_live=TWO_EXIT_OFF_LIVE))
+
+
+def test_speculating_above_the_live_exit_is_flagged():
+    config = cfg()
+    schedule = Schedule(TWO_EXIT_REGION, [0, 1, 0], config)
+    diags = check_schedule(TWO_EXIT_REGION, schedule, config,
+                           off_live=TWO_EXIT_OFF_LIVE)
+    assert "off-live-speculated" in rules(diags)
+    finding = next(d for d in diags if d.rule == "off-live-speculated")
+    assert finding.pos == 2 and "x" in finding.message
+
+
+def test_scheduler_respects_the_one_live_exit():
+    # End-to-end: the scheduler, given the same off-live information via
+    # bitmasks, must produce a schedule the checker accepts.
+    config = cfg()
+    reg_ids = {"x": 0}
+    masks = {0: 1, 1: 0}             # x live off exit 0 only
+    schedule = schedule_region(TWO_EXIT_REGION, config, masks,
+                               lambda name: 1 << reg_ids.get(name, 5))
+    assert_clean(check_schedule(TWO_EXIT_REGION, schedule, config,
+                                off_live=TWO_EXIT_OFF_LIVE))
+    assert schedule.cycles[2] > schedule.cycles[0]
+
+
+# -- stores adjacent to branches ---------------------------------------------
+
+BRANCH_THEN_STORE = [
+    Ici("btag", ra="a0", tag=0, label="off"),
+    Ici("st", ra="a1", rb="H", imm=0),
+]
+
+
+def test_store_in_the_branch_delay_is_illegal():
+    config = cfg()
+    diags = check_schedule(
+        BRANCH_THEN_STORE,
+        Schedule(BRANCH_THEN_STORE, [0, 0], config), config)
+    assert "store-speculated" in rules(diags)
+
+
+def test_store_one_cycle_after_the_branch_is_legal():
+    config = cfg()
+    assert_clean(check_schedule(
+        BRANCH_THEN_STORE,
+        Schedule(BRANCH_THEN_STORE, [0, 1], config), config))
+
+
+def test_store_before_a_later_branch_is_legal():
+    instructions = [
+        Ici("st", ra="a1", rb="H", imm=0),
+        Ici("btag", ra="a0", tag=0, label="off"),
+    ]
+    config = cfg()
+    assert_clean(check_schedule(
+        instructions, Schedule(instructions, [0, 0], config), config))
+
+
+# -- write-after-write through the memory port -------------------------------
+
+STORE_STORE = [
+    Ici("st", ra="a0", rb="H", imm=0),
+    Ici("st", ra="a1", rb="H", imm=0),
+]
+
+
+def test_waw_through_memory_same_cycle():
+    # Two stores to the same area in one cycle violate memory ordering
+    # (and, with one port, the port limit as well).
+    config = cfg()
+    diags = check_schedule(STORE_STORE,
+                           Schedule(STORE_STORE, [0, 0], config), config)
+    assert {"mem-order", "mem-port"} <= rules(diags)
+
+
+def test_waw_through_memory_serialised_is_clean():
+    config = cfg()
+    assert_clean(check_schedule(
+        STORE_STORE, Schedule(STORE_STORE, [0, 1], config), config))
+
+
+def test_bank_disambiguation_separates_areas():
+    instructions = [
+        Ici("st", ra="a0", rb="H", imm=0),    # heap
+        Ici("st", ra="a1", rb="TR", imm=0),   # trail
+    ]
+    banked = cfg(mem_ports=2, bank_disambiguation=True)
+    shared = cfg(mem_ports=2, bank_disambiguation=False)
+    same_cycle = Schedule(instructions, [0, 0], banked)
+    assert_clean(check_schedule(instructions, same_cycle, banked))
+    diags = check_schedule(instructions,
+                           Schedule(instructions, [0, 0], shared), shared)
+    assert "mem-order" in rules(diags)
+
+
+def test_computed_addresses_never_disambiguate():
+    # Base registers that are not area pointers may alias anything, even
+    # under the banked model.
+    instructions = [
+        Ici("st", ra="a0", rb="r7", imm=0),
+        Ici("st", ra="a1", rb="TR", imm=0),
+    ]
+    banked = cfg(mem_ports=2, bank_disambiguation=True)
+    diags = check_schedule(instructions,
+                           Schedule(instructions, [0, 0], banked), banked)
+    assert "mem-order" in rules(diags)
+
+
+# -- spill boundaries --------------------------------------------------------
+
+def _pressure_region(n_locals):
+    """A region with *n_locals* simultaneously-live local values: all are
+    defined up front, then consumed one by one in a sum chain."""
+    instructions = [Ici("ldi", rd="v%d" % i, imm=i)
+                    for i in range(n_locals)]
+    prev = "v0"
+    for i in range(1, n_locals):
+        instructions.append(Ici("add", rd="t%d" % i, ra=prev,
+                                rb="v%d" % i))
+        prev = "t%d" % i
+    instructions.append(Ici("jmp", label="next"))
+    cycles = list(range(len(instructions)))
+    config = cfg()
+    return instructions, Schedule(instructions, cycles, config)
+
+
+def test_binding_at_exact_bank_capacity():
+    instructions, schedule = _pressure_region(6)
+    report = region_pressure(instructions, schedule)
+    allocation = report.allocate(6)
+    assert allocation.spill_count == report.spills_for(6)
+    assert_clean(check_allocation(instructions, schedule, allocation))
+
+
+def test_binding_one_under_capacity_spills_and_stays_sound():
+    instructions, schedule = _pressure_region(6)
+    report = region_pressure(instructions, schedule)
+    allocation = report.allocate(5)
+    assert allocation.spill_count >= 1
+    assert allocation.spill_count == report.spills_for(5)
+    assert_clean(check_allocation(instructions, schedule, allocation))
+
+
+def test_binding_with_tiny_bank_spills_everything_soundly():
+    instructions, schedule = _pressure_region(6)
+    report = region_pressure(instructions, schedule)
+    allocation = report.allocate(1)
+    assert_clean(check_allocation(instructions, schedule, allocation))
+
+
+def test_bank_smaller_than_machine_state_spills_all_locals():
+    instructions = [
+        Ici("ld", rd="x", ra="H", imm=0),
+        Ici("add", rd="y", ra="x", rb="E"),
+        Ici("st", ra="y", rb="TR", imm=0),
+        Ici("jmp", label="next"),
+    ]
+    config = cfg()
+    schedule = schedule_region(instructions, config)
+    report = region_pressure(instructions, schedule)
+    allocation = report.allocate(len(report.reserved))
+    assert allocation.assignment == {}
+    assert allocation.spilled == {"x", "y"}
+    assert_clean(check_allocation(instructions, schedule, allocation))
+
+
+def test_eviction_keeps_the_binding_interference_free():
+    # Force the furthest-end eviction path: a long-lived value placed
+    # first, then enough short-lived ones to overflow the bank.
+    instructions = [Ici("ldi", rd="long", imm=0)]
+    for i in range(4):
+        instructions.append(Ici("ldi", rd="s%d" % i, imm=i))
+        instructions.append(Ici("add", rd="u%d_t" % i, ra="s%d" % i,
+                                rb="s%d" % i))
+    instructions.append(Ici("add", rd="fin", ra="long", rb="long"))
+    instructions.append(Ici("jmp", label="next"))
+    cycles = list(range(len(instructions)))
+    config = cfg()
+    schedule = Schedule(instructions, cycles, config)
+    report = region_pressure(instructions, schedule)
+    allocation = report.allocate(2)
+    assert allocation.spill_count > 0
+    assert_clean(check_allocation(instructions, schedule, allocation))
