@@ -1,11 +1,17 @@
 """Regenerate every table and figure of the paper's evaluation.
 
-The first run emulates and schedules the whole benchmark suite (a few
-minutes); results are cached on disk, so later runs are instant.
+A cold run fans the benchmark x machine-configuration cells out across
+worker processes (``--jobs``, default: all cores); every artefact is
+memoised in the content-addressed cache, so later runs are served in
+seconds without re-emulation.
 
-Run:  python examples/run_paper_evaluation.py
+Run:  python examples/run_paper_evaluation.py [--jobs N]
 """
 
+import argparse
+import os
+
+from repro.evaluation.parallel import configure
 from repro.experiments import ALL_EXPERIMENTS
 
 ORDER = ["figure2", "figure3", "table1", "table2", "figure4", "table3",
@@ -13,6 +19,13 @@ ORDER = ["figure2", "figure3", "table1", "table2", "figure4", "table3",
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 1,
+                        help="evaluation worker processes "
+                             "(default: all cores; 1 = in-process)")
+    args = parser.parse_args()
+    configure(jobs=args.jobs)
     for name in ORDER:
         print(ALL_EXPERIMENTS[name].render())
         print()

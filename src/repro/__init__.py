@@ -35,7 +35,7 @@ from repro.compaction import (
     symbol3_sequential)
 from repro.evaluation import (
     basic_block_regions, superblock_regions, machine_cycles,
-    evaluate_benchmark)
+    evaluate_benchmark, EvaluationEngine, EvaluationError)
 
 __version__ = "1.0.0"
 
@@ -107,5 +107,7 @@ __all__ = [
     "superblock_regions",
     "machine_cycles",
     "evaluate_benchmark",
+    "EvaluationEngine",
+    "EvaluationError",
     "__version__",
 ]

@@ -11,6 +11,7 @@ compiled program ever.
 import hashlib
 import json
 import os
+import tempfile
 
 from repro.benchmarks.programs import PROGRAMS, TABLE_BENCHMARKS
 from repro.bam import compile_source
@@ -59,10 +60,15 @@ def run_program_cached(program, key_hint=""):
         except (ValueError, KeyError):
             os.remove(path)
     result = Emulator(program).run()
-    with open(path, "w") as handle:
+    # Atomic write: parallel evaluation workers may race on the same
+    # profile, and a reader must never see a torn file.
+    descriptor, temporary = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=key + ".", suffix=".tmp")
+    with os.fdopen(descriptor, "w") as handle:
         json.dump({"status": result.status, "steps": result.steps,
                    "output": result.output, "counts": result.counts,
                    "taken": result.taken}, handle)
+    os.replace(temporary, path)
     return result
 
 

@@ -8,14 +8,22 @@
     python -m repro analyze program.pl        # mix + branch statistics
     python -m repro bench qsort               # one suite benchmark
     python -m repro evaluate [--extras]       # the paper's tables/figures
+    python -m repro evaluate --jobs 4 --bench qsort --bench nreverse
     python -m repro lint program.pl           # ICI well-formedness lint
     python -m repro verify [--bench qsort]    # independent checker sweep
+
+``evaluate`` and ``verify`` fan their benchmark x machine-configuration
+cells out across ``--jobs`` worker processes (default: all cores)
+through :mod:`repro.evaluation.parallel`; results are memoised in the
+content-addressed cache, so warm re-runs are served without
+re-emulation.  ``--jobs 1`` runs everything in-process (pdb-friendly).
 
 Exit codes: 0 = success/clean, 1 = violations found (lint/verify) or a
 failing program status, 2 = usage error.  Diagnostics go to stderr.
 """
 
 import argparse
+import os
 import sys
 
 from repro.bam import compile_source, CompilerOptions
@@ -124,10 +132,50 @@ def cmd_bench(args, out, err):
     return result.status
 
 
+def _resolve_jobs(args):
+    return args.jobs if args.jobs else (os.cpu_count() or 1)
+
+
 def cmd_evaluate(args, out, err):
+    from repro.evaluation.parallel import configure
     from repro.experiments import run_all
+    engine = configure(jobs=_resolve_jobs(args))
+    if args.bench:
+        return _evaluate_smoke(args, engine, out, err)
     for name, text in run_all(extras=args.extras).items():
         out.write(text + "\n\n")
+    return 0
+
+
+def _evaluate_smoke(args, engine, out, err):
+    """Evaluate a named subset of benchmarks (the CI smoke sweep)."""
+    from repro.benchmarks import PROGRAMS
+    from repro.evaluation import EvaluationError
+    from repro.experiments.data import master_configs
+    unknown = [name for name in args.bench if name not in PROGRAMS]
+    if unknown:
+        err.write("unknown benchmark(s) %s; available: %s\n"
+                  % (", ".join(sorted(unknown)),
+                     ", ".join(sorted(PROGRAMS))))
+        return 2
+    configs = master_configs()
+    try:
+        evaluations = engine.evaluate_many(
+            [{"name": name, "configs": configs} for name in args.bench])
+    except EvaluationError as error:
+        err.write(str(error) + "\n")
+        return 1
+    keys = sorted(configs)
+    out.write("%-12s %s\n" % ("benchmark", " ".join(
+        "%10s" % key for key in keys)))
+    for evaluation in evaluations:
+        out.write("%-12s %s\n" % (evaluation.name, " ".join(
+            "%10d" % evaluation.cycles(key) for key in keys)))
+    stats = engine.store.stats()
+    out.write("cache: %d hit(s), %d miss(es), %d corrupt entr%s "
+              "recomputed\n" % (stats["hits"], stats["misses"],
+                                stats["corrupt"],
+                                "y" if stats["corrupt"] == 1 else "ies"))
     return 0
 
 
@@ -144,12 +192,35 @@ def cmd_lint(args, out, err):
     return 0
 
 
+def _verify_target(spec):
+    """Run the independent checker over one target (pool worker)."""
+    from repro.benchmarks.suite import compile_benchmark, \
+        run_program_cached
+    from repro.evaluation.pipeline import verify_evaluation
+
+    if "file" in spec:
+        with open(spec["file"]) as handle:
+            source = handle.read()
+        module = compile_source(source, entry=(spec["entry"], 0),
+                                options=CompilerOptions())
+        program = translate_module(module)
+        if spec["optimize"]:
+            program, _ = optimize_program(program)
+    else:
+        program = compile_benchmark(spec["bench"])
+    hint = os.path.basename(spec.get("file") or spec["bench"]) + "-"
+    result = run_program_cached(program, hint)
+    diagnostics = verify_evaluation(
+        program, result, spec["configs"],
+        tail_dup_budget=spec["tail_dup_budget"],
+        cache_hint=hint, bank_size=spec["bank_size"])
+    return len(program), diagnostics
+
+
 def cmd_verify(args, out, err):
     from repro.analysis import format_diagnostics
-    from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS, \
-        compile_benchmark
-    from repro.benchmarks.suite import run_program_cached
-    from repro.evaluation.pipeline import verify_evaluation
+    from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS
+    from repro.evaluation.parallel import configure
     from repro.experiments.data import master_configs
 
     configs = master_configs()
@@ -162,35 +233,29 @@ def cmd_verify(args, out, err):
             return 2
         configs = {key: configs[key] for key in args.machine}
 
-    targets = []
+    common = {"configs": configs, "tail_dup_budget": args.tail_dup_budget,
+              "bank_size": args.bank_size}
+    specs = []
     if args.file:
-        with open(args.file) as handle:
-            source = handle.read()
-        options = CompilerOptions()
-        module = compile_source(source, entry=(args.entry, 0),
-                                options=options)
-        program = translate_module(module)
-        if args.optimize:
-            program, _ = optimize_program(program)
-        targets.append((args.file, program))
+        specs.append(dict(common, file=args.file, entry=args.entry,
+                          optimize=args.optimize))
     names = args.bench or ([] if args.file else list(TABLE_BENCHMARKS))
     for name in names:
         if name not in PROGRAMS:
             err.write("unknown benchmark %r; available: %s\n"
                       % (name, ", ".join(sorted(PROGRAMS))))
             return 2
-        targets.append((name, compile_benchmark(name)))
+        specs.append(dict(common, bench=name))
 
-    import os
+    # The checker sweep is one independent task per target; fan the
+    # targets over the shared engine's worker pool.
+    engine = configure(jobs=_resolve_jobs(args))
+    results = engine.map(_verify_target, specs)
+
     status = 0
     total = 0
-    for name, program in targets:
-        hint = os.path.basename(name) + "-"
-        result = run_program_cached(program, hint)
-        diagnostics = verify_evaluation(
-            program, result, configs,
-            tail_dup_budget=args.tail_dup_budget,
-            cache_hint=hint, bank_size=args.bank_size)
+    for spec, (n_ops, diagnostics) in zip(specs, results):
+        name = spec.get("file") or spec["bench"]
         if diagnostics:
             status = 1
             total += len(diagnostics)
@@ -200,12 +265,12 @@ def cmd_verify(args, out, err):
                       % (name, len(diagnostics)))
         else:
             out.write("%-12s ok    %d ops, %d machine config(s)\n"
-                      % (name, len(program), len(configs)))
+                      % (name, n_ops, len(configs)))
     if status:
         err.write("verify: %d finding(s) across %d target(s)\n"
-                  % (total, len(targets)))
+                  % (total, len(specs)))
     else:
-        out.write("verify: all %d target(s) clean\n" % len(targets))
+        out.write("verify: all %d target(s) clean\n" % len(specs))
     return status
 
 
@@ -246,6 +311,12 @@ def build_parser():
     p = sub.add_parser("evaluate", help="regenerate the paper's tables")
     p.add_argument("--extras", action="store_true",
                    help="include ablations / future-work studies")
+    p.add_argument("-j", "--jobs", type=int, metavar="N",
+                   help="evaluation worker processes (default: all "
+                        "cores; 1 = in-process)")
+    p.add_argument("--bench", action="append", metavar="NAME",
+                   help="smoke-sweep only these benchmarks under the "
+                        "master configs (repeatable)")
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("lint",
@@ -271,6 +342,9 @@ def build_parser():
     p.add_argument("--tail-dup-budget", type=int, default=48)
     p.add_argument("--bank-size", type=int, default=16,
                    help="register bank size for allocation checking")
+    p.add_argument("-j", "--jobs", type=int, metavar="N",
+                   help="verification worker processes (default: all "
+                        "cores; 1 = in-process)")
     p.set_defaults(func=cmd_verify)
     return parser
 

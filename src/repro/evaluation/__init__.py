@@ -5,6 +5,9 @@ from repro.evaluation.simulator import (
 from repro.evaluation.pipeline import (
     RegionSet, basic_block_regions, superblock_regions, machine_cycles,
     evaluate_benchmark, BenchmarkEvaluation)
+from repro.evaluation.parallel import (
+    EvaluationEngine, EvaluationError, CacheStore, shared_engine,
+    configure)
 
 __all__ = [
     "replay_region",
@@ -16,4 +19,9 @@ __all__ = [
     "machine_cycles",
     "evaluate_benchmark",
     "BenchmarkEvaluation",
+    "EvaluationEngine",
+    "EvaluationError",
+    "CacheStore",
+    "shared_engine",
+    "configure",
 ]

@@ -1,0 +1,715 @@
+"""Parallel evaluation engine with a content-addressed result cache.
+
+The paper's evaluation is an embarrassingly parallel sweep: every
+benchmark x machine-configuration x regioning cell of Tables 1-5 and
+Figures 2-6 is independent.  This module decomposes one benchmark
+evaluation into a small task DAG
+
+    profile  (emulate the compiled program)
+      -> regions  (cut it into basic blocks / superblocks, re-emulate)
+        -> cell   (schedule every executed region for one machine
+                   configuration and replay the profile)
+
+and runs the DAGs of many benchmarks side by side on a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Every node's result is
+memoised in a **content-addressed store**: the cache key is a hash of
+
+* the compiled program's fingerprint (so editing a benchmark or the
+  compiler invalidates exactly the programs whose code changed),
+* the transform parameters (regioning kind; tail-duplication budget for
+  trace regions — basic-block artefacts do not depend on the budget),
+* the machine configuration's semantic fields (its display name is
+  excluded, so two differently-named identical configs share cells), and
+* a per-stage *code version* — a digest of the source files whose
+  behaviour the artefact depends on.  Touching the scheduler invalidates
+  only ``cell`` artefacts; profiles and region layouts survive.
+
+Verification status is part of the cached artefact, not a cache bypass:
+an artefact computed under the independent checker is stored with
+``verified: true`` and serves both verified and unverified requests; an
+unverified artefact is transparently recomputed (and upgraded) when a
+verified result is requested.
+
+Failures are contained per cell: a task that raises — or a worker
+process that dies — marks its cell and that cell's dependents as failed,
+the rest of the sweep completes, and the engine raises
+:class:`EvaluationError` naming every failed cell.  With ``jobs=1`` the
+engine runs every task in-process (no pool), which keeps ``pdb`` and
+coverage usable.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.benchmarks.suite import (
+    cache_dir, compile_benchmark, program_fingerprint, run_program_cached)
+
+__all__ = [
+    "CacheStore",
+    "EvaluationEngine",
+    "EvaluationError",
+    "code_version",
+    "config_signature",
+    "configure",
+    "memoised",
+    "shared_engine",
+]
+
+#: bump to invalidate every cached artefact (layout/format changes)
+CACHE_SCHEMA = 1
+
+_JOBS_ENV = "REPRO_JOBS"
+
+
+# --------------------------------------------------------------------------
+# Cache keys: canonical encoding, config signatures, code versions.
+
+def _canonical(value):
+    """Deterministic JSON encoding used for every hashed key."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_signature(config):
+    """The semantic fields of a :class:`MachineConfig` as a JSON value.
+
+    The display name is deliberately excluded: it does not affect any
+    computed cycle count, so renaming a configuration (or giving the
+    same parameters two names in different experiments) keeps the cache
+    warm.
+    """
+    fields = {key: value for key, value in vars(config).items()
+              if key != "name"}
+    return fields
+
+
+#: source files each artefact kind depends on, relative to the package
+#: root.  A change to a file invalidates the kinds that list it — and
+#: only those: editing the scheduler leaves profiles and region layouts
+#: cached.
+_PROFILE_FILES = (
+    "emulator/machine.py",
+    "intcode/runtime.py",
+    "intcode/layout.py",
+)
+_REGION_FILES = _PROFILE_FILES + (
+    "compaction/transform.py",
+    "analysis/cfg.py",
+    "evaluation/simulator.py",
+)
+_CELL_FILES = _REGION_FILES + (
+    "compaction/scheduler.py",
+    "compaction/machine_model.py",
+    "analysis/liveness.py",
+    "evaluation/pipeline.py",
+)
+_COMPONENT_FILES = {
+    "profile": _PROFILE_FILES,
+    "regions": _REGION_FILES,
+    "cell": _CELL_FILES,
+    # experiment-level cells (see the callers in repro.experiments)
+    "dataflow": _PROFILE_FILES + ("evaluation/dynamic.py",),
+    "pressure": _CELL_FILES + ("compaction/regalloc.py",),
+    "wam": _CELL_FILES,
+}
+
+_PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_code_versions = {}
+
+
+def code_version(kind):
+    """Digest of the source files artefacts of *kind* depend on."""
+    version = _code_versions.get(kind)
+    if version is None:
+        digest = hashlib.sha256()
+        for relative in _COMPONENT_FILES[kind]:
+            digest.update(relative.encode())
+            path = os.path.join(_PACKAGE_ROOT, relative)
+            try:
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+            except OSError:
+                digest.update(b"<missing>")
+        version = digest.hexdigest()[:16]
+        _code_versions[kind] = version
+    return version
+
+
+# --------------------------------------------------------------------------
+# The content-addressed store.
+
+class CacheStore:
+    """Content-addressed JSON artefacts with integrity checking.
+
+    Entries live as ``cas-<kind>-<keyhash>.json`` files wrapping the
+    payload together with a checksum of its canonical encoding; a
+    missing, truncated, corrupt or checksum-mismatched entry reads as a
+    miss (and is deleted) so it is recomputed, never trusted.  Writes go
+    through a temporary file and :func:`os.replace`, so concurrent
+    workers can race on the same key without ever exposing a torn file.
+    """
+
+    def __init__(self, root=None):
+        self._root = root
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    @property
+    def root(self):
+        return self._root or cache_dir()
+
+    def key(self, kind, components):
+        payload = {"schema": CACHE_SCHEMA, "kind": kind,
+                   "components": components}
+        digest = hashlib.sha256(_canonical(payload).encode()).hexdigest()
+        return "cas-%s-%s" % (kind, digest[:32])
+
+    def path(self, key):
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key):
+        """The payload stored under *key*, or None (a miss)."""
+        path = self.path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+            checksum = hashlib.sha256(
+                _canonical(payload).encode()).hexdigest()
+            if entry["sha256"] != checksum:
+                raise ValueError("payload checksum mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        root = self.root
+        os.makedirs(root, exist_ok=True)
+        entry = {"key": key, "schema": CACHE_SCHEMA, "payload": payload,
+                 "sha256": hashlib.sha256(
+                     _canonical(payload).encode()).hexdigest()}
+        descriptor, temporary = tempfile.mkstemp(
+            dir=root, prefix=key + ".", suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(temporary, self.path(key))
+        except BaseException:
+            try:
+                os.remove(temporary)
+            except OSError:
+                pass
+            raise
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt}
+
+
+def memoised(kind, components, compute, store=None, use_cache=True):
+    """Content-addressed memoisation for experiment-level cells.
+
+    *components* identifies the inputs (fingerprints, parameters); the
+    appropriate :func:`code_version` is appended automatically.  Safe to
+    call from pool workers — the store is re-opened from the environment
+    in each process.
+    """
+    store = store or CacheStore()
+    key = store.key(kind, dict(components, code=code_version(kind)))
+    payload = store.get(key) if use_cache else None
+    if payload is None:
+        payload = compute()
+        store.put(key, payload)
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Worker-side task execution.  Module-level so the pool can pickle the
+# entry point by reference; per-process memos let the cells of one
+# benchmark assigned to the same worker share the compiled program and
+# its region sets.
+
+_worker_programs = {}
+_worker_regions = {}
+
+
+def _worker_program(name, fingerprint):
+    entry = _worker_programs.get(name)
+    if entry is None or entry[0] != fingerprint:
+        program = compile_benchmark(name)
+        compiled = program_fingerprint(program)
+        if compiled != fingerprint:
+            raise RuntimeError(
+                "benchmark %r compiled to fingerprint %s in the worker, "
+                "expected %s — non-deterministic compilation?"
+                % (name, compiled, fingerprint))
+        result = run_program_cached(program, name + "-")
+        entry = (fingerprint, program, result)
+        _worker_programs[name] = entry
+        _worker_regions.clear()
+    return entry[1], entry[2]
+
+
+def _worker_region_set(name, fingerprint, regioning, budget):
+    from repro.evaluation import pipeline
+    key = (name, fingerprint, regioning, budget)
+    region_set = _worker_regions.get(key)
+    if region_set is None:
+        program, result = _worker_program(name, fingerprint)
+        if regioning == "bb":
+            region_set = pipeline.basic_block_regions(program, result)
+        else:
+            region_set = pipeline.superblock_regions(
+                program, result, budget, name + "-")
+        _worker_regions[key] = region_set
+    return region_set
+
+
+def execute_task(spec):
+    """Compute one DAG node's payload.  Raises on any failure."""
+    kind = spec["kind"]
+    name = spec["benchmark"]
+    fingerprint = spec["fingerprint"]
+    verify = spec.get("verify", False)
+    if kind == "profile":
+        program, result = _worker_program(name, fingerprint)
+        if verify:
+            from repro.analysis.lint import lint_program
+            from repro.analysis.verify import raise_if_failed
+            raise_if_failed(lint_program(program, stage="lint"),
+                            "ICI lint of benchmark %r" % name)
+        return {"steps": result.steps, "status": result.status,
+                "verified": verify}
+    if kind == "regions":
+        region_set = _worker_region_set(name, fingerprint,
+                                        spec["regioning"], spec["budget"])
+        if verify and spec["regioning"] != "bb":
+            from repro.analysis.verify import raise_if_failed
+            from repro.evaluation.pipeline import region_set_diagnostics
+            raise_if_failed(region_set_diagnostics(region_set),
+                            "superblock transform of benchmark %r" % name)
+        mean_length, entries = region_set.stats()
+        return {"mean_length": mean_length, "entries": entries,
+                "verified": verify}
+    if kind == "cell":
+        from repro.evaluation.pipeline import machine_cycles
+        region_set = _worker_region_set(name, fingerprint,
+                                        spec["regioning"], spec["budget"])
+        cycles = machine_cycles(region_set, spec["config"], verify=verify)
+        return {"cycles": cycles, "verified": verify}
+    raise ValueError("unknown evaluation task kind %r" % kind)
+
+
+def _pool_task(spec):
+    """Pool entry point: exceptions become data (crash containment)."""
+    try:
+        return {"id": spec["id"], "payload": execute_task(spec)}
+    except Exception:
+        return {"id": spec["id"], "error": traceback.format_exc()}
+
+
+# --------------------------------------------------------------------------
+# The engine.
+
+class EvaluationError(RuntimeError):
+    """One or more evaluation cells failed; the rest of the sweep ran.
+
+    ``failures`` is a list of ``(cell label, detail)`` pairs, where the
+    detail is the worker's traceback text (or a one-line reason for
+    cells blocked by a failed dependency).
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        lines = []
+        for label, detail in self.failures:
+            summary = detail.strip().splitlines()[-1] if detail else "?"
+            lines.append("%s: %s" % (label, summary))
+        super().__init__("%d evaluation task(s) failed:\n  %s"
+                         % (len(self.failures), "\n  ".join(lines)))
+
+
+class _Node:
+    __slots__ = ("id", "label", "spec", "key", "deps", "dependents",
+                 "payload", "error", "exception", "done", "failed")
+
+    def __init__(self, id, label, spec, key):
+        self.id = id
+        self.label = label
+        self.spec = spec
+        self.key = key
+        self.deps = []
+        self.dependents = []
+        self.payload = None
+        self.error = None
+        self.exception = None
+        self.done = False
+        self.failed = False
+
+
+class EvaluationEngine:
+    """Run benchmark evaluations as a task DAG over a process pool.
+
+    *jobs* is the worker count (default ``os.cpu_count()``); ``jobs=1``
+    executes every task in the calling process.  *store* is the
+    content-addressed :class:`CacheStore` (default: the shared cache
+    directory, honouring ``REPRO_CACHE_DIR``).
+    """
+
+    def __init__(self, jobs=None, store=None):
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.store = store or CacheStore()
+        self._pool = None
+        self._programs = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _executor(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(self, name, configs, tail_dup_budget=48, use_cache=True,
+                 verify=False):
+        """Evaluate one benchmark; see :func:`evaluate_benchmark`."""
+        return self.evaluate_many([
+            {"name": name, "configs": configs,
+             "tail_dup_budget": tail_dup_budget, "verify": verify},
+        ], use_cache=use_cache)[0]
+
+    def evaluate_many(self, requests, use_cache=True):
+        """Evaluate a batch of benchmark requests through one DAG.
+
+        Each request is a dict with keys ``name``, ``configs`` and
+        optionally ``tail_dup_budget`` (default 48) and ``verify``.
+        Nodes shared between requests (same program, same parameters,
+        same configuration) are computed once.  Returns the matching
+        list of :class:`BenchmarkEvaluation` objects; raises
+        :class:`EvaluationError` after the sweep completes if any cell
+        failed.
+        """
+        from repro.evaluation.pipeline import BenchmarkEvaluation
+
+        nodes = {}
+        plans = []
+        failures = []
+
+        for request in requests:
+            try:
+                plans.append(self._plan_request(nodes, request))
+            except Exception:
+                failures.append(("request %r" % request.get("name"),
+                                 traceback.format_exc()))
+                plans.append(None)
+
+        self._run_nodes(nodes, use_cache)
+
+        evaluations = []
+        for request, plan in zip(requests, plans):
+            if plan is None:
+                evaluations.append(None)
+                continue
+            profile_node, region_nodes, cell_nodes = plan
+            bad = [node for node in
+                   [profile_node] + list(region_nodes.values())
+                   + list(cell_nodes.values()) if node.failed]
+            if bad:
+                for node in bad:
+                    entry = (node.label, node.error)
+                    if entry not in failures:
+                        failures.append(entry)
+                evaluations.append(None)
+                continue
+            data = {
+                "cycles": {key: node.payload["cycles"]
+                           for key, node in cell_nodes.items()},
+                "region_stats": {
+                    regioning: {
+                        "mean_length": node.payload["mean_length"],
+                        "entries": node.payload["entries"]}
+                    for regioning, node in region_nodes.items()},
+                "steps": profile_node.payload["steps"],
+            }
+            evaluations.append(
+                BenchmarkEvaluation(request["name"], data))
+
+        if failures:
+            error = EvaluationError(failures)
+            first = next((node.exception for node in nodes.values()
+                          if node.exception is not None), None)
+            if first is not None:
+                raise error from first
+            raise error
+        return evaluations
+
+    def prewarm_profiles(self, names, use_cache=True):
+        """Emulate (and cache) the dynamic profiles of *names* in
+        parallel; subsequent :func:`run_benchmark` calls are disk hits."""
+        nodes = {}
+        failures = []
+        for name in names:
+            try:
+                self._add_profile_node(nodes, name, verify=False)
+            except Exception:
+                failures.append(("profile %s" % name,
+                                 traceback.format_exc()))
+        self._run_nodes(nodes, use_cache)
+        failures.extend((node.label, node.error)
+                        for node in nodes.values() if node.failed)
+        if failures:
+            raise EvaluationError(failures)
+
+    def map(self, function, items):
+        """Order-preserving map over the worker pool.
+
+        *function* must be a picklable module-level callable.  With
+        ``jobs=1`` (or a single item) this is a plain in-process loop,
+        so exceptions propagate directly and ``pdb`` works.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        executor = self._executor()
+        futures = [executor.submit(function, item) for item in items]
+        return [future.result() for future in futures]
+
+    # -- DAG construction --------------------------------------------------
+
+    def _program_fingerprint(self, name):
+        fingerprint = self._programs.get(name)
+        if fingerprint is None:
+            fingerprint = program_fingerprint(compile_benchmark(name))
+            self._programs[name] = fingerprint
+        return fingerprint
+
+    def _intern(self, nodes, kind, label, spec, components, verify):
+        key = self.store.key(
+            kind, dict(components, code=code_version(kind)))
+        node = nodes.get(key)
+        if node is None:
+            node = _Node(key, label, dict(spec, id=key), key)
+            nodes[key] = node
+        if verify:
+            node.spec["verify"] = True
+        return node
+
+    def _add_profile_node(self, nodes, name, verify):
+        fingerprint = self._program_fingerprint(name)
+        return self._intern(
+            nodes, "profile", "%s/profile" % name,
+            {"kind": "profile", "benchmark": name,
+             "fingerprint": fingerprint, "verify": verify},
+            {"fingerprint": fingerprint}, verify)
+
+    def _plan_request(self, nodes, request):
+        name = request["name"]
+        configs = request["configs"]
+        budget = request.get("tail_dup_budget", 48)
+        verify = request.get("verify", False)
+        fingerprint = self._program_fingerprint(name)
+        profile_node = self._add_profile_node(nodes, name, verify)
+
+        region_nodes = {}
+        cell_nodes = {}
+        for key in sorted(configs):
+            config, regioning = configs[key]
+            region_budget = None if regioning == "bb" else budget
+            region_node = region_nodes.get(regioning)
+            if region_node is None:
+                region_node = self._intern(
+                    nodes, "regions",
+                    "%s/regions/%s" % (name, regioning),
+                    {"kind": "regions", "benchmark": name,
+                     "fingerprint": fingerprint, "regioning": regioning,
+                     "budget": region_budget, "verify": verify},
+                    {"fingerprint": fingerprint, "regioning": regioning,
+                     "budget": region_budget}, verify)
+                _link(profile_node, region_node)
+                region_nodes[regioning] = region_node
+            cell_node = self._intern(
+                nodes, "cell", "%s/cell/%s" % (name, config.name),
+                {"kind": "cell", "benchmark": name,
+                 "fingerprint": fingerprint, "regioning": regioning,
+                 "budget": region_budget, "config": config,
+                 "verify": verify},
+                {"fingerprint": fingerprint, "regioning": regioning,
+                 "budget": region_budget,
+                 "config": config_signature(config)}, verify)
+            _link(region_node, cell_node)
+            cell_nodes[key] = cell_node
+        return profile_node, region_nodes, cell_nodes
+
+    # -- execution ---------------------------------------------------------
+
+    def _precheck(self, nodes, use_cache):
+        """Serve every node the store can satisfy; return the rest."""
+        pending = {}
+        for node in nodes.values():
+            if node.done:
+                continue
+            payload = self.store.get(node.key) if use_cache else None
+            if payload is not None and (
+                    not node.spec.get("verify")
+                    or payload.get("verified")):
+                node.payload = payload
+                node.done = True
+            else:
+                pending[node.id] = node
+        return pending
+
+    def _finish(self, node, payload):
+        node.payload = payload
+        node.done = True
+        self.store.put(node.key, payload)
+
+    def _fail(self, node, detail, exception=None):
+        node.failed = True
+        node.done = True
+        node.error = detail
+        node.exception = exception
+        for dependent in node.dependents:
+            if not dependent.done:
+                self._fail(dependent,
+                           "blocked: dependency %s failed" % node.label)
+
+    def _run_nodes(self, nodes, use_cache=True):
+        pending = self._precheck(nodes, use_cache)
+        if not pending:
+            return
+        if self.jobs <= 1:
+            self._run_serial(pending)
+        else:
+            self._run_pooled(pending)
+
+    def _topological(self, pending):
+        order = []
+        seen = set()
+
+        def visit(node):
+            if node.id in seen or node.id not in pending:
+                return
+            seen.add(node.id)
+            for dep in node.deps:
+                visit(dep)
+            order.append(node)
+
+        for node in sorted(pending.values(), key=lambda n: n.label):
+            visit(node)
+        return order
+
+    def _run_serial(self, pending):
+        for node in self._topological(pending):
+            if node.done:
+                continue
+            if any(dep.failed for dep in node.deps):
+                # _fail on the dependency already cascaded here
+                continue
+            try:
+                self._finish(node, execute_task(node.spec))
+            except Exception as exception:
+                self._fail(node, traceback.format_exc(), exception)
+
+    def _run_pooled(self, pending):
+        waiting = dict(pending)
+        in_flight = {}
+
+        def ready(node):
+            return all(dep.done and not dep.failed for dep in node.deps)
+
+        def submit_ready():
+            launch = [node for node in waiting.values()
+                      if ready(node) and not node.done]
+            for node in sorted(launch, key=lambda n: n.label):
+                del waiting[node.id]
+                future = self._executor().submit(_pool_task, node.spec)
+                in_flight[future] = node
+
+        submit_ready()
+        while in_flight:
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                node = in_flight.pop(future)
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    self._pool = None
+                    self._fail(node, "worker process died while "
+                                     "evaluating %s" % node.label)
+                    continue
+                except Exception:
+                    self._fail(node, traceback.format_exc())
+                    continue
+                if "error" in outcome:
+                    self._fail(node, outcome["error"])
+                else:
+                    self._finish(node, outcome["payload"])
+            submit_ready()
+
+
+def _link(dependency, dependent):
+    if dependency not in dependent.deps:
+        dependent.deps.append(dependency)
+        dependency.dependents.append(dependent)
+
+
+# --------------------------------------------------------------------------
+# The shared engine: library calls default to in-process execution (so
+# plain API use never forks); the CLI and ``run_all`` configure a pool.
+
+_shared = None
+
+
+def _default_jobs():
+    value = os.environ.get(_JOBS_ENV)
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return 1
+
+
+def shared_engine():
+    """The process-wide engine (``REPRO_JOBS`` workers; default 1)."""
+    global _shared
+    if _shared is None:
+        _shared = EvaluationEngine(jobs=_default_jobs())
+    return _shared
+
+
+def configure(jobs=None, store=None):
+    """Replace the shared engine (e.g. ``repro evaluate --jobs N``)."""
+    global _shared
+    if _shared is not None:
+        _shared.close()
+    _shared = EvaluationEngine(jobs=jobs, store=store)
+    return _shared

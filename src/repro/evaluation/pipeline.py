@@ -6,24 +6,23 @@ transformed program for exact region counts (and as a semantic self-check),
 schedule every executed region, replay the profile through the schedules.
 
 Results are memoised on disk — scheduling thousands of regions for many
-machine configurations is the expensive part of the evaluation.
+machine configurations is the expensive part of the evaluation.  The
+memoisation (and the parallel fan-out across benchmarks and machine
+configurations) lives in :mod:`repro.evaluation.parallel`:
+:func:`evaluate_benchmark` submits its work through that engine.
 """
-
-import json
-import os
 
 from repro.analysis.cfg import Cfg
 from repro.analysis.liveness import Liveness
 from repro.analysis.lint import Diagnostic, lint_program
 from repro.analysis.verify import (
     VerificationError, NameLiveness, check_schedule, check_transform,
-    check_regions, check_allocation, off_live_names, raise_if_failed)
+    check_regions, check_allocation, off_live_names)
 from repro.compaction.transform import form_superblocks, Region
 from repro.compaction.scheduler import schedule_region
 from repro.compaction.regalloc import region_pressure
 from repro.evaluation.simulator import replay_program, dynamic_region_stats
-from repro.benchmarks.suite import (
-    compile_benchmark, run_program_cached, program_fingerprint, cache_dir)
+from repro.benchmarks.suite import run_program_cached
 
 #: the SYMBOL prototype's register bank (section 5.2), used when the
 #: checked pipeline validates register bindings
@@ -239,63 +238,28 @@ class BenchmarkEvaluation:
 
 
 def evaluate_benchmark(name, configs, tail_dup_budget=48,
-                       use_cache=True, verify=False):
+                       use_cache=True, verify=False, engine=None):
     """Evaluate benchmark *name* under every config in *configs*.
 
     ``configs`` maps result keys to ``(MachineConfig, regioning)`` where
     regioning is ``"bb"`` or ``"trace"``.  Returns a
     :class:`BenchmarkEvaluation` with cycle counts and region statistics.
 
+    The work is submitted through an
+    :class:`~repro.evaluation.parallel.EvaluationEngine` (*engine*, or
+    the shared one), which fans independent cells out across worker
+    processes and memoises every artefact in the content-addressed
+    cache.
+
     With ``verify=True`` the independent checker validates the program
     (lint), the superblock transform, and every schedule as they are
-    produced; any finding raises :class:`VerificationError`.  Cached
-    results are not trusted while verifying — the pipeline re-runs so
-    there is something to check.
+    produced; verification status is part of each cached artefact, so a
+    previously verified artefact is served from cache while an
+    unverified one is transparently recomputed under the checker.  Any
+    finding fails that cell and surfaces as
+    :class:`~repro.evaluation.parallel.EvaluationError`.
     """
-    program = compile_benchmark(name)
-    fingerprint = program_fingerprint(program)
-    cache_key = "eval-%s-%s-b%d-%s" % (
-        name, fingerprint, tail_dup_budget,
-        "_".join(sorted(configs)))
-    path = os.path.join(cache_dir(), cache_key + ".json")
-    if use_cache and not verify and os.path.exists(path):
-        with open(path) as handle:
-            return BenchmarkEvaluation(name, json.load(handle))
-
-    if verify:
-        raise_if_failed(lint_program(program, stage="lint"),
-                        "ICI lint of benchmark %r" % name)
-
-    result = run_program_cached(program, name + "-")
-    region_sets = {}
-
-    def get_region_set(regioning):
-        if regioning not in region_sets:
-            if regioning == "bb":
-                region_sets[regioning] = basic_block_regions(program,
-                                                             result)
-            else:
-                region_sets[regioning] = superblock_regions(
-                    program, result, tail_dup_budget, name + "-")
-                if verify:
-                    raise_if_failed(
-                        region_set_diagnostics(region_sets[regioning]),
-                        "superblock transform of benchmark %r" % name)
-        return region_sets[regioning]
-
-    cycles = {}
-    for key, (config, regioning) in configs.items():
-        cycles[key] = machine_cycles(get_region_set(regioning), config,
-                                     verify=verify)
-
-    region_stats = {}
-    for regioning, region_set in region_sets.items():
-        mean, entries = region_set.stats()
-        region_stats[regioning] = {"mean_length": mean,
-                                   "entries": entries}
-
-    data = {"cycles": cycles, "region_stats": region_stats,
-            "steps": result.steps}
-    with open(path, "w") as handle:
-        json.dump(data, handle)
-    return BenchmarkEvaluation(name, data)
+    from repro.evaluation.parallel import shared_engine
+    engine = engine or shared_engine()
+    return engine.evaluate(name, configs, tail_dup_budget=tail_dup_budget,
+                           use_cache=use_cache, verify=verify)

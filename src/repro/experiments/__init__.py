@@ -30,8 +30,17 @@ __all__ = (["data", "ALL_EXPERIMENTS", "EXTRA_EXPERIMENTS"]
            + sorted(ALL_EXPERIMENTS) + sorted(EXTRA_EXPERIMENTS))
 
 
-def run_all(extras=False):
-    """Render every experiment; returns {name: text}."""
+def run_all(extras=False, jobs=None):
+    """Render every experiment; returns {name: text}.
+
+    With *jobs* the shared evaluation engine is (re)configured to fan
+    the benchmark x machine-configuration cells out over that many
+    worker processes; the rendering itself stays sequential, so the
+    produced artefacts are byte-identical for every jobs count.
+    """
+    if jobs is not None:
+        from repro.evaluation.parallel import configure
+        configure(jobs=jobs)
     out = {name: module.render()
            for name, module in ALL_EXPERIMENTS.items()}
     if extras:

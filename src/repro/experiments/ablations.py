@@ -15,7 +15,7 @@ These go beyond the paper's tables and quantify its central assumptions:
 """
 
 from repro.compaction import sequential, vliw
-from repro.evaluation import evaluate_benchmark
+from repro.evaluation.parallel import shared_engine
 from repro.experiments.render import render_table, fmt
 
 #: representative subset (full sweep would multiply evaluation time)
@@ -23,9 +23,11 @@ DEFAULT_BENCHMARKS = ["nreverse", "qsort", "serialise", "queens_8"]
 
 
 def _average_speedup(benchmarks, configs, **kwargs):
+    evaluations = shared_engine().evaluate_many(
+        [dict(name=name, configs=configs, **kwargs)
+         for name in benchmarks])
     speedups = {key: [] for key in configs if key != "seq"}
-    for name in benchmarks:
-        evaluation = evaluate_benchmark(name, configs, **kwargs)
+    for evaluation in evaluations:
         for key in speedups:
             speedups[key].append(evaluation.speedup(key))
     return {key: sum(values) / len(values)
@@ -71,16 +73,21 @@ def inter_unit_moves(benchmarks=None):
 def tail_dup_budget(benchmarks=None, budgets=(0, 16, 48, 128)):
     """Speedup and region length as the duplication budget grows."""
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    # One DAG across the whole budget x benchmark grid: the sequential
+    # baseline cells are shared between budgets (basic-block artefacts
+    # do not depend on the duplication budget), everything else fans
+    # out in parallel.
+    configs = {"seq": (sequential(), "bb"),
+               "ideal_tr": (vliw(64, name="ideal_budget"), "trace")}
+    requests = [dict(name=name, configs=configs, tail_dup_budget=budget)
+                for budget in budgets for name in benchmarks]
+    evaluations = iter(shared_engine().evaluate_many(requests))
     rows = []
     for budget in budgets:
-        configs = {"seq": (sequential(), "bb"),
-                   "ideal_tr": (vliw(64, name="idealb%d" % budget),
-                                "trace")}
         speedups = []
         lengths = []
-        for name in benchmarks:
-            evaluation = evaluate_benchmark(name, configs,
-                                            tail_dup_budget=budget)
+        for _ in benchmarks:
+            evaluation = next(evaluations)
             speedups.append(evaluation.speedup("ideal_tr"))
             lengths.append(
                 evaluation.region_stats["trace"]["mean_length"])

@@ -1,13 +1,18 @@
 """Shared evaluation data for all experiments.
 
 Every table pulls from one master configuration set so each benchmark is
-compiled, transformed and scheduled exactly once per configuration, with
-results memoised on disk by :mod:`repro.evaluation.pipeline`.
+compiled, transformed and scheduled exactly once per configuration.  All
+work is submitted through the shared
+:class:`~repro.evaluation.parallel.EvaluationEngine` — experiments ask
+for *batches* (:func:`get_evaluations`, :func:`get_profiles`) so the
+engine can fan the independent benchmark x configuration cells out
+across worker processes, with every artefact memoised in the
+content-addressed cache.
 """
 
 from repro.compaction import (
     sequential, bam_like, vliw, ideal, symbol3, symbol3_sequential)
-from repro.evaluation import evaluate_benchmark
+from repro.evaluation.parallel import shared_engine
 from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS, run_benchmark, \
     compile_benchmark
 
@@ -30,16 +35,37 @@ def master_configs():
 _evaluations = {}
 
 
+def get_evaluations(names):
+    """Evaluate *names* under the master configuration set, as a batch.
+
+    Missing benchmarks are submitted to the shared engine in one task
+    DAG — with ``--jobs N`` every cell runs in parallel — and memoised
+    for the rest of the process.  Returns ``{name: evaluation}``.
+    """
+    missing = [name for name in names if name not in _evaluations]
+    if missing:
+        configs = master_configs()
+        evaluations = shared_engine().evaluate_many(
+            [{"name": name, "configs": configs} for name in missing])
+        for name, evaluation in zip(missing, evaluations):
+            _evaluations[name] = evaluation
+    return {name: _evaluations[name] for name in names}
+
+
 def get_evaluation(name):
     """Evaluate benchmark *name* under the master configuration set."""
-    if name not in _evaluations:
-        _evaluations[name] = evaluate_benchmark(name, master_configs())
-    return _evaluations[name]
+    return get_evaluations([name])[name]
 
 
 def get_profile(name):
     """(program, emulation result) for benchmark *name*."""
     return compile_benchmark(name), run_benchmark(name)
+
+
+def get_profiles(names):
+    """Profiles for *names*, emulating cold ones in parallel."""
+    shared_engine().prewarm_profiles(names)
+    return {name: get_profile(name) for name in names}
 
 
 def table_benchmarks():

@@ -7,7 +7,8 @@ have the same duration", and branches are "more than 15%".
 """
 
 from repro.intcode.ici import OP_CLASS, MEM, ALU, MOVE, CTRL
-from repro.experiments.data import get_profile, all_benchmarks
+from repro.experiments.data import get_profile, get_profiles, \
+    all_benchmarks
 from repro.experiments.render import render_table, fmt
 
 CLASSES = (MEM, ALU, MOVE, CTRL)
@@ -26,6 +27,7 @@ def benchmark_mix(name):
 
 def compute(benchmarks=None):
     benchmarks = benchmarks or all_benchmarks()
+    get_profiles(benchmarks)  # emulate cold profiles in parallel
     rows = {}
     weight_sum = {cls: 0.0 for cls in CLASSES}
     for name in benchmarks:

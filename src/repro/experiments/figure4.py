@@ -8,15 +8,16 @@ branch predictability does not come from loop structure.
 
 from repro.analysis.branch_stats import (
     branch_records, p_fp_histogram, taken_rule_stats)
-from repro.experiments.data import get_profile, all_benchmarks
+from repro.experiments.data import get_profiles, all_benchmarks
 from repro.experiments.render import render_histogram
 
 
 def compute(benchmarks=None, bins=10):
     benchmarks = benchmarks or all_benchmarks()
+    profiles = get_profiles(benchmarks)
     records = []
     for name in benchmarks:
-        program, result = get_profile(name)
+        program, result = profiles[name]
         records.extend(branch_records(program, result.counts,
                                       result.taken))
     edges, weights = p_fp_histogram(records, bins)

@@ -14,30 +14,44 @@ models.  These experiments quantify both on the same workloads:
 """
 
 from repro.compaction import sequential, ideal
-from repro.evaluation import evaluate_benchmark
 from repro.evaluation.dynamic import dataflow_limit
+from repro.evaluation.parallel import memoised, shared_engine
 from repro.experiments.render import render_table, fmt
 from repro.benchmarks import compile_benchmark
-from repro.experiments.data import get_evaluation
+from repro.benchmarks.suite import program_fingerprint
+from repro.experiments.data import get_evaluations
 
 #: programs small enough for the (slow) dataflow re-execution
 DEFAULT_BENCHMARKS = ["conc30", "nreverse", "qsort", "serialise",
                       "queens_8", "mu", "divide10", "times10"]
 
 
+def _dataflow_cell(name):
+    """Dataflow-limit cycles/ILP for one benchmark (content-cached)."""
+    program = compile_benchmark(name)
+
+    def compute():
+        flow = dataflow_limit(program)
+        return {"cycles": flow.cycles, "ilp": flow.ilp}
+
+    return memoised("dataflow",
+                    {"fingerprint": program_fingerprint(program)},
+                    compute)
+
+
 def dynamic_vs_static(benchmarks=None):
     """Dataflow-limit speedup vs trace-scheduled static speedup."""
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    evaluations = get_evaluations(benchmarks)
+    flows = shared_engine().map(_dataflow_cell, benchmarks)
     rows = {}
-    for name in benchmarks:
-        evaluation = get_evaluation(name)
-        program = compile_benchmark(name)
-        flow = dataflow_limit(program)
+    for name, flow in zip(benchmarks, flows):
+        evaluation = evaluations[name]
         seq = evaluation.cycles("seq")
         rows[name] = {
             "static": evaluation.speedup("tr_ideal"),
-            "dynamic": seq / flow.cycles,
-            "dynamic_ilp": flow.ilp,
+            "dynamic": seq / flow["cycles"],
+            "dynamic_ilp": flow["ilp"],
         }
     count = len(rows)
     average = {key: sum(r[key] for r in rows.values()) / count
@@ -58,9 +72,10 @@ def multibank(benchmarks=None):
     configs["banked"][0].bank_disambiguation = True
     configs["banked4"][0].bank_disambiguation = True
     configs["banked4"][0].mem_ports = 4
+    evaluations = shared_engine().evaluate_many(
+        [{"name": name, "configs": configs} for name in benchmarks])
     speedups = {key: [] for key in ("shared", "banked", "banked4")}
-    for name in benchmarks:
-        evaluation = evaluate_benchmark(name, configs)
+    for evaluation in evaluations:
         for key in speedups:
             speedups[key].append(evaluation.speedup(key))
     return {key: sum(values) / len(values)

@@ -10,8 +10,11 @@ would need spills with banks of 8, 16, 32 registers.
 from repro.compaction import symbol3
 from repro.compaction.regalloc import region_pressure
 from repro.compaction.scheduler import schedule_region
+from repro.evaluation.parallel import (
+    config_signature, memoised, shared_engine)
 from repro.evaluation.pipeline import superblock_regions
 from repro.benchmarks import compile_benchmark, run_program_cached
+from repro.benchmarks.suite import program_fingerprint
 from repro.experiments.render import render_table, fmt
 
 DEFAULT_BENCHMARKS = ["nreverse", "qsort", "serialise", "queens_8", "mu",
@@ -49,9 +52,30 @@ def benchmark_pressure(name, config=None):
     }
 
 
+def _pressure_cell(name):
+    """Content-cached :func:`benchmark_pressure` (JSON string keys)."""
+    fingerprint = program_fingerprint(compile_benchmark(name))
+
+    def compute_cell():
+        report = benchmark_pressure(name)
+        return dict(report, spill_fraction={
+            str(bank): value
+            for bank, value in report["spill_fraction"].items()})
+
+    payload = memoised(
+        "pressure",
+        {"fingerprint": fingerprint,
+         "config": config_signature(symbol3()), "budget": 48},
+        compute_cell)
+    return dict(payload, spill_fraction={
+        int(bank): value
+        for bank, value in payload["spill_fraction"].items()})
+
+
 def compute(benchmarks=None):
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
-    rows = {name: benchmark_pressure(name) for name in benchmarks}
+    reports = shared_engine().map(_pressure_cell, benchmarks)
+    rows = dict(zip(benchmarks, reports))
     count = len(rows)
     average = {
         "mean_maxlive": sum(r["mean_maxlive"]

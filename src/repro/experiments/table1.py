@@ -7,15 +7,16 @@ an average region length of 11.6 — "about 30% faster than simple
 basic-blocks optimizations".
 """
 
-from repro.experiments.data import get_evaluation, table_benchmarks
+from repro.experiments.data import get_evaluations, table_benchmarks
 from repro.experiments.render import render_table, fmt
 
 
 def compute(benchmarks=None):
     benchmarks = benchmarks or table_benchmarks()
+    evaluations = get_evaluations(benchmarks)
     rows = {}
     for name in benchmarks:
-        evaluation = get_evaluation(name)
+        evaluation = evaluations[name]
         rows[name] = {
             "trace_speedup": evaluation.speedup("tr_ideal"),
             "trace_length": evaluation.region_stats["trace"]["mean_length"],

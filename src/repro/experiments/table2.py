@@ -7,15 +7,16 @@ scheduling on symbolic code.
 """
 
 from repro.analysis.branch_stats import branch_records, average_p_fp
-from repro.experiments.data import get_profile, all_benchmarks
+from repro.experiments.data import get_profiles, all_benchmarks
 from repro.experiments.render import render_table, fmt
 
 
 def compute(benchmarks=None):
     benchmarks = benchmarks or all_benchmarks()
+    profiles = get_profiles(benchmarks)
     rows = {}
     for name in benchmarks:
-        program, result = get_profile(name)
+        program, result = profiles[name]
         records = branch_records(program, result.counts, result.taken)
         rows[name] = {
             "p_fp": average_p_fp(records),

@@ -6,7 +6,7 @@ trace-scheduled VLIW configurations improve with units and saturate at
 beyond the first unit is modest.
 """
 
-from repro.experiments.data import get_evaluation, table_benchmarks
+from repro.experiments.data import get_evaluations, table_benchmarks
 from repro.experiments.render import render_table, render_curve, fmt
 
 UNIT_KEYS = ["vliw1", "vliw2", "vliw3", "vliw4", "vliw5"]
@@ -14,9 +14,10 @@ UNIT_KEYS = ["vliw1", "vliw2", "vliw3", "vliw4", "vliw5"]
 
 def compute(benchmarks=None):
     benchmarks = benchmarks or table_benchmarks()
+    evaluations = get_evaluations(benchmarks)
     rows = {}
     for name in benchmarks:
-        evaluation = get_evaluation(name)
+        evaluation = evaluations[name]
         entry = {"seq_cycles": evaluation.cycles("seq"),
                  "bam": evaluation.speedup("bam")}
         for key in UNIT_KEYS:

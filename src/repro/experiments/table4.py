@@ -13,8 +13,8 @@ Section 5.3's headline MLIPS number (2.1 on NREVERSE) is recomputed from
 counted logical inferences.
 """
 
-from repro.experiments.data import get_evaluation, get_profile, \
-    table_benchmarks
+from repro.experiments.data import get_evaluation, get_evaluations, \
+    get_profile, table_benchmarks
 from repro.experiments.render import render_table, fmt
 
 CLOCK_HZ = 30e6
@@ -52,10 +52,11 @@ def logical_inferences(name):
 
 def compute(benchmarks=None):
     benchmarks = benchmarks or table_benchmarks()
+    evaluations = get_evaluations(benchmarks)
     rows = {}
     ratios = []
     for name in benchmarks:
-        evaluation = get_evaluation(name)
+        evaluation = evaluations[name]
         cycles = evaluation.cycles("symbol3")
         milliseconds = cycles / CLOCK_HZ * 1e3
         bam_ratio = evaluation.cycles("bam") / cycles

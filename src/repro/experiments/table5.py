@@ -13,15 +13,16 @@ and control pipelines, two squashed delay cycles on taken transfers, and
 the two 64-bit instruction formats for the parallel machine.
 """
 
-from repro.experiments.data import get_evaluation, table_benchmarks
+from repro.experiments.data import get_evaluations, table_benchmarks
 from repro.experiments.render import render_table, fmt
 
 
 def compute(benchmarks=None):
     benchmarks = benchmarks or table_benchmarks()
+    evaluations = get_evaluations(benchmarks)
     rows = {}
     for name in benchmarks:
-        evaluation = get_evaluation(name)
+        evaluation = evaluations[name]
         seq = evaluation.cycles("symbol_seq")
         rows[name] = {
             "seq_cycles": seq,

@@ -14,8 +14,10 @@ paper's "factor of three" (the rest came from clock technology).
 from repro.bam import compile_source, CompilerOptions
 from repro.intcode import translate_module
 from repro.compaction import sequential
+from repro.evaluation.parallel import memoised, shared_engine
 from repro.evaluation.pipeline import basic_block_regions, machine_cycles
 from repro.benchmarks import PROGRAMS, run_program_cached
+from repro.benchmarks.suite import program_fingerprint
 from repro.experiments.render import render_table, fmt
 
 DEFAULT_BENCHMARKS = ["conc30", "nreverse", "qsort", "serialise",
@@ -44,11 +46,29 @@ def benchmark_ratio(name):
     return bam_cycles, wam_cycles
 
 
+def _ratio_cell(name):
+    """Content-cached :func:`benchmark_ratio` for one benchmark."""
+    source = PROGRAMS[name].source
+    bam_fingerprint = program_fingerprint(
+        translate_module(compile_source(source)))
+    wam_fingerprint = program_fingerprint(translate_module(compile_source(
+        source, options=CompilerOptions(indexing=False, lco=False))))
+
+    def compute_cell():
+        bam_cycles, wam_cycles = benchmark_ratio(name)
+        return {"bam_cycles": bam_cycles, "wam_cycles": wam_cycles}
+
+    return memoised("wam", {"bam_fingerprint": bam_fingerprint,
+                            "wam_fingerprint": wam_fingerprint},
+                    compute_cell)
+
+
 def compute(benchmarks=None):
     benchmarks = benchmarks or DEFAULT_BENCHMARKS
+    cells = shared_engine().map(_ratio_cell, benchmarks)
     rows = {}
-    for name in benchmarks:
-        bam_cycles, wam_cycles = benchmark_ratio(name)
+    for name, cell in zip(benchmarks, cells):
+        bam_cycles, wam_cycles = cell["bam_cycles"], cell["wam_cycles"]
         rows[name] = {
             "bam_cycles": bam_cycles,
             "wam_cycles": wam_cycles,

@@ -1,0 +1,88 @@
+"""Golden-number regression suite.
+
+Pins the headline quantities of the reproduction (EXPERIMENTS.md) to the
+paper's published values with tolerances wide enough to survive
+refactors of the pipeline, scheduler or cache — but tight enough that a
+change which *moves the results* fails loudly instead of drifting.
+
+Everything here flows through the shared parallel evaluation engine, so
+this suite also locks the engine's aggregation: a caching bug that
+served a stale or mismatched artefact would show up as a golden-number
+violation.
+
+CI runs this file as a separate gate (see .github/workflows/ci.yml).
+"""
+
+import pytest
+
+from repro.experiments import figure2, figure3, table1, table3
+from repro.intcode.ici import MEM
+
+# Paper / EXPERIMENTS.md headline values.
+GOLDEN_MEMORY_FRACTION = 0.330    # Figure 2: memory ops ~33% of mix
+GOLDEN_AMDAHL_BOUND = 3.03        # Figure 3: asymptotic speedup bound
+GOLDEN_BB_SPEEDUP = 1.65          # Table 1: basic-block-limit speedup
+GOLDEN_TRACE_SPEEDUP = 2.39       # Table 1: global-compaction speedup
+GOLDEN_BAM_SPEEDUP = 1.59         # Table 3: BAM-like restricted machine
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2.compute()
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1.compute()
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3.compute()
+
+
+def test_memory_fraction_is_one_third(fig2):
+    assert fig2["average"][MEM] == pytest.approx(
+        GOLDEN_MEMORY_FRACTION, abs=0.02)
+
+
+def test_amdahl_bound(fig2):
+    data = figure3.compute(fig2["average"][MEM])
+    assert data["asymptote"] == pytest.approx(
+        GOLDEN_AMDAHL_BOUND, abs=0.15)
+
+
+def test_basic_block_speedup(t1):
+    assert t1["average"]["bb_speedup"] == pytest.approx(
+        GOLDEN_BB_SPEEDUP, abs=0.08)
+
+
+def test_trace_speedup(t1):
+    assert t1["average"]["trace_speedup"] == pytest.approx(
+        GOLDEN_TRACE_SPEEDUP, abs=0.12)
+
+
+def test_bam_speedup(t3):
+    assert t3["average"]["bam"] == pytest.approx(
+        GOLDEN_BAM_SPEEDUP, abs=0.08)
+
+
+def test_table3_saturation_shape(t3):
+    """Unit scaling saturates the way Table 3 of the paper does."""
+    units = [t3["average"]["vliw%d" % n] for n in range(1, 6)]
+    # Monotone in the number of units...
+    assert all(a <= b + 1e-9 for a, b in zip(units, units[1:]))
+    # ...with a visible gain up to three units...
+    assert units[2] - units[0] > 0.30
+    # ...and saturation beyond four (Amdahl memory bound).
+    assert units[4] - units[3] < 0.05
+    # The whole curve lives under the Figure 3 asymptote.
+    assert units[4] < GOLDEN_AMDAHL_BOUND
+
+
+def test_rendered_table1_average_line(t1):
+    """The rendered artefact carries the golden averages verbatim."""
+    line = next(row for row in table1.render(t1).splitlines()
+                if row.strip().startswith("AVERAGE"))
+    assert "%.2f" % t1["average"]["trace_speedup"] in line
+    assert "%.2f" % t1["average"]["bb_speedup"] in line
