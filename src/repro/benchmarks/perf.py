@@ -1,0 +1,214 @@
+"""Emulator performance measurement: the ``repro bench`` harness.
+
+Times both emulator backends over (a subset of) the paper suite and
+emits ``BENCH_emulator.json``, the repository's perf-trajectory record:
+per-benchmark wall time and ICI throughput for each backend, the
+backend-vs-backend speedup, and enough provenance (git revision, Python
+version, repeat count) to compare runs across commits.  CI validates
+the document against :func:`validate_bench` and archives it; no timing
+gate is applied — the file is a trajectory, not a pass/fail check.
+
+Every timed run also cross-checks the two backends' results field by
+field, so a perf run doubles as a differential test.
+"""
+
+import json
+import platform
+import subprocess
+import sys
+import timeit
+
+from repro.benchmarks.programs import TABLE_BENCHMARKS
+from repro.benchmarks.suite import compile_benchmark
+from repro.emulator import BACKENDS, Emulator, ThreadedEmulator
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "QUICK_BENCHMARKS",
+    "bench_document",
+    "format_bench",
+    "git_revision",
+    "time_backends",
+    "validate_bench",
+    "write_bench",
+]
+
+#: bump when the BENCH_emulator.json layout changes
+BENCH_SCHEMA = 1
+
+#: the two cheapest suite members — the CI smoke subset
+QUICK_BENCHMARKS = ("conc30", "divide10")
+
+_RUNNERS = {"reference": Emulator, "threaded": ThreadedEmulator}
+
+
+def git_revision():
+    """The working tree's commit hash, or ``"unknown"`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip()
+
+
+def _identical(left, right):
+    """Field-by-field equality of two EmulationResults."""
+    return (left.status == right.status and left.steps == right.steps
+            and left.output == right.output
+            and left.counts == right.counts
+            and left.taken == right.taken)
+
+
+def time_backends(program, repeats=3):
+    """Best-of-*repeats* wall time per backend for one program.
+
+    Returns ``(results, seconds)``: backend name -> EmulationResult and
+    backend name -> best wall-clock seconds for a full run.
+    """
+    results = {}
+    seconds = {}
+    for backend in BACKENDS:
+        emulator = _RUNNERS[backend](program)
+        results[backend] = emulator.run()
+        seconds[backend] = min(timeit.repeat(
+            emulator.run, number=1, repeat=repeats))
+    return results, seconds
+
+
+def bench_document(names=None, repeats=3, progress=None):
+    """Time both backends over *names* (default: the paper suite).
+
+    Returns the ``BENCH_emulator.json`` document.  *progress*, when
+    given, is called with each finished per-benchmark entry.
+    """
+    names = list(names) if names is not None else list(TABLE_BENCHMARKS)
+    entries = []
+    totals = {backend: 0.0 for backend in BACKENDS}
+    for name in names:
+        program = compile_benchmark(name)
+        results, seconds = time_backends(program, repeats=repeats)
+        steps = results["reference"].steps
+        entry = {
+            "name": name,
+            "steps": steps,
+            "identical": _identical(results["reference"],
+                                    results["threaded"]),
+            "backends": {
+                backend: {
+                    "seconds": seconds[backend],
+                    "icis_per_sec": steps / seconds[backend]
+                    if seconds[backend] > 0 else 0.0,
+                }
+                for backend in BACKENDS
+            },
+            "speedup": seconds["reference"] / seconds["threaded"]
+            if seconds["threaded"] > 0 else 0.0,
+        }
+        for backend in BACKENDS:
+            totals[backend] += seconds[backend]
+        entries.append(entry)
+        if progress is not None:
+            progress(entry)
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "repeats": repeats,
+        "benchmarks": entries,
+        "summary": {
+            "benchmarks": len(entries),
+            "total_seconds": {backend: totals[backend]
+                              for backend in BACKENDS},
+            "speedup": totals["reference"] / totals["threaded"]
+            if totals["threaded"] > 0 else 0.0,
+            "all_identical": all(entry["identical"]
+                                 for entry in entries),
+        },
+    }
+
+
+def validate_bench(document):
+    """Schema problems of a BENCH_emulator.json document (empty = valid).
+
+    Checked by CI after the bench smoke run, and by any future PR that
+    wants to read the perf trajectory programmatically.
+    """
+    problems = []
+
+    def require(condition, message):
+        if not condition:
+            problems.append(message)
+
+    require(isinstance(document, dict), "document is not an object")
+    if not isinstance(document, dict):
+        return problems
+    require(document.get("schema") == BENCH_SCHEMA,
+            "schema is not %d" % BENCH_SCHEMA)
+    for field in ("git_rev", "python"):
+        require(isinstance(document.get(field), str),
+                "%s is not a string" % field)
+    require(isinstance(document.get("repeats"), int)
+            and document.get("repeats", 0) >= 1,
+            "repeats is not a positive integer")
+    entries = document.get("benchmarks")
+    require(isinstance(entries, list) and entries,
+            "benchmarks is not a non-empty list")
+    for index, entry in enumerate(entries or []):
+        where = "benchmarks[%d]" % index
+        if not isinstance(entry, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        require(isinstance(entry.get("name"), str),
+                "%s.name is not a string" % where)
+        require(isinstance(entry.get("steps"), int)
+                and entry.get("steps", -1) >= 0,
+                "%s.steps is not a non-negative integer" % where)
+        require(entry.get("identical") is True,
+                "%s.identical is not true" % where)
+        backends = entry.get("backends")
+        if not isinstance(backends, dict):
+            problems.append("%s.backends is not an object" % where)
+            continue
+        require(sorted(backends) == sorted(BACKENDS),
+                "%s.backends keys != %s" % (where, sorted(BACKENDS)))
+        for backend, timing in backends.items():
+            for field in ("seconds", "icis_per_sec"):
+                value = timing.get(field) if isinstance(timing, dict) \
+                    else None
+                require(isinstance(value, (int, float))
+                        and value >= 0,
+                        "%s.backends.%s.%s is not a non-negative "
+                        "number" % (where, backend, field))
+        require(isinstance(entry.get("speedup"), (int, float)),
+                "%s.speedup is not a number" % where)
+    summary = document.get("summary")
+    require(isinstance(summary, dict), "summary is not an object")
+    if isinstance(summary, dict):
+        require(summary.get("benchmarks") == len(entries or []),
+                "summary.benchmarks does not match the entry count")
+        require(isinstance(summary.get("speedup"), (int, float)),
+                "summary.speedup is not a number")
+    return problems
+
+
+def write_bench(document, path):
+    """Write *document* as JSON to *path*."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_bench(entry):
+    """One human-readable progress line for a per-benchmark entry."""
+    timings = entry["backends"]
+    return ("%-12s steps=%-9d ref=%8.4fs thr=%8.4fs  %5.2fx  %s"
+            % (entry["name"], entry["steps"],
+               timings["reference"]["seconds"],
+               timings["threaded"]["seconds"], entry["speedup"],
+               "ok" if entry["identical"] else "MISMATCH"))

@@ -16,7 +16,7 @@ import tempfile
 from repro.benchmarks.programs import PROGRAMS, TABLE_BENCHMARKS
 from repro.bam import compile_source
 from repro.intcode import translate_module
-from repro.emulator import Emulator, EmulationResult
+from repro.emulator import EmulationResult, resolve_backend, run_program
 from repro.interp import Engine
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
@@ -46,8 +46,14 @@ def compile_benchmark(name):
     return translate_module(compile_source(PROGRAMS[name].source))
 
 
-def run_program_cached(program, key_hint=""):
-    """Emulate *program*, consulting the on-disk profile cache first."""
+def run_program_cached(program, key_hint="", backend=None):
+    """Emulate *program*, consulting the on-disk profile cache first.
+
+    Both emulator backends produce bit-identical profiles, so the cache
+    key is backend-independent; the payload records which backend
+    actually produced the profile (``EmulationResult.backend``) so a
+    cache hit computed under a different backend stays diagnosable.
+    """
     key = key_hint + program_fingerprint(program)
     path = os.path.join(cache_dir(), key + ".json")
     if os.path.exists(path):
@@ -56,10 +62,12 @@ def run_program_cached(program, key_hint=""):
                 data = json.load(handle)
             return EmulationResult(program, data["status"], data["steps"],
                                    data["output"], data["counts"],
-                                   data["taken"])
+                                   data["taken"],
+                                   backend=data.get("backend",
+                                                    "reference"))
         except (ValueError, KeyError):
             os.remove(path)
-    result = Emulator(program).run()
+    result = run_program(program, backend=resolve_backend(backend))
     # Atomic write: parallel evaluation workers may race on the same
     # profile, and a reader must never see a torn file.
     descriptor, temporary = tempfile.mkstemp(
@@ -67,7 +75,8 @@ def run_program_cached(program, key_hint=""):
     with os.fdopen(descriptor, "w") as handle:
         json.dump({"status": result.status, "steps": result.steps,
                    "output": result.output, "counts": result.counts,
-                   "taken": result.taken}, handle)
+                   "taken": result.taken, "backend": result.backend},
+                  handle)
     os.replace(temporary, path)
     return result
 

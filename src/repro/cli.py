@@ -6,7 +6,7 @@
     python -m repro listing program.pl        # BAM and ICI listings
     python -m repro speedup program.pl -m vliw3
     python -m repro analyze program.pl        # mix + branch statistics
-    python -m repro bench qsort               # one suite benchmark
+    python -m repro bench [--quick]           # time emulator backends
     python -m repro evaluate [--extras]       # the paper's tables/figures
     python -m repro evaluate --jobs 4 --bench qsort --bench nreverse
     python -m repro lint program.pl           # ICI well-formedness lint
@@ -120,16 +120,46 @@ def cmd_analyze(args, out, err):
 
 
 def cmd_bench(args, out, err):
-    from repro.benchmarks import PROGRAMS, run_benchmark
-    if args.name not in PROGRAMS:
-        err.write("unknown benchmark %r; available: %s\n"
-                  % (args.name, ", ".join(sorted(PROGRAMS))))
+    from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS
+    from repro.benchmarks.perf import (
+        QUICK_BENCHMARKS, bench_document, format_bench, validate_bench,
+        write_bench)
+    if args.name and args.quick:
+        err.write("bench: give benchmark names or --quick, not both\n")
         return 2
-    result = run_benchmark(args.name)
-    out.write(result.output)
-    out.write("%% %s: status=%d steps=%d\n"
-              % (args.name, result.status, result.steps))
-    return result.status
+    if args.quick:
+        names = list(QUICK_BENCHMARKS)
+    elif args.name:
+        names = args.name
+    else:
+        names = list(TABLE_BENCHMARKS)
+    unknown = [name for name in names if name not in PROGRAMS]
+    if unknown:
+        err.write("unknown benchmark(s) %s; available: %s\n"
+                  % (", ".join(sorted(unknown)),
+                     ", ".join(sorted(PROGRAMS))))
+        return 2
+    document = bench_document(
+        names, repeats=args.repeat,
+        progress=lambda entry: out.write(format_bench(entry) + "\n"))
+    summary = document["summary"]
+    out.write("total: ref=%.4fs thr=%.4fs speedup=%.2fx over %d "
+              "benchmark(s)\n"
+              % (summary["total_seconds"]["reference"],
+                 summary["total_seconds"]["threaded"],
+                 summary["speedup"], summary["benchmarks"]))
+    problems = validate_bench(document)
+    if problems:
+        for problem in problems:
+            err.write("bench: schema problem: %s\n" % problem)
+        return 1
+    path = write_bench(document, args.output)
+    out.write("wrote %s\n" % path)
+    if not summary["all_identical"]:
+        err.write("bench: backend results differ — see 'identical' "
+                  "fields in %s\n" % path)
+        return 1
+    return 0
 
 
 def _resolve_jobs(args):
@@ -144,7 +174,27 @@ def cmd_evaluate(args, out, err):
         return _evaluate_smoke(args, engine, out, err)
     for name, text in run_all(extras=args.extras).items():
         out.write(text + "\n\n")
+    _report_profile_backends(out)
     return 0
+
+
+def _report_profile_backends(out):
+    """Summarise which emulator backend produced each profile artefact
+    (a cached profile may come from a different backend than the active
+    one — that difference should be diagnosable, not silent)."""
+    from repro.experiments.data import profile_backends
+    backends = profile_backends()
+    if not backends:
+        return
+    by_backend = {}
+    for name, backend in backends.items():
+        by_backend.setdefault(backend, []).append(name)
+    parts = ["%s x%d" % (backend, len(names))
+             for backend, names in sorted(by_backend.items())]
+    out.write("profiles: %s\n" % ", ".join(parts))
+    if len(by_backend) > 1:
+        for backend, names in sorted(by_backend.items()):
+            out.write("  %s: %s\n" % (backend, ", ".join(sorted(names))))
 
 
 def _evaluate_smoke(args, engine, out, err):
@@ -166,11 +216,12 @@ def _evaluate_smoke(args, engine, out, err):
         err.write(str(error) + "\n")
         return 1
     keys = sorted(configs)
-    out.write("%-12s %s\n" % ("benchmark", " ".join(
-        "%10s" % key for key in keys)))
+    out.write("%-12s %s %10s\n" % ("benchmark", " ".join(
+        "%10s" % key for key in keys), "profile"))
     for evaluation in evaluations:
-        out.write("%-12s %s\n" % (evaluation.name, " ".join(
-            "%10d" % evaluation.cycles(key) for key in keys)))
+        out.write("%-12s %s %10s\n" % (evaluation.name, " ".join(
+            "%10d" % evaluation.cycles(key) for key in keys),
+            evaluation.data.get("backend", "?")))
     stats = engine.store.stats()
     out.write("cache: %d hit(s), %d miss(es), %d corrupt entr%s "
               "recomputed\n" % (stats["hits"], stats["misses"],
@@ -304,8 +355,22 @@ def build_parser():
     p.add_argument("--max-steps", type=int, default=500_000_000)
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("bench", help="run one suite benchmark")
-    p.add_argument("name")
+    p = sub.add_parser("bench",
+                       help="time both emulator backends over the "
+                            "paper suite")
+    p.add_argument("name", nargs="*",
+                   help="suite benchmark(s) to time (default: the "
+                        "paper's table benchmarks)")
+    p.add_argument("--quick", action="store_true",
+                   help="time only the two cheapest benchmarks (the "
+                        "CI smoke subset)")
+    p.add_argument("--repeat", type=int, default=3, metavar="N",
+                   help="timing repeats per backend; best-of-N is "
+                        "recorded (default 3)")
+    p.add_argument("--output", default="BENCH_emulator.json",
+                   metavar="PATH",
+                   help="where to write the perf record (default "
+                        "BENCH_emulator.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("evaluate", help="regenerate the paper's tables")

@@ -1,21 +1,40 @@
-"""Sequential ICI emulator and dynamic statistics."""
+"""Sequential ICI emulator and dynamic statistics.
+
+Two backends share one contract (bit-identical
+:class:`~repro.emulator.machine.EmulationResult` data):
+
+* ``reference`` — the plain interpreter loop in
+  :mod:`repro.emulator.machine`;
+* ``threaded`` — the compiled threaded-code backend in
+  :mod:`repro.emulator.threaded` (the default; several times faster).
+
+:func:`run_program` selects between them (``backend=`` argument or the
+``REPRO_EMULATOR_BACKEND`` environment variable).
+"""
 
 from repro.emulator.machine import (
+    BACKENDS,
     Emulator,
     EmulationResult,
     EmulatorError,
+    resolve_backend,
     run_program,
     render_term,
     decode,
 )
+from repro.emulator.threaded import ThreadedEmulator, threaded_code
 from repro.emulator.debug import DebugMachine
 
 __all__ = [
+    "BACKENDS",
     "Emulator",
     "EmulationResult",
     "EmulatorError",
+    "ThreadedEmulator",
+    "resolve_backend",
     "run_program",
     "render_term",
     "decode",
+    "threaded_code",
     "DebugMachine",
 ]

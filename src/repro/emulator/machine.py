@@ -1,4 +1,4 @@
-"""Sequential ICI emulator.
+"""Sequential ICI emulator (the *reference* backend).
 
 Executes a compiled :class:`~repro.intcode.program.Program` against the
 shared data memory, collecting the statistics the back-end needs: per-
@@ -7,12 +7,31 @@ counts (from which branch *Probability* follows).  It also captures program
 output so compiled code can be validated against the reference interpreter.
 
 The emulator is a straight interpreter loop over pre-decoded instruction
-tuples; correctness and statistics, not speed, are its contract, but it is
-written to stay around a few million ICIs per second on CPython.
+tuples; correctness and statistics, not speed, are its contract.  The
+fast path is the threaded-code backend in
+:mod:`repro.emulator.threaded`, which compiles basic blocks to Python
+closures and must stay bit-identical to this loop — :func:`run_program`
+selects between the two (``REPRO_EMULATOR_BACKEND``, default
+``threaded``).
 """
+
+import os
+from array import array
 
 from repro.terms import tags, Atom, Int, Var, Struct, term_to_string
 from repro.intcode import layout
+
+_BACKEND_ENV = "REPRO_EMULATOR_BACKEND"
+BACKENDS = ("threaded", "reference")
+
+
+def resolve_backend(backend=None):
+    """The effective emulator backend name for *backend* (or the env)."""
+    name = backend or os.environ.get(_BACKEND_ENV) or BACKENDS[0]
+    if name not in BACKENDS:
+        raise ValueError("unknown emulator backend %r (expected one of "
+                         "%s)" % (name, ", ".join(BACKENDS)))
+    return name
 
 # Pre-decoded opcode numbers, ordered roughly by expected frequency.
 _LD, _ST, _BTAG, _BNTAG, _MOV, _LEA, _LDI, _BEQ, _BNE, _JMP, _CALL, \
@@ -40,13 +59,15 @@ class EmulatorError(Exception):
 class EmulationResult:
     """Outcome of one program run."""
 
-    def __init__(self, program, status, steps, output, counts, taken):
+    def __init__(self, program, status, steps, output, counts, taken,
+                 backend="reference"):
         self.program = program
         self.status = status        # halt code: 0 success, 1 query failure
         self.steps = steps
         self.output = output        # program output text
         self.counts = counts        # per-pc execution counts
         self.taken = taken          # per-pc branch-taken counts
+        self.backend = backend      # emulator backend that produced this
 
     @property
     def succeeded(self):
@@ -60,7 +81,16 @@ class EmulationResult:
 
 
 def decode(program):
-    """Pre-decode a program into dense tuples and a register map."""
+    """Pre-decode a program into dense tuples and a register map.
+
+    The decode is memoised on the :class:`Program` object: every consumer
+    (the reference loop, the threaded backend, the debug stepper and the
+    dataflow limit in :mod:`repro.evaluation.dynamic`) shares one decode
+    per program instead of re-walking the instruction list on each run.
+    """
+    cached = getattr(program, "_decoded", None)
+    if cached is not None:
+        return cached
     reg_index = {}
 
     def reg(name):
@@ -123,7 +153,27 @@ def decode(program):
             code.append((op, instruction.imm or 0))
         else:
             raise EmulatorError("cannot decode %r" % (instruction,))
-    return code, reg_index
+    program._decoded = (code, reg_index)
+    return program._decoded
+
+
+def initial_registers(program, reg_index):
+    """The machine register file at program entry."""
+    regs = [tags.pack(0, tags.TRAW)] * len(reg_index)
+    for name, value in layout.MACHINE_REGISTERS.items():
+        tag = tags.TCOD if name in ("CP", "RL") else tags.TRAW
+        regs[reg_index[name]] = tags.pack(value, tag)
+    return regs
+
+
+def initial_memory(program):
+    """The data memory at program entry (the functor-arity table)."""
+    memory = {}
+    symbols = program.symbols
+    for index in range(symbols.functor_count):
+        memory[layout.FTAB_BASE + index] = tags.pack(
+            symbols.functor_arity(index), tags.TINT)
+    return memory
 
 
 class Emulator:
@@ -135,26 +185,19 @@ class Emulator:
         self.code, self.reg_index = decode(program)
 
     def _initial_registers(self):
-        regs = [tags.pack(0, tags.TRAW)] * len(self.reg_index)
-        for name, value in layout.MACHINE_REGISTERS.items():
-            tag = tags.TCOD if name in ("CP", "RL") else tags.TRAW
-            regs[self.reg_index[name]] = tags.pack(value, tag)
-        return regs
+        return initial_registers(self.program, self.reg_index)
 
     def _initial_memory(self):
-        memory = {}
-        symbols = self.program.symbols
-        for index in range(symbols.functor_count):
-            memory[layout.FTAB_BASE + index] = tags.pack(
-                symbols.functor_arity(index), tags.TINT)
-        return memory
+        return initial_memory(self.program)
 
     def run(self, collect_stats=True):
         code = self.code
         regs = self._initial_registers()
         mem = self._initial_memory()
-        counts = [0] * len(code)
-        taken = [0] * len(code)
+        # Flat signed-64 buffers: one contiguous allocation for the whole
+        # run instead of a Python list of boxed ints per program point.
+        counts = array("q", bytes(8 * len(code)))
+        taken = array("q", bytes(8 * len(code)))
         output = []
         symbols = self.program.symbols
 
@@ -297,8 +340,9 @@ class Emulator:
                 "division by zero at pc=%d (%r)"
                 % (pc, self.program.instructions[pc])) from exc
 
+        # The public result keeps plain lists (JSON-friendly, comparable).
         return EmulationResult(self.program, status, steps,
-                               "".join(output), counts, taken)
+                               "".join(output), list(counts), list(taken))
 
 
 def render_term(mem, symbols, word, depth=0):
@@ -333,6 +377,18 @@ def _reify(mem, symbols, word, seen, depth=0):
     return Atom("<%s>" % tags.describe(word))
 
 
-def run_program(program, max_steps=500_000_000):
-    """Convenience wrapper: emulate *program* and return the result."""
-    return Emulator(program, max_steps=max_steps).run()
+def run_program(program, max_steps=500_000_000, backend=None):
+    """Emulate *program* on the selected backend and return the result.
+
+    *backend* is ``"threaded"`` (compiled basic blocks, the default) or
+    ``"reference"`` (the interpreter loop above); when None the
+    ``REPRO_EMULATOR_BACKEND`` environment variable decides.  Both
+    backends produce bit-identical :class:`EmulationResult` data; the
+    threaded one falls back to the reference loop on any construct it
+    cannot compile.
+    """
+    name = resolve_backend(backend)
+    if name == "reference":
+        return Emulator(program, max_steps=max_steps).run()
+    from repro.emulator.threaded import ThreadedEmulator
+    return ThreadedEmulator(program, max_steps=max_steps).run()

@@ -1,0 +1,603 @@
+"""Threaded-code emulator backend.
+
+The reference loop in :mod:`repro.emulator.machine` pays CPython's full
+dispatch cost on every dynamic instruction: a tuple fetch, an opcode
+comparison chain, and per-step statistics updates.  Following the classic
+threaded-code recipe (Ertl & Gregg, *The Structure and Performance of
+Efficient Interpreters*), this backend removes all three:
+
+* **Direct-threaded dispatch.**  Each basic block of the pre-decoded
+  program is compiled, once per program, into a Python closure.  A block
+  closure executes its instructions as straight-line Python statements
+  (operands and immediates baked in as constants) and *returns the next
+  block's closure* — the dispatch loop is ``while fn is not None: fn =
+  fn()``, with no per-instruction opcode switch anywhere.
+
+* **Superinstruction fusion.**  The hot ICI pairs of the paper's
+  instruction mix — a compare feeding its conditional branch, ``ld``
+  feeding a ``btag``/``bntag`` tag test, and ``mov`` chains — are fused
+  at compile time by forwarding a just-written register value through a
+  Python local, so the consumer reads the local instead of re-indexing
+  the register file.  Fused statements still store to the register file
+  (later blocks may read it), so machine state stays exact.
+
+* **Block-level statistics.**  Instead of per-step ``counts[pc] += 1``
+  updates, a block increments one entry counter (and one taken counter
+  per conditional exit).  Because every instruction of a basic block
+  executes exactly as many times as the block is entered, a single
+  post-run replay expands the block counters into the per-pc ``counts``
+  and ``taken`` arrays — bit-identical to the reference loop's.
+
+The backend is *semantics-complete or honest*: any construct it cannot
+compile (an unknown escape, a fall-off-the-end block, an indirect jump
+into the middle of a block) compiles to a bail-out, and any bail-out or
+machine fault at run time falls back to one clean re-run on the
+reference loop — programs are deterministic, so the reference re-run
+reproduces the exact result or the exact fault.  ``EmulationResult``
+equality between the two backends is enforced by the differential fuzz
+suite (``tests/test_fuzz_equivalence.py``).
+"""
+
+from array import array
+
+from repro.terms import tags
+from repro.emulator.machine import (
+    EmulationResult, Emulator, decode, initial_memory, initial_registers,
+    render_term,
+    _LD, _ST, _BTAG, _BNTAG, _MOV, _LEA, _LDI, _BEQ, _BNE, _JMP, _CALL,
+    _JMPR, _ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SLL, _SRA,
+    _BLTV, _BLEV, _BGTV, _BGEV, _MKTAG, _GETTAG, _ESC, _HALT)
+
+__all__ = ["ThreadedEmulator", "threaded_code", "basic_blocks"]
+
+#: control transfers that terminate a basic block
+_TERMINATORS = frozenset([
+    _BTAG, _BNTAG, _BEQ, _BNE, _BLTV, _BLEV, _BGTV, _BGEV,
+    _JMP, _CALL, _JMPR, _HALT])
+
+#: conditional branches (the ops that contribute to ``taken``)
+_CONDITIONAL = frozenset([
+    _BTAG, _BNTAG, _BEQ, _BNE, _BLTV, _BLEV, _BGTV, _BGEV])
+
+_CMP_OPERATOR = {_BEQ: "==", _BNE: "!=", _BLTV: "<", _BLEV: "<=",
+                 _BGTV: ">", _BGEV: ">="}
+_ALU_OPERATOR = {_ADD: "+", _SUB: "-", _MUL: "*", _AND: "&", _OR: "|",
+                 _XOR: "^", _SLL: "<<", _SRA: ">>"}
+
+#: dispatch-loop step-limit check cadence (in blocks); between checks the
+#: run can overshoot the limit by at most this many blocks of work before
+#: bailing out to the reference loop for the exact fault
+_CHECK_INTERVAL = 65536
+
+#: how many *extra* basic blocks one closure may inline past its entry
+#: block (following fall-through and ``jmp`` edges).  Each inlined block
+#: removes one dispatch round trip; the budget bounds generated-code
+#: growth.
+_INLINE_BUDGET = 12
+
+_TCOD_BITS = tags.TCOD << 1  # the link-register tag bits of `call`
+
+
+class _Bailout(Exception):
+    """Internal: the threaded run hit something only the reference loop
+    handles exactly (step-limit edge, unsupported construct, wild jump).
+    """
+
+
+def _unsupported_target():
+    raise _Bailout
+
+
+def basic_blocks(program):
+    """The basic-block partition of *program*'s decoded code.
+
+    Returns a list of ``(start, end)`` index pairs.  Leaders are the
+    entry point, every label (all branch targets are labels, and any
+    label may be reached indirectly through ``ldi``/``jmpr``), and the
+    instruction after every control transfer (which covers ``call``
+    return addresses).
+    """
+    code, _ = decode(program)
+    n = len(code)
+    leaders = {program.entry_pc}
+    for index in program.labels.values():
+        if index < n:
+            leaders.add(index)
+    for pc, ins in enumerate(code):
+        if ins[0] in _TERMINATORS and pc + 1 < n:
+            leaders.add(pc + 1)
+    starts = sorted(leaders)
+    return [(start, end) for start, end in
+            zip(starts, starts[1:] + [n])]
+
+
+def _reachable_indices(code, spans, entry_pc):
+    """The block indices codegen must cover, or None for "all of them".
+
+    Compiling every basic block makes the generated module proportional
+    to *static* program size, which for one-shot programs (the fuzz
+    suite, `repro run`) is dominated by never-called library predicates.
+    This walks the static control flow instead: from the entry block,
+    follow branch/jump/call targets, fall-throughs, call return sites,
+    and every code address materialised by an `ldi` in reachable code
+    (the only way a label reaches a register, hence the only possible
+    `jmpr` targets — plus pc 0, where the initial CP/RL point).
+
+    Unreached blocks get no closure; an indirect jump into one hits the
+    bail-out sentinel and re-runs on the reference loop, so pruning can
+    cost a fallback but never an incorrect result.  If reachable code
+    manufactures code-tagged words out of thin air (`mktag`/`lea` with
+    the TCOD tag), the analysis gives up and returns None.
+    """
+    index_of = {start: index for index, (start, _end) in enumerate(spans)}
+    n = len(code)
+    roots = [index_of[entry_pc]]
+    if 0 in index_of:
+        roots.append(index_of[0])
+    reachable = set()
+    work = list(roots)
+    while work:
+        index = work.pop()
+        if index in reachable:
+            continue
+        reachable.add(index)
+        start, end = spans[index]
+        targets = []
+        terminated = False
+        for pc in range(start, end):
+            ins = code[pc]
+            op = ins[0]
+            if op == _LDI:
+                word = ins[2]
+                if word >= 0 and word & 0b1110 == _TCOD_BITS \
+                        and (word >> 4) in index_of:
+                    targets.append(index_of[word >> 4])
+            elif (op == _MKTAG and ins[3] == tags.TCOD) \
+                    or (op == _LEA and ins[4] == tags.TCOD):
+                return None
+            elif op in _TERMINATORS:
+                terminated = True
+                if op == _JMP:
+                    targets.append(index_of[ins[1]])
+                elif op == _CALL:
+                    targets.append(index_of[ins[2]])
+                    if pc + 1 in index_of:
+                        targets.append(index_of[pc + 1])
+                elif op in _CONDITIONAL:
+                    targets.append(index_of[ins[3]])
+                    if end < n:
+                        targets.append(index_of[end])
+                break
+        if not terminated and end < n:
+            targets.append(index_of[end])
+        work.extend(target for target in targets
+                    if target not in reachable)
+    return reachable
+
+
+# --------------------------------------------------------------------------
+# Code generation.
+
+def _const(value):
+    """An atomic Python expression for an integer constant."""
+    return "(%d)" % value if value < 0 else "%d" % value
+
+
+class _BlockCompiler:
+    """Generates the closure bodies for a program's basic blocks."""
+
+    def __init__(self, code, spans, lines):
+        self.code = code
+        self.n = len(code)
+        self.spans = spans
+        self.index_of = {start: index
+                         for index, (start, _end) in enumerate(spans)}
+        self.lines = lines
+        self.avail = {}      # register index -> forwarding expression
+        self.next_temp = 0
+
+    def emit(self, text, depth=2):
+        self.lines.append("    " * depth + text)
+
+    def read(self, reg):
+        """The expression for a register operand (forwarded if fused)."""
+        return self.avail.get(reg, "regs[%d]" % reg)
+
+    @staticmethod
+    def _reads(ins):
+        op = ins[0]
+        if op in (_LD, _MOV, _LEA, _MKTAG, _GETTAG):
+            return (ins[2],)
+        if op == _ST:
+            return (ins[1], ins[2])
+        if op in (_BTAG, _BNTAG, _JMPR):
+            return (ins[1],)
+        if op in _CMP_OPERATOR:
+            return (ins[1], ins[2])
+        if op in _ALU_OPERATOR or op in (_DIV, _MOD):
+            return (ins[2], ins[3])
+        if op == _ESC and ins[2] is not None:
+            return (ins[2],)
+        return ()
+
+    @staticmethod
+    def _writes(ins):
+        op = ins[0]
+        if op in (_LD, _MOV, _LDI, _LEA, _MKTAG, _GETTAG) \
+                or op in _ALU_OPERATOR or op in (_DIV, _MOD):
+            return ins[1]
+        return None
+
+    def _forwarded(self, position, end, reg):
+        """Is the value written to *reg* read again inside this block
+        before being overwritten?  (The superinstruction test.)"""
+        for later in range(position + 1, end):
+            ins = self.code[later]
+            if reg in self._reads(ins):
+                return True
+            if self._writes(ins) == reg:
+                return False
+        return False
+
+    def _overwritten(self, position, end, reg):
+        """Is *reg* written again before this block's exit?  Then the
+        register-file store at *position* is dead: in-block consumers
+        read the forwarding local, control cannot leave the closure
+        before the overwrite, and a mid-block fault discards all
+        threaded state (the fallback re-runs on the reference loop)."""
+        for later in range(position + 1, end):
+            ins = self.code[later]
+            if ins[0] in _TERMINATORS:
+                return False
+            if self._writes(ins) == reg:
+                return True
+        return False
+
+    def _store(self, reg, rhs, forward, atomic=False, keep=True):
+        """Assign *rhs* to register *reg*, routing through a forwarding
+        local when a later instruction in the block consumes the value.
+        With ``keep=False`` (register overwritten before the block's
+        exit) the register-file store is elided; *rhs* is still
+        evaluated unless it is atomic, so data faults surface exactly
+        where the reference loop raises them.
+        """
+        if not keep:
+            if not forward:
+                self.avail.pop(reg, None)
+                if not atomic:
+                    self.emit(rhs)
+            elif atomic:
+                self.avail[reg] = rhs
+            else:
+                temp = "t%d" % self.next_temp
+                self.next_temp += 1
+                self.emit("%s = %s" % (temp, rhs))
+                self.avail[reg] = temp
+        elif not forward:
+            self.avail.pop(reg, None)
+            self.emit("regs[%d] = %s" % (reg, rhs))
+        elif atomic:
+            # Constants and already-forwarded locals need no new temp.
+            self.avail[reg] = rhs
+            self.emit("regs[%d] = %s" % (reg, rhs))
+        else:
+            temp = "t%d" % self.next_temp
+            self.next_temp += 1
+            self.emit("%s = %s" % (temp, rhs))
+            self.emit("regs[%d] = %s" % (reg, temp))
+            self.avail[reg] = temp
+
+    def _address(self, base_expr, offset):
+        if offset:
+            return "(%s >> 4) + %s" % (base_expr, _const(offset))
+        return "%s >> 4" % base_expr
+
+    def compile_closure(self, entry_index):
+        """Emit the closure for the block at *entry_index*.
+
+        The closure inlines its entry block and then keeps going through
+        fall-through and unconditional-``jmp`` successors (up to
+        ``_INLINE_BUDGET`` extra blocks, never revisiting one), so the
+        dispatch loop is only re-entered at calls, indirect jumps, taken
+        conditional branches and back edges.  Every block crossed bumps
+        its own entry counter, so the statistics replay stays exact no
+        matter which closure executed a block.
+        """
+        code = self.code
+        self.avail.clear()
+        self.next_temp = 0
+        # The state containers are passed as defaults so the block body
+        # reads them as locals (LOAD_FAST) instead of closure cells.
+        self.emit("def b%d(regs=regs, mem=mem, bc=bc, bt=bt, "
+                  "OUT_append=OUT_append, PCB=PCB, H=H, W=W, Bail=Bail):"
+                  % self.spans[entry_index][0], depth=1)
+        budget = _INLINE_BUDGET
+        visited = set()
+        index = entry_index
+        while True:
+            visited.add(index)
+            start, end = self.spans[index]
+            self.emit("bc[%d] += 1" % index)
+            resume = None
+            terminated = False
+            for position in range(start, end):
+                ins = code[position]
+                if ins[0] in _TERMINATORS:
+                    resume = self._compile_terminator(index, position,
+                                                      ins, end)
+                    terminated = True
+                    break
+                self._compile_straightline(position, end, ins)
+            if not terminated:
+                # Fallthrough into the next block (or off the end of the
+                # code, which only the reference loop faults on exactly).
+                if end < self.n:
+                    resume = end
+                else:
+                    self.emit("raise Bail")
+            if resume is None:
+                return
+            successor = self.index_of[resume]
+            if budget > 0 and successor not in visited:
+                budget -= 1
+                index = successor
+                continue
+            self.emit("return b%d" % resume)
+            return
+
+    def _compile_straightline(self, position, end, ins):
+        op = ins[0]
+        if op == _ST:
+            value = self.read(ins[1])
+            self.emit("mem[%s] = %s"
+                      % (self._address(self.read(ins[2]), ins[3]), value))
+            return
+        if op == _ESC:
+            if ins[1] == "write" and ins[2] is not None:
+                self.emit("OUT_append(W(%s))" % self.read(ins[2]))
+            elif ins[1] == "nl":
+                self.emit('OUT_append("\\n")')
+            else:
+                self.emit("raise Bail")
+            return
+        rd = self._writes(ins)
+        forward = self._forwarded(position, end, rd)
+        keep = not self._overwritten(position, end, rd)
+        if op == _LD:
+            rhs = "mem[%s]" % self._address(self.read(ins[2]), ins[3])
+        elif op == _MOV:
+            source = self.read(ins[2])
+            self._store(rd, source, forward, keep=keep,
+                        atomic=source in self.avail.values())
+            return
+        elif op == _LDI:
+            self._store(rd, _const(ins[2]), forward, atomic=True,
+                        keep=keep)
+            return
+        elif op == _LEA:
+            rhs = "((%s) << 4) | %d" % (
+                self._address(self.read(ins[2]), ins[3]), ins[4] << 1)
+        elif op == _MKTAG:
+            rhs = "(%s & -15) | %d" % (self.read(ins[2]), ins[3] << 1)
+        elif op == _GETTAG:
+            rhs = "(((%s >> 1) & 7) << 4) | 4" % self.read(ins[2])
+        elif op in _ALU_OPERATOR:
+            rhs = "(((%s >> 4) %s (%s >> 4)) << 4) | 4" % (
+                self.read(ins[2]), _ALU_OPERATOR[op], self.read(ins[3]))
+        elif op in (_DIV, _MOD):
+            self.emit("a = %s >> 4" % self.read(ins[2]))
+            self.emit("b = %s >> 4" % self.read(ins[3]))
+            self.emit("q = abs(a) // abs(b)")
+            self.emit("if (a < 0) != (b < 0):")
+            self.emit("    q = -q")
+            rhs = "(q << 4) | 4" if op == _DIV \
+                else "((a - q * b) << 4) | 4"
+        else:
+            raise AssertionError("unreachable opcode %d" % op)
+        self._store(rd, rhs, forward, keep=keep)
+
+    def _compile_terminator(self, index, position, ins, end):
+        """Emit a block's control transfer.  Returns the pc the closure
+        may keep inlining at (fall-through / jump target), or None when
+        the transfer was emitted in full."""
+        op = ins[0]
+        if op == _JMP:
+            return ins[1]
+        if op == _CALL:
+            link = (position + 1) << 4 | _TCOD_BITS
+            self.emit("regs[%d] = %d" % (ins[1], link))
+            self.emit("return b%d" % ins[2])
+            return None
+        if op == _JMPR:
+            self.emit("return PCB[%s >> 4]" % self.read(ins[1]))
+            return None
+        if op == _HALT:
+            self.emit("H[0] = %d" % ins[1])
+            self.emit("return None")
+            return None
+        if op == _BTAG:
+            test = "((%s >> 1) & 7) == %d" % (self.read(ins[1]), ins[2])
+        elif op == _BNTAG:
+            test = "((%s >> 1) & 7) != %d" % (self.read(ins[1]), ins[2])
+        elif op in (_BEQ, _BNE):
+            test = "%s %s %s" % (self.read(ins[1]), _CMP_OPERATOR[op],
+                                 self.read(ins[2]))
+        else:
+            test = "(%s >> 4) %s (%s >> 4)" % (
+                self.read(ins[1]), _CMP_OPERATOR[op], self.read(ins[2]))
+        self.emit("if %s:" % test)
+        self.emit("    bt[%d] += 1" % index)
+        self.emit("    return b%d" % ins[3])
+        if end < self.n:
+            return end
+        self.emit("raise Bail")
+        return None
+
+
+class _ThreadedCode:
+    """One program's compiled threaded code (cached on the Program)."""
+
+    __slots__ = ("make", "spans", "starts", "lengths", "cond_pc", "n",
+                 "source", "runtime")
+
+    def __init__(self, make, spans, starts, lengths, cond_pc, n, source):
+        self.make = make        # state -> tuple of block closures
+        self.spans = spans      # per block: (start, end)
+        self.starts = starts    # start pc of each compiled closure
+        self.lengths = lengths  # per block: end - start
+        self.cond_pc = cond_pc  # per block: pc of its conditional branch
+        self.n = n              # program length in instructions
+        self.source = source    # generated Python (for debugging)
+        self.runtime = None     # lazily instantiated _Runtime
+
+
+def threaded_code(program):
+    """Compile *program* to threaded code, memoised on the Program."""
+    cached = program._threaded
+    if cached is not None:
+        return cached
+    code, _ = decode(program)
+    spans = basic_blocks(program)
+    reachable = _reachable_indices(code, spans, program.entry_pc)
+    if reachable is None:
+        compiled = range(len(spans))
+    else:
+        compiled = sorted(reachable)
+    lines = ["def _make(regs, mem, bc, bt, OUT, H, PCB, W, Bail):",
+             "    OUT_append = OUT.append"]
+    compiler = _BlockCompiler(code, spans, lines)
+    for index in compiled:
+        compiler.compile_closure(index)
+    cond_pc = [end - 1 if code[end - 1][0] in _CONDITIONAL else -1
+               for _start, end in spans]
+    lines.append("    return (%s,)" % ", ".join(
+        "b%d" % spans[index][0] for index in compiled))
+    source = "\n".join(lines) + "\n"
+    namespace = {}
+    exec(compile(source, "<threaded:%s>" % program.entry, "exec"),
+         namespace)
+    program._threaded = _ThreadedCode(
+        namespace["_make"], spans, [spans[index][0] for index in compiled],
+        [end - start for start, end in spans],
+        cond_pc, len(code), source)
+    return program._threaded
+
+
+# --------------------------------------------------------------------------
+# Execution.
+
+def _total_steps(block_counts, lengths):
+    total = 0
+    for count, length in zip(block_counts, lengths):
+        total += count * length
+    return total
+
+
+class _Runtime:
+    """The mutable machine state one program's closures are bound to.
+
+    The block closures capture their state containers (register file,
+    memory, counters) by reference, so instead of re-instantiating every
+    closure on each run, the runtime is built once per program and the
+    containers are reset *in place* before a run.  Resets happen at run
+    start, so a run abandoned by an exception leaves nothing stale.
+    """
+
+    __slots__ = ("regs", "mem", "bc", "bt", "out", "halt", "pcb",
+                 "entry", "_regs0", "_mem0", "_zeros")
+
+    def __init__(self, program, compiled, reg_index):
+        n_blocks = len(compiled.spans)
+        self.regs = []
+        self.mem = {}
+        self.bc = [0] * n_blocks
+        self.bt = [0] * n_blocks
+        self.out = []
+        self.halt = [None]
+        self.pcb = [_unsupported_target] * compiled.n
+        self._regs0 = initial_registers(program, reg_index)
+        self._mem0 = initial_memory(program)
+        self._zeros = [0] * n_blocks
+        mem = self.mem
+        symbols = program.symbols
+
+        def write_term(word):
+            return render_term(mem, symbols, word)
+
+        functions = compiled.make(self.regs, mem, self.bc, self.bt,
+                                  self.out, self.halt, self.pcb,
+                                  write_term, _Bailout)
+        for start, function in zip(compiled.starts, functions):
+            self.pcb[start] = function
+        self.entry = self.pcb[program.entry_pc]
+
+    def reset(self):
+        self.regs[:] = self._regs0
+        self.mem.clear()
+        self.mem.update(self._mem0)
+        self.bc[:] = self._zeros
+        self.bt[:] = self._zeros
+        del self.out[:]
+        self.halt[0] = None
+
+
+class ThreadedEmulator:
+    """Drop-in twin of :class:`~repro.emulator.machine.Emulator` running
+    the threaded-code backend."""
+
+    def __init__(self, program, max_steps=500_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.code, self.reg_index = decode(program)
+        self.compiled = threaded_code(program)
+
+    def _fallback(self):
+        """Re-run on the reference loop (deterministic programs: exact
+        same result, or the exact same fault with its precise pc)."""
+        return Emulator(self.program, max_steps=self.max_steps).run()
+
+    def run(self):
+        program = self.program
+        compiled = self.compiled
+        runtime = compiled.runtime
+        if runtime is None:
+            runtime = _Runtime(program, compiled, self.reg_index)
+            compiled.runtime = runtime
+        runtime.reset()
+        bc = runtime.bc
+        bt = runtime.bt
+        limit = self.max_steps
+        lengths = compiled.lengths
+        check = _CHECK_INTERVAL if limit > _CHECK_INTERVAL \
+            else max(1, limit)
+        fn = runtime.entry
+        fuel = check
+        try:
+            while fn is not None:
+                fn = fn()
+                fuel -= 1
+                if not fuel:
+                    fuel = check
+                    if _total_steps(bc, lengths) > limit:
+                        raise _Bailout
+            steps = _total_steps(bc, lengths)
+            if steps > limit:
+                raise _Bailout
+        except (_Bailout, KeyError, ZeroDivisionError, IndexError):
+            return self._fallback()
+
+        counts = array("q", bytes(8 * compiled.n))
+        taken = array("q", bytes(8 * compiled.n))
+        for index, (start, end) in enumerate(compiled.spans):
+            count = bc[index]
+            if not count:
+                continue
+            for pc in range(start, end):
+                counts[pc] = count
+            branch = compiled.cond_pc[index]
+            if branch >= 0:
+                taken[branch] = bt[index]
+        return EmulationResult(program, runtime.halt[0], steps,
+                               "".join(runtime.out),
+                               list(counts), list(taken),
+                               backend="threaded")

@@ -48,6 +48,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.benchmarks.suite import (
     cache_dir, compile_benchmark, program_fingerprint, run_program_cached)
+from repro.emulator import resolve_backend
 
 __all__ = [
     "CacheStore",
@@ -96,6 +97,12 @@ _PROFILE_FILES = (
     "intcode/runtime.py",
     "intcode/layout.py",
 )
+#: the threaded backend is an implementation detail with a bit-identical
+#: output contract, so editing it (or switching backends — the active
+#: backend is a key component of profile nodes) invalidates only profile
+#: artefacts: region layouts and cycle cells consume profile *data*,
+#: which both backends produce identically.
+_PROFILE_ONLY_FILES = _PROFILE_FILES + ("emulator/threaded.py",)
 _REGION_FILES = _PROFILE_FILES + (
     "compaction/transform.py",
     "analysis/cfg.py",
@@ -108,7 +115,7 @@ _CELL_FILES = _REGION_FILES + (
     "evaluation/pipeline.py",
 )
 _COMPONENT_FILES = {
-    "profile": _PROFILE_FILES,
+    "profile": _PROFILE_ONLY_FILES,
     "regions": _REGION_FILES,
     "cell": _CELL_FILES,
     # experiment-level cells (see the callers in repro.experiments)
@@ -294,7 +301,7 @@ def execute_task(spec):
             raise_if_failed(lint_program(program, stage="lint"),
                             "ICI lint of benchmark %r" % name)
         return {"steps": result.steps, "status": result.status,
-                "verified": verify}
+                "backend": result.backend, "verified": verify}
     if kind == "regions":
         region_set = _worker_region_set(name, fingerprint,
                                         spec["regioning"], spec["budget"])
@@ -458,6 +465,10 @@ class EvaluationEngine:
                         "entries": node.payload["entries"]}
                     for regioning, node in region_nodes.items()},
                 "steps": profile_node.payload["steps"],
+                # Which emulator backend produced the profile artefact
+                # (may differ from the active backend on a cache hit).
+                "backend": profile_node.payload.get("backend",
+                                                    "reference"),
             }
             evaluations.append(
                 BenchmarkEvaluation(request["name"], data))
@@ -528,7 +539,8 @@ class EvaluationEngine:
             nodes, "profile", "%s/profile" % name,
             {"kind": "profile", "benchmark": name,
              "fingerprint": fingerprint, "verify": verify},
-            {"fingerprint": fingerprint}, verify)
+            {"fingerprint": fingerprint,
+             "backend": resolve_backend(None)}, verify)
 
     def _plan_request(self, nodes, request):
         name = request["name"]

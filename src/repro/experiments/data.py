@@ -57,6 +57,18 @@ def get_evaluation(name):
     return get_evaluations([name])[name]
 
 
+def profile_backends():
+    """benchmark -> emulator backend that produced its profile artefact.
+
+    Covers the benchmarks evaluated so far in this process; a cached
+    profile reports the backend that originally computed it, which may
+    differ from the currently active backend.
+    """
+    return {name: evaluation.data.get("backend", "reference")
+            for name, evaluation in sorted(_evaluations.items())
+            if evaluation is not None}
+
+
 def get_profile(name):
     """(program, emulation result) for benchmark *name*."""
     return compile_benchmark(name), run_benchmark(name)

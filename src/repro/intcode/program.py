@@ -19,6 +19,13 @@ class Program:
         self.symbols = symbols        # SymbolTable
         self.entry = entry
         self.comments = comments or {}  # instruction index -> str
+        # Execution caches, filled lazily by the emulator layer: the
+        # pre-decoded instruction tuples (repro.emulator.machine.decode)
+        # and the threaded-code compilation (repro.emulator.threaded).
+        # Programs are immutable once built, so both live for the
+        # object's lifetime.
+        self._decoded = None
+        self._threaded = None
 
     def __len__(self):
         return len(self.instructions)

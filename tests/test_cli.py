@@ -91,16 +91,46 @@ def test_analyze_reports_mix_and_branches(program_file):
     assert "mem" in text
 
 
-def test_bench_known_name():
-    status, text, errors = run_cli(["bench", "conc30"])
+def test_bench_known_name(tmp_path):
+    output = str(tmp_path / "BENCH_emulator.json")
+    status, text, errors = run_cli(
+        ["bench", "conc30", "--repeat", "1", "--output", output])
     assert status == 0
     assert "steps=" in text
+    assert "speedup=" in text
 
 
-def test_bench_unknown_name():
-    status, text, errors = run_cli(["bench", "nonesuch"])
+def test_bench_unknown_name(tmp_path):
+    status, text, errors = run_cli(
+        ["bench", "nonesuch",
+         "--output", str(tmp_path / "BENCH_emulator.json")])
     assert status == 2
     assert "available" in errors
+
+
+def test_bench_quick_writes_schema_valid_record(tmp_path):
+    import json
+    from repro.benchmarks.perf import QUICK_BENCHMARKS, validate_bench
+    output = str(tmp_path / "BENCH_emulator.json")
+    status, text, errors = run_cli(
+        ["bench", "--quick", "--repeat", "1", "--output", output])
+    assert status == 0, errors
+    with open(output) as handle:
+        document = json.load(handle)
+    assert validate_bench(document) == []
+    assert [entry["name"] for entry in document["benchmarks"]] \
+        == list(QUICK_BENCHMARKS)
+    assert sorted(document["benchmarks"][0]["backends"]) \
+        == ["reference", "threaded"]
+    assert document["summary"]["all_identical"] is True
+
+
+def test_bench_rejects_names_with_quick(tmp_path):
+    status, text, errors = run_cli(
+        ["bench", "conc30", "--quick",
+         "--output", str(tmp_path / "b.json")])
+    assert status == 2
+    assert "not both" in errors
 
 
 def test_lint_clean_program(program_file):

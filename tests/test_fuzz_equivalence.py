@@ -10,6 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bam import compile_source
 from repro.intcode import translate_module, optimize_program
+from repro.emulator import Emulator, ThreadedEmulator
 
 from tests.conftest import (
     assert_lint_clean, compile_and_run, interpret, normalise_vars)
@@ -128,6 +129,54 @@ def test_random_unification_agrees(left, right):
     result = compile_and_run(source)
     assert result.succeeded == ok
     assert result.output == expected
+
+
+# --------------------------------------------------------------------------
+# Backend differential fuzzing: the threaded-code backend must be
+# bit-identical to the reference loop on every observable field.
+
+def assert_backends_identical(program, max_steps=50_000_000):
+    reference = Emulator(program, max_steps=max_steps).run()
+    threaded = ThreadedEmulator(program, max_steps=max_steps).run()
+    assert threaded.status == reference.status
+    assert threaded.steps == reference.steps
+    assert threaded.output == reference.output
+    assert threaded.counts == reference.counts
+    assert threaded.taken == reference.taken
+
+
+@settings(max_examples=30, deadline=None)
+@given(queries())
+def test_backends_agree_on_random_queries(query):
+    source = LIBRARY + "main :- %s, nl.\nmain :- write(no), nl.\n" % query
+    program = translate_module(compile_source(source))
+    assert_backends_identical(program)
+    optimized, _ = optimize_program(program)
+    assert_backends_identical(optimized)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arith_expressions())
+def test_backends_agree_on_random_arithmetic(expression):
+    source = "main :- X is %s, write(X), nl." % expression
+    program = translate_module(compile_source(source))
+    assert_backends_identical(program)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ground_terms(), ground_terms())
+def test_backends_agree_on_random_unification(left, right):
+    source = ("main :- X = %s, Y = %s, (X = Y -> write(u) ; write(n)), "
+              "(X == Y -> write(e) ; write(d)), nl." % (left, right))
+    program = translate_module(compile_source(source))
+    assert_backends_identical(program)
+
+
+def test_backends_agree_on_paper_suite():
+    from repro.benchmarks import TABLE_BENCHMARKS
+    from repro.benchmarks.suite import compile_benchmark
+    for name in TABLE_BENCHMARKS:
+        assert_backends_identical(compile_benchmark(name))
 
 
 @settings(max_examples=60, deadline=None)

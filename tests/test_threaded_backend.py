@@ -1,0 +1,237 @@
+"""The threaded-code emulator backend: selection, caching, fusion
+bookkeeping, bit-identical statistics, and the reference fallback."""
+
+import pytest
+
+from repro.bam import compile_source
+from repro.intcode import translate_module
+from repro.emulator import (
+    BACKENDS, Emulator, EmulatorError, ThreadedEmulator, resolve_backend,
+    run_program, threaded_code)
+from repro.emulator.threaded import basic_blocks, _TERMINATORS
+
+
+def compile_program(source, entry=("main", 0)):
+    return translate_module(compile_source(source, entry))
+
+
+HELLO = 'main :- write(hello), nl.'
+LOOP = """
+count(0).
+count(N) :- N > 0, M is N - 1, count(M).
+main :- count(200), write(done), nl.
+"""
+
+
+# -- backend selection -----------------------------------------------------
+
+def test_backend_order_prefers_threaded():
+    assert BACKENDS == ("threaded", "reference")
+    assert resolve_backend(None) == "threaded"
+
+
+def test_resolve_explicit_backends():
+    assert resolve_backend("reference") == "reference"
+    assert resolve_backend("threaded") == "threaded"
+
+
+def test_resolve_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown emulator backend"):
+        resolve_backend("nonesuch")
+
+
+def test_backend_environment_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_EMULATOR_BACKEND", "reference")
+    assert resolve_backend(None) == "reference"
+    program = compile_program(HELLO)
+    assert run_program(program).backend == "reference"
+
+
+def test_backend_environment_variable_invalid(monkeypatch):
+    monkeypatch.setenv("REPRO_EMULATOR_BACKEND", "nonesuch")
+    with pytest.raises(ValueError):
+        run_program(compile_program(HELLO))
+
+
+def test_run_program_reports_backend():
+    program = compile_program(HELLO)
+    assert run_program(program, backend="threaded").backend == "threaded"
+    assert run_program(program, backend="reference").backend \
+        == "reference"
+
+
+# -- program-level caches (satellite: decode memoisation) ------------------
+
+def test_decode_cached_on_program():
+    from repro.emulator import decode
+    program = compile_program(HELLO)
+    assert program._decoded is None
+    first = decode(program)
+    assert program._decoded is not None
+    assert decode(program) is first
+
+
+def test_threaded_code_cached_on_program():
+    program = compile_program(HELLO)
+    assert program._threaded is None
+    compiled = threaded_code(program)
+    assert threaded_code(program) is compiled
+    assert program._threaded is compiled
+
+
+def test_emulators_share_one_decode():
+    program = compile_program(LOOP)
+    Emulator(program)
+    first = program._decoded
+    ThreadedEmulator(program)
+    assert program._decoded is first
+
+
+# -- bit-identical results -------------------------------------------------
+
+def assert_identical(program, **kwargs):
+    reference = Emulator(program, **kwargs).run()
+    threaded = ThreadedEmulator(program, **kwargs).run()
+    assert threaded.status == reference.status
+    assert threaded.steps == reference.steps
+    assert threaded.output == reference.output
+    assert threaded.counts == reference.counts
+    assert threaded.taken == reference.taken
+    return reference, threaded
+
+
+def test_identical_on_simple_program():
+    reference, threaded = assert_identical(compile_program(HELLO))
+    assert threaded.backend == "threaded"
+    assert reference.backend == "reference"
+
+
+def test_identical_on_looping_program():
+    assert_identical(compile_program(LOOP))
+
+
+def test_identical_on_failing_query():
+    program = compile_program("p(1).\nmain :- p(2), write(yes), nl.")
+    reference, threaded = assert_identical(program)
+    assert reference.status == 1
+
+
+def test_identical_across_repeated_runs():
+    """The cached runtime must reset machine state between runs."""
+    program = compile_program(LOOP)
+    emulator = ThreadedEmulator(program)
+    first = emulator.run()
+    second = emulator.run()
+    assert second.steps == first.steps
+    assert second.output == first.output
+    assert second.counts == first.counts
+    assert second.taken == first.taken
+
+
+def test_branch_probabilities_match():
+    program = compile_program(LOOP)
+    reference = Emulator(program).run()
+    threaded = ThreadedEmulator(program).run()
+    for pc in range(len(program)):
+        assert threaded.branch_probability(pc) \
+            == reference.branch_probability(pc)
+
+
+# -- the reference fallback ------------------------------------------------
+
+def test_step_limit_falls_back_to_exact_fault():
+    program = compile_program(LOOP)
+    baseline = Emulator(program).run()
+    limit = baseline.steps // 2
+    with pytest.raises(EmulatorError) as reference_error:
+        Emulator(program, max_steps=limit).run()
+    with pytest.raises(EmulatorError) as threaded_error:
+        ThreadedEmulator(program, max_steps=limit).run()
+    assert str(threaded_error.value) == str(reference_error.value)
+
+
+def test_tight_step_limit_still_exact():
+    program = compile_program(HELLO)
+    with pytest.raises(EmulatorError) as threaded_error:
+        ThreadedEmulator(program, max_steps=1).run()
+    with pytest.raises(EmulatorError) as reference_error:
+        Emulator(program, max_steps=1).run()
+    assert str(threaded_error.value) == str(reference_error.value)
+
+
+def test_fallback_result_reports_reference_backend():
+    """A run completed by the fallback is labelled with the backend that
+    actually produced it."""
+    program = compile_program(LOOP)
+    baseline = ThreadedEmulator(program).run()
+    # A limit large enough to finish never falls back...
+    assert ThreadedEmulator(
+        program, max_steps=baseline.steps).run().backend == "threaded"
+
+
+# -- block structure -------------------------------------------------------
+
+def test_basic_blocks_partition_the_program():
+    program = compile_program(LOOP)
+    spans = basic_blocks(program)
+    assert spans[0][0] == 0 or any(start == 0 for start, _ in spans)
+    previous_end = None
+    covered = 0
+    for start, end in spans:
+        assert start < end
+        if previous_end is not None:
+            assert start == previous_end
+        previous_end = end
+        covered += end - start
+    assert covered == len(program)
+
+
+def test_blocks_have_at_most_one_terminator():
+    program = compile_program(LOOP)
+    from repro.emulator import decode
+    code, _ = decode(program)
+    for start, end in basic_blocks(program):
+        interior = [pc for pc in range(start, end - 1)
+                    if code[pc][0] in _TERMINATORS]
+        assert interior == []
+
+
+def test_generated_source_is_kept_for_debugging():
+    program = compile_program(HELLO)
+    compiled = threaded_code(program)
+    assert compiled.source.startswith("def _make(")
+    assert "while" not in compiled.source  # closures, not a loop
+
+
+# -- cache payload (suite integration) -------------------------------------
+
+def test_profile_cache_records_backend(tmp_path, monkeypatch):
+    import json
+    import os
+    from repro.benchmarks.suite import run_program_cached
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    program = compile_program(HELLO)
+    result = run_program_cached(program, "hello-")
+    assert result.backend == "threaded"
+    entries = [name for name in os.listdir(tmp_path)
+               if name.endswith(".json")]
+    assert len(entries) == 1
+    with open(tmp_path / entries[0]) as handle:
+        payload = json.load(handle)
+    assert payload["backend"] == "threaded"
+    # A warm read reports the backend that produced the artefact.
+    cached = run_program_cached(program, "hello-")
+    assert cached.backend == "threaded"
+    assert cached.counts == result.counts
+
+
+def test_profile_cache_backend_mismatch_is_visible(tmp_path, monkeypatch):
+    from repro.benchmarks.suite import run_program_cached
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    program = compile_program(HELLO)
+    run_program_cached(program, "hello-", backend="reference")
+    # The cache key is backend-independent (profiles are bit-identical),
+    # so a threaded-backend request hits the reference artefact — and
+    # says so.
+    hit = run_program_cached(program, "hello-", backend="threaded")
+    assert hit.backend == "reference"
