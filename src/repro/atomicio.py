@@ -1,0 +1,145 @@
+"""Crash-safe file publication and inter-process locking.
+
+Every durable artefact the system writes — content-addressed cache
+entries, emulation profiles, ``BENCH_emulator.json``, evaluation
+reports — goes through :func:`atomic_write_text`: the bytes land in a
+temp file in the destination directory, are flushed and fsynced, and
+are published with one atomic :func:`os.replace`.  A reader therefore
+sees the old content or the new content, never a torn file, no matter
+when the writer is killed; at worst an orphaned ``*.tmp`` file is left
+behind, which no reader ever opens.
+
+:class:`FileLock` is an advisory ``flock`` lock used to serialise
+writers that share a cache directory (two concurrent CLI runs, two
+engines in one test).  ``flock`` locks die with their holder, so a
+``kill -9`` or SIGINT can never leave the cache wedged.
+
+The ``cache.write`` fault-injection site (see
+:mod:`repro.testing.faults`) lives here: the ``torn`` kind abandons a
+write after the temp file exists but before the publish rename —
+exactly the window a crash would hit — letting the chaos suite prove
+the no-torn-file invariant.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+try:
+    import fcntl
+except ImportError:          # non-POSIX host: locking degrades to a no-op
+    fcntl = None
+
+from repro.testing import faults
+
+__all__ = ["FileLock", "atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_text(path, text, fsync=True):
+    """Publish *text* at *path* atomically; returns *path*.
+
+    The temp file is created in the destination directory (rename must
+    not cross filesystems) with a ``.tmp`` suffix no reader matches.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    descriptor, temporary = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".",
+        suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        if faults.armed("cache.write") \
+                and faults.fire("cache.write") == "torn":
+            # Simulated crash between write and publish: the temp file
+            # stays behind, the destination is never touched.
+            return path
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.remove(temporary)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path, payload, indent=None, sort_keys=False):
+    """:func:`atomic_write_text` of *payload* as JSON (+ newline)."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys)
+        + "\n")
+
+
+class LockTimeout(OSError):
+    """Raised when a :class:`FileLock` cannot be acquired in time."""
+
+
+class FileLock:
+    """Advisory inter-process mutex backed by ``flock``.
+
+    ::
+
+        with FileLock(os.path.join(cache_root, ".lock")):
+            ...  # serialised against other processes
+
+    *timeout* ``None`` blocks until acquired; a number polls every
+    *poll* seconds and raises :class:`LockTimeout` past the limit.
+    The lock file itself is never deleted — deleting it would let a
+    late-coming process lock a different inode and defeat the mutual
+    exclusion.  Locks are released automatically if the holder dies.
+    On hosts without ``fcntl`` the lock is a documented no-op (atomic
+    renames alone still prevent torn files).
+    """
+
+    def __init__(self, path, timeout=None, poll=0.05):
+        self.path = path
+        self.timeout = timeout
+        self.poll = poll
+        self._handle = None
+
+    def acquire(self):
+        if fcntl is None:
+            return self
+        handle = open(self.path, "a+")
+        try:
+            if self.timeout is None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            else:
+                deadline = time.monotonic() + self.timeout
+                while True:
+                    try:
+                        fcntl.flock(handle.fileno(),
+                                    fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            raise LockTimeout(
+                                "could not lock %s within %gs"
+                                % (self.path, self.timeout))
+                        time.sleep(self.poll)
+        except BaseException:
+            handle.close()
+            raise
+        self._handle = handle
+        return self
+
+    def release(self):
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    @property
+    def held(self):
+        return self._handle is not None
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc_info):
+        self.release()

@@ -12,12 +12,12 @@ Every timed run also cross-checks the two backends' results field by
 field, so a perf run doubles as a differential test.
 """
 
-import json
 import platform
 import subprocess
 import sys
 import timeit
 
+from repro.atomicio import atomic_write_json
 from repro.benchmarks.programs import TABLE_BENCHMARKS
 from repro.benchmarks.suite import compile_benchmark
 from repro.emulator import BACKENDS, Emulator, ThreadedEmulator
@@ -197,11 +197,9 @@ def validate_bench(document):
 
 
 def write_bench(document, path):
-    """Write *document* as JSON to *path*."""
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    """Publish *document* as JSON at *path* (atomically: an interrupted
+    bench run never leaves a truncated or invalid record behind)."""
+    return atomic_write_json(path, document, indent=2, sort_keys=True)
 
 
 def format_bench(entry):

@@ -11,8 +11,8 @@ compiled program ever.
 import hashlib
 import json
 import os
-import tempfile
 
+from repro.atomicio import FileLock, atomic_write_json
 from repro.benchmarks.programs import PROGRAMS, TABLE_BENCHMARKS
 from repro.bam import compile_source
 from repro.intcode import translate_module
@@ -68,16 +68,14 @@ def run_program_cached(program, key_hint="", backend=None):
         except (ValueError, KeyError):
             os.remove(path)
     result = run_program(program, backend=resolve_backend(backend))
-    # Atomic write: parallel evaluation workers may race on the same
-    # profile, and a reader must never see a torn file.
-    descriptor, temporary = tempfile.mkstemp(
-        dir=os.path.dirname(path), prefix=key + ".", suffix=".tmp")
-    with os.fdopen(descriptor, "w") as handle:
-        json.dump({"status": result.status, "steps": result.steps,
+    # Crash-safe publish: parallel evaluation workers (and concurrent
+    # CLI runs) may race on the same profile; a reader must never see
+    # a torn file, and a kill mid-write must never leave one.
+    with FileLock(os.path.join(os.path.dirname(path), ".lock")):
+        atomic_write_json(
+            path, {"status": result.status, "steps": result.steps,
                    "output": result.output, "counts": result.counts,
-                   "taken": result.taken, "backend": result.backend},
-                  handle)
-    os.replace(temporary, path)
+                   "taken": result.taken, "backend": result.backend})
     return result
 
 

@@ -18,8 +18,17 @@ through :mod:`repro.evaluation.parallel`; results are memoised in the
 content-addressed cache, so warm re-runs are served without
 re-emulation.  ``--jobs 1`` runs everything in-process (pdb-friendly).
 
+Evaluation sweeps run under the fault-tolerant supervisor
+(:mod:`repro.evaluation.supervisor`): per-cell deadlines, bounded
+retry with deterministic backoff, pool resurrection, and graceful
+degradation to in-process execution.  ``--cell-timeout`` /
+``--max-attempts`` tune the policy, a per-task outcome summary is
+printed after each sweep, and ``--report PATH`` writes the structured
+:class:`EvaluationReport` as JSON.
+
 Exit codes: 0 = success/clean, 1 = violations found (lint/verify) or a
-failing program status, 2 = usage error.  Diagnostics go to stderr.
+failing program status, 2 = usage error, 130 = interrupted (SIGINT).
+Diagnostics go to stderr.
 """
 
 import argparse
@@ -166,15 +175,58 @@ def _resolve_jobs(args):
     return args.jobs if args.jobs else (os.cpu_count() or 1)
 
 
+def _supervisor_policy(args):
+    """A SupervisorPolicy reflecting the --cell-timeout/--max-attempts
+    flags (defaults where the flags are absent)."""
+    from repro.evaluation.supervisor import SupervisorPolicy
+    policy = SupervisorPolicy()
+    if getattr(args, "max_attempts", None):
+        policy.max_attempts = max(1, args.max_attempts)
+    timeout = getattr(args, "cell_timeout", None)
+    if timeout is not None:
+        # 0 (or negative) disables the watchdog entirely.
+        policy.deadline = timeout if timeout > 0 else None
+    return policy
+
+
+def _write_supervisor_report(args, engine, out):
+    """Print the supervised sweep's outcome summary; with --report,
+    also publish the structured JSON form (atomically)."""
+    report = engine.report
+    if report.records or report.interrupted:
+        out.write(report.summary() + "\n")
+    path = getattr(args, "report", None)
+    if path:
+        from repro.atomicio import atomic_write_json
+        atomic_write_json(path, report.to_json(), indent=2,
+                          sort_keys=True)
+        out.write("wrote %s\n" % path)
+
+
+def _add_supervisor_flags(parser):
+    parser.add_argument("--cell-timeout", type=float, metavar="SECONDS",
+                        help="watchdog deadline per evaluation task "
+                             "(default 300; 0 disables)")
+    parser.add_argument("--max-attempts", type=int, metavar="N",
+                        help="executions per task before it is marked "
+                             "failed (default 3)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write the structured EvaluationReport "
+                             "(per-task status/attempts/timings) as "
+                             "JSON")
+
+
 def cmd_evaluate(args, out, err):
     from repro.evaluation.parallel import configure
     from repro.experiments import run_all
-    engine = configure(jobs=_resolve_jobs(args))
+    engine = configure(jobs=_resolve_jobs(args),
+                       policy=_supervisor_policy(args))
     if args.bench:
         return _evaluate_smoke(args, engine, out, err)
     for name, text in run_all(extras=args.extras).items():
         out.write(text + "\n\n")
     _report_profile_backends(out)
+    _write_supervisor_report(args, engine, out)
     return 0
 
 
@@ -214,6 +266,7 @@ def _evaluate_smoke(args, engine, out, err):
             [{"name": name, "configs": configs} for name in args.bench])
     except EvaluationError as error:
         err.write(str(error) + "\n")
+        _write_supervisor_report(args, engine, out)
         return 1
     keys = sorted(configs)
     out.write("%-12s %s %10s\n" % ("benchmark", " ".join(
@@ -227,6 +280,7 @@ def _evaluate_smoke(args, engine, out, err):
               "recomputed\n" % (stats["hits"], stats["misses"],
                                 stats["corrupt"],
                                 "y" if stats["corrupt"] == 1 else "ies"))
+    _write_supervisor_report(args, engine, out)
     return 0
 
 
@@ -299,9 +353,17 @@ def cmd_verify(args, out, err):
         specs.append(dict(common, bench=name))
 
     # The checker sweep is one independent task per target; fan the
-    # targets over the shared engine's worker pool.
-    engine = configure(jobs=_resolve_jobs(args))
-    results = engine.map(_verify_target, specs)
+    # targets over the shared engine's worker pool (supervised:
+    # deadlines, bounded retry, pool resurrection).
+    from repro.evaluation.parallel import EvaluationError
+    engine = configure(jobs=_resolve_jobs(args),
+                       policy=_supervisor_policy(args))
+    try:
+        results = engine.map(_verify_target, specs)
+    except EvaluationError as error:
+        err.write(str(error) + "\n")
+        _write_supervisor_report(args, engine, out)
+        return 1
 
     status = 0
     total = 0
@@ -322,6 +384,7 @@ def cmd_verify(args, out, err):
                   % (total, len(specs)))
     else:
         out.write("verify: all %d target(s) clean\n" % len(specs))
+    _write_supervisor_report(args, engine, out)
     return status
 
 
@@ -382,6 +445,7 @@ def build_parser():
     p.add_argument("--bench", action="append", metavar="NAME",
                    help="smoke-sweep only these benchmarks under the "
                         "master configs (repeatable)")
+    _add_supervisor_flags(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("lint",
@@ -410,6 +474,7 @@ def build_parser():
     p.add_argument("-j", "--jobs", type=int, metavar="N",
                    help="verification worker processes (default: all "
                         "cores; 1 = in-process)")
+    _add_supervisor_flags(p)
     p.set_defaults(func=cmd_verify)
     return parser
 
@@ -420,7 +485,15 @@ def main(argv=None, out=None, err=None):
     args = build_parser().parse_args(argv)
     if args.command == "speedup" and not args.machine:
         args.machine = ["vliw3"]
-    return args.func(args, out, err)
+    try:
+        return args.func(args, out, err)
+    except KeyboardInterrupt:
+        # Cooperative cancellation (the supervisor converts
+        # SIGINT/SIGTERM into this): completed artefacts are already
+        # atomically published, so a re-run resumes from the cache.
+        err.write("repro: interrupted — partial results are in the "
+                  "cache; re-run to resume\n")
+        return 130
 
 
 if __name__ == "__main__":

@@ -387,6 +387,11 @@ def run_program(program, max_steps=500_000_000, backend=None):
     threaded one falls back to the reference loop on any construct it
     cannot compile.
     """
+    from repro.testing import faults
+    if faults.armed("emulator.run") \
+            and faults.fire("emulator.run") == "step-limit":
+        raise EmulatorError("step limit exceeded (0) [injected at "
+                            "emulator.run]")
     name = resolve_backend(backend)
     if name == "reference":
         return Emulator(program, max_steps=max_steps).run()

@@ -8,6 +8,8 @@ from repro.evaluation.pipeline import (
 from repro.evaluation.parallel import (
     EvaluationEngine, EvaluationError, CacheStore, shared_engine,
     configure)
+from repro.evaluation.supervisor import (
+    EvaluationReport, Supervisor, SupervisorPolicy)
 
 __all__ = [
     "replay_region",
@@ -21,7 +23,10 @@ __all__ = [
     "BenchmarkEvaluation",
     "EvaluationEngine",
     "EvaluationError",
+    "EvaluationReport",
     "CacheStore",
+    "Supervisor",
+    "SupervisorPolicy",
     "shared_engine",
     "configure",
 ]

@@ -30,30 +30,47 @@ an artefact computed under the independent checker is stored with
 unverified artefact is transparently recomputed (and upgraded) when a
 verified result is requested.
 
-Failures are contained per cell: a task that raises — or a worker
-process that dies — marks its cell and that cell's dependents as failed,
-the rest of the sweep completes, and the engine raises
-:class:`EvaluationError` naming every failed cell.  With ``jobs=1`` the
-engine runs every task in-process (no pool), which keeps ``pdb`` and
-coverage usable.
+Failures are contained per cell — and, since PR 4, *supervised*: every
+task runs under the resilience layer in
+:mod:`repro.evaluation.supervisor` (per-task deadlines with a watchdog,
+bounded retry with deterministic backoff, pool resurrection after
+``BrokenProcessPool``, graceful degradation to in-process execution,
+cooperative SIGINT/SIGTERM cancellation).  A cell that still fails
+after every retry marks its dependents failed, the rest of the sweep
+completes, and the engine raises :class:`EvaluationError` naming every
+failed cell; the per-cell outcomes are recorded in the engine's
+:class:`~repro.evaluation.supervisor.EvaluationReport`.  With
+``jobs=1`` the engine runs every task in-process (no pool), which
+keeps ``pdb`` and coverage usable.
+
+Cache artefact writes are crash-safe (temp file + fsync + atomic
+rename via :mod:`repro.atomicio`) and serialised by an advisory
+inter-process lock, so concurrent CLI runs sharing one cache directory
+never clobber each other.  The deterministic fault-injection sites the
+chaos suite drives (``parallel.task``, ``cache.read``,
+``cache.write``) are described in :mod:`repro.testing.faults`.
 """
 
 import hashlib
 import json
 import os
-import tempfile
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 
+from repro.atomicio import FileLock, atomic_write_json
 from repro.benchmarks.suite import (
     cache_dir, compile_benchmark, program_fingerprint, run_program_cached)
 from repro.emulator import resolve_backend
+from repro.evaluation.supervisor import (
+    EvaluationReport, Supervisor, SupervisorPolicy, kill_pool)
+from repro.testing import faults
 
 __all__ = [
     "CacheStore",
     "EvaluationEngine",
     "EvaluationError",
+    "EvaluationReport",
+    "SupervisorPolicy",
     "code_version",
     "config_signature",
     "configure",
@@ -155,9 +172,12 @@ class CacheStore:
     Entries live as ``cas-<kind>-<keyhash>.json`` files wrapping the
     payload together with a checksum of its canonical encoding; a
     missing, truncated, corrupt or checksum-mismatched entry reads as a
-    miss (and is deleted) so it is recomputed, never trusted.  Writes go
-    through a temporary file and :func:`os.replace`, so concurrent
-    workers can race on the same key without ever exposing a torn file.
+    miss (and is deleted) so it is recomputed, never trusted.  Writes
+    are crash-safe (:func:`repro.atomicio.atomic_write_json`: temp file
+    + fsync + atomic rename) and serialised under the cache directory's
+    advisory ``.lock`` file, so concurrent workers — or two whole CLI
+    runs sharing the directory — can race on the same key without ever
+    exposing a torn file.
     """
 
     def __init__(self, root=None):
@@ -179,9 +199,15 @@ class CacheStore:
     def path(self, key):
         return os.path.join(self.root, key + ".json")
 
+    def _lock(self):
+        return FileLock(os.path.join(self.root, ".lock"))
+
     def get(self, key):
         """The payload stored under *key*, or None (a miss)."""
         path = self.path(key)
+        if faults.armed("cache.read") and os.path.exists(path) \
+                and faults.fire("cache.read") == "corrupt":
+            faults.corrupt_file(path)
         try:
             with open(path) as handle:
                 entry = json.load(handle)
@@ -210,18 +236,8 @@ class CacheStore:
         entry = {"key": key, "schema": CACHE_SCHEMA, "payload": payload,
                  "sha256": hashlib.sha256(
                      _canonical(payload).encode()).hexdigest()}
-        descriptor, temporary = tempfile.mkstemp(
-            dir=root, prefix=key + ".", suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(temporary, self.path(key))
-        except BaseException:
-            try:
-                os.remove(temporary)
-            except OSError:
-                pass
-            raise
+        with self._lock():
+            atomic_write_json(self.path(key), entry)
 
     def stats(self):
         return {"hits": self.hits, "misses": self.misses,
@@ -289,6 +305,7 @@ def _worker_region_set(name, fingerprint, regioning, budget):
 
 def execute_task(spec):
     """Compute one DAG node's payload.  Raises on any failure."""
+    faults.fire("parallel.task")
     kind = spec["kind"]
     name = spec["benchmark"]
     fingerprint = spec["fingerprint"]
@@ -328,6 +345,19 @@ def _pool_task(spec):
         return {"id": spec["id"], "payload": execute_task(spec)}
     except Exception:
         return {"id": spec["id"], "error": traceback.format_exc()}
+
+
+def _map_pool_task(spec):
+    """Pool entry point for :meth:`EvaluationEngine.map` items."""
+    try:
+        return {"id": spec["id"],
+                "payload": spec["function"](spec["item"])}
+    except Exception:
+        return {"id": spec["id"], "error": traceback.format_exc()}
+
+
+def _map_inline(spec):
+    return spec["function"](spec["item"])
 
 
 # --------------------------------------------------------------------------
@@ -375,22 +405,25 @@ class EvaluationEngine:
     *jobs* is the worker count (default ``os.cpu_count()``); ``jobs=1``
     executes every task in the calling process.  *store* is the
     content-addressed :class:`CacheStore` (default: the shared cache
-    directory, honouring ``REPRO_CACHE_DIR``).
+    directory, honouring ``REPRO_CACHE_DIR``).  *policy* is the
+    :class:`~repro.evaluation.supervisor.SupervisorPolicy` governing
+    deadlines, retries, backoff and pool resurrection; per-task
+    outcomes accumulate in :attr:`report` for the engine's lifetime.
     """
 
-    def __init__(self, jobs=None, store=None):
+    def __init__(self, jobs=None, store=None, policy=None):
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.store = store or CacheStore()
+        self.policy = policy or SupervisorPolicy()
+        self.report = EvaluationReport()
         self._pool = None
         self._programs = {}
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        self._abandon_pool(kill=True)
 
     def __enter__(self):
         return self
@@ -400,8 +433,23 @@ class EvaluationEngine:
 
     def _executor(self):
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=faults.mark_worker)
         return self._pool
+
+    def _abandon_pool(self, kill=False):
+        """Drop the current pool (a fresh one is created lazily)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            kill_pool(pool)
+        else:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _supervisor(self, worker, inline):
+        return Supervisor(self, self.policy, self.report, worker,
+                          inline)
 
     # -- public API --------------------------------------------------------
 
@@ -504,14 +552,30 @@ class EvaluationEngine:
 
         *function* must be a picklable module-level callable.  With
         ``jobs=1`` (or a single item) this is a plain in-process loop,
-        so exceptions propagate directly and ``pdb`` works.
+        so exceptions propagate directly and ``pdb`` works.  Pooled
+        items run under the supervisor — deadlines, bounded retry,
+        pool resurrection — and any item that still fails surfaces as
+        :class:`EvaluationError` after the rest completed.
         """
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
             return [function(item) for item in items]
-        executor = self._executor()
-        futures = [executor.submit(function, item) for item in items]
-        return [future.result() for future in futures]
+        label = getattr(function, "__name__", "call").strip("_")
+        nodes = {}
+        order = []
+        for index, item in enumerate(items):
+            node_id = "map-%s-%d" % (label, index)
+            node = _Node(node_id, "map/%s/%d" % (label, index),
+                         {"id": node_id, "function": function,
+                          "item": item}, None)
+            nodes[node_id] = node
+            order.append(node)
+        self._supervisor(_map_pool_task, _map_inline).run(nodes)
+        failures = [(node.label, node.error) for node in order
+                    if node.failed]
+        if failures:
+            raise EvaluationError(failures)
+        return [node.payload for node in order]
 
     # -- DAG construction --------------------------------------------------
 
@@ -594,6 +658,8 @@ class EvaluationEngine:
                     or payload.get("verified")):
                 node.payload = payload
                 node.done = True
+                self.report.record(node.id, node.label, "cached",
+                                   attempts=0)
             else:
                 pending[node.id] = node
         return pending
@@ -601,7 +667,8 @@ class EvaluationEngine:
     def _finish(self, node, payload):
         node.payload = payload
         node.done = True
-        self.store.put(node.key, payload)
+        if node.key is not None:
+            self.store.put(node.key, payload)
 
     def _fail(self, node, detail, exception=None):
         node.failed = True
@@ -617,10 +684,10 @@ class EvaluationEngine:
         pending = self._precheck(nodes, use_cache)
         if not pending:
             return
-        if self.jobs <= 1:
-            self._run_serial(pending)
-        else:
-            self._run_pooled(pending)
+        # The supervisor picks serial (jobs=1) or pooled execution and
+        # applies the resilience policy either way; _pool_task and
+        # execute_task are resolved late so tests can monkeypatch them.
+        self._supervisor(_pool_task, execute_task).run(pending)
 
     def _topological(self, pending):
         order = []
@@ -637,54 +704,6 @@ class EvaluationEngine:
         for node in sorted(pending.values(), key=lambda n: n.label):
             visit(node)
         return order
-
-    def _run_serial(self, pending):
-        for node in self._topological(pending):
-            if node.done:
-                continue
-            if any(dep.failed for dep in node.deps):
-                # _fail on the dependency already cascaded here
-                continue
-            try:
-                self._finish(node, execute_task(node.spec))
-            except Exception as exception:
-                self._fail(node, traceback.format_exc(), exception)
-
-    def _run_pooled(self, pending):
-        waiting = dict(pending)
-        in_flight = {}
-
-        def ready(node):
-            return all(dep.done and not dep.failed for dep in node.deps)
-
-        def submit_ready():
-            launch = [node for node in waiting.values()
-                      if ready(node) and not node.done]
-            for node in sorted(launch, key=lambda n: n.label):
-                del waiting[node.id]
-                future = self._executor().submit(_pool_task, node.spec)
-                in_flight[future] = node
-
-        submit_ready()
-        while in_flight:
-            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
-            for future in done:
-                node = in_flight.pop(future)
-                try:
-                    outcome = future.result()
-                except BrokenProcessPool:
-                    self._pool = None
-                    self._fail(node, "worker process died while "
-                                     "evaluating %s" % node.label)
-                    continue
-                except Exception:
-                    self._fail(node, traceback.format_exc())
-                    continue
-                if "error" in outcome:
-                    self._fail(node, outcome["error"])
-                else:
-                    self._finish(node, outcome["payload"])
-            submit_ready()
 
 
 def _link(dependency, dependent):
@@ -718,10 +737,10 @@ def shared_engine():
     return _shared
 
 
-def configure(jobs=None, store=None):
+def configure(jobs=None, store=None, policy=None):
     """Replace the shared engine (e.g. ``repro evaluate --jobs N``)."""
     global _shared
     if _shared is not None:
         _shared.close()
-    _shared = EvaluationEngine(jobs=jobs, store=store)
+    _shared = EvaluationEngine(jobs=jobs, store=store, policy=policy)
     return _shared

@@ -23,6 +23,7 @@ from repro.compaction.scheduler import schedule_region
 from repro.compaction.regalloc import region_pressure
 from repro.evaluation.simulator import replay_program, dynamic_region_stats
 from repro.benchmarks.suite import run_program_cached
+from repro.testing import faults
 
 #: the SYMBOL prototype's register bank (section 5.2), used when the
 #: checked pipeline validates register bindings
@@ -72,6 +73,7 @@ def superblock_regions(program, result, tail_dup_budget=48,
     The transformed program is re-emulated (cached) both for exact region
     counts and as a semantic equivalence check against the original run.
     """
+    faults.fire("pipeline.superblock")
     transform = form_superblocks(program, result.counts, result.taken,
                                  tail_dup_budget)
     new_result = run_program_cached(transform.program,
@@ -110,6 +112,7 @@ def machine_cycles(region_set, config, verify=False, diagnostics=None):
     raise :class:`VerificationError` — unless *diagnostics* is a list,
     in which case findings are appended there and the replay continues.
     """
+    faults.fire("pipeline.cycles")
     program = region_set.program
     schedules = []
     regions = []

@@ -1,0 +1,27 @@
+"""Test-support machinery shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+registry the chaos suite uses to prove the evaluation supervisor's
+resilience guarantees.  It lives under ``src`` (not ``tests``) because
+the injection sites are compiled into the production modules and must
+be importable wherever the package runs — including inside evaluation
+worker processes.
+"""
+
+from repro.testing.faults import (
+    InjectedFault,
+    armed,
+    fire,
+    injected,
+    mark_worker,
+    parse_spec,
+)
+
+__all__ = [
+    "InjectedFault",
+    "armed",
+    "fire",
+    "injected",
+    "mark_worker",
+    "parse_spec",
+]

@@ -179,3 +179,37 @@ def test_warren_flags(program_file):
 def test_parser_rejects_missing_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# --------------------------------------------------------------------------
+# The supervised sweep surface: --report / --max-attempts /
+# --cell-timeout and the outcome summary line.
+
+def test_evaluate_smoke_writes_supervisor_report(tmp_path, monkeypatch):
+    import json
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    report_path = str(tmp_path / "report.json")
+    status, text, errors = run_cli(
+        ["evaluate", "--jobs", "1", "--bench", "conc30",
+         "--max-attempts", "2", "--cell-timeout", "0",
+         "--report", report_path])
+    assert status == 0
+    assert "supervisor:" in text and "ok" in text
+    document = json.load(open(report_path))
+    assert document["tasks"]
+    assert all(task["status"] in ("ok", "cached")
+               for task in document["tasks"])
+    assert document["degraded"] is False
+    assert document["pool_restarts"] == 0
+    assert document["interrupted"] is None
+
+
+def test_evaluate_survives_an_injected_transient_fault(
+        tmp_path, monkeypatch):
+    from repro.testing import faults
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    with faults.injected("parallel.task=error:1"):
+        status, text, errors = run_cli(
+            ["evaluate", "--jobs", "1", "--bench", "conc30"])
+    assert status == 0
+    assert "retried" in text
