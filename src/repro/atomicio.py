@@ -94,6 +94,13 @@ class FileLock:
     exclusion.  Locks are released automatically if the holder dies.
     On hosts without ``fcntl`` the lock is a documented no-op (atomic
     renames alone still prevent torn files).
+
+    The lock is re-entrant *per object*: nested ``acquire`` on the same
+    :class:`FileLock` just deepens a counter instead of ``flock``-ing a
+    second descriptor of the same file (which would deadlock against
+    ourselves); the OS lock is released when the outermost ``release``
+    runs.  Two distinct objects on the same path still exclude each
+    other.
     """
 
     def __init__(self, path, timeout=None, poll=0.05):
@@ -101,9 +108,14 @@ class FileLock:
         self.timeout = timeout
         self.poll = poll
         self._handle = None
+        self._depth = 0
 
     def acquire(self):
+        if self._depth:
+            self._depth += 1
+            return self
         if fcntl is None:
+            self._depth = 1
             return self
         handle = open(self.path, "a+")
         try:
@@ -126,9 +138,15 @@ class FileLock:
             handle.close()
             raise
         self._handle = handle
+        self._depth = 1
         return self
 
     def release(self):
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth:
+            return
         handle, self._handle = self._handle, None
         if handle is not None:
             fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
@@ -136,7 +154,7 @@ class FileLock:
 
     @property
     def held(self):
-        return self._handle is not None
+        return self._depth > 0
 
     def __enter__(self):
         return self.acquire()

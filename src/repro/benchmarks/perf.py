@@ -20,7 +20,8 @@ import timeit
 from repro.atomicio import atomic_write_json
 from repro.benchmarks.programs import TABLE_BENCHMARKS
 from repro.benchmarks.suite import compile_benchmark
-from repro.emulator import BACKENDS, Emulator, ThreadedEmulator
+from repro.emulator import (
+    BACKENDS, Emulator, ThreadedEmulator, resolve_backend)
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -118,6 +119,11 @@ def bench_document(names=None, repeats=3, progress=None):
         "git_rev": git_revision(),
         "python": platform.python_version(),
         "implementation": sys.implementation.name,
+        # The active backend selection (REPRO_EMULATOR_BACKEND or the
+        # default) the run executed under.  Both backends are always
+        # timed; this records which one the rest of the evaluation
+        # would have used.
+        "backend": resolve_backend(None),
         "repeats": repeats,
         "benchmarks": entries,
         "summary": {
@@ -152,6 +158,8 @@ def validate_bench(document):
     for field in ("git_rev", "python"):
         require(isinstance(document.get(field), str),
                 "%s is not a string" % field)
+    require(document.get("backend") in BACKENDS,
+            "backend is not one of %s" % (sorted(BACKENDS),))
     require(isinstance(document.get("repeats"), int)
             and document.get("repeats", 0) >= 1,
             "repeats is not a positive integer")

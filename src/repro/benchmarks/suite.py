@@ -18,6 +18,7 @@ from repro.bam import compile_source
 from repro.intcode import translate_module
 from repro.emulator import EmulationResult, resolve_backend, run_program
 from repro.interp import Engine
+from repro.observability import tracing as observe
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
 
@@ -43,31 +44,44 @@ def program_fingerprint(program):
 
 def compile_benchmark(name):
     """Compile benchmark *name* to an ICI program."""
-    return translate_module(compile_source(PROGRAMS[name].source))
+    with observe.span("pipeline.translate", benchmark=name) as sp:
+        program = translate_module(compile_source(PROGRAMS[name].source))
+        sp.set(instructions=len(program.instructions))
+        return program
 
 
 def run_program_cached(program, key_hint="", backend=None):
     """Emulate *program*, consulting the on-disk profile cache first.
 
-    Both emulator backends produce bit-identical profiles, so the cache
-    key is backend-independent; the payload records which backend
-    actually produced the profile (``EmulationResult.backend``) so a
-    cache hit computed under a different backend stays diagnosable.
+    Both emulator backends produce bit-identical profiles, but the
+    payload records which backend actually produced it
+    (``EmulationResult.backend``) and callers rely on that provenance —
+    the bench document's ``backend`` field must reflect the backend the
+    run was asked for.  A hit whose recorded backend differs from the
+    resolved request is therefore recomputed (and republished) under
+    the requested backend rather than served as-is.
     """
+    wanted = resolve_backend(backend)
     key = key_hint + program_fingerprint(program)
     path = os.path.join(cache_dir(), key + ".json")
     if os.path.exists(path):
         try:
             with open(path) as handle:
                 data = json.load(handle)
-            return EmulationResult(program, data["status"], data["steps"],
-                                   data["output"], data["counts"],
-                                   data["taken"],
-                                   backend=data.get("backend",
-                                                    "reference"))
+            cached_backend = data.get("backend", "reference")
+            if cached_backend == wanted:
+                observe.add("profile_cache.hits")
+                return EmulationResult(program, data["status"],
+                                       data["steps"], data["output"],
+                                       data["counts"], data["taken"],
+                                       backend=cached_backend)
+            observe.add("profile_cache.backend_mismatches")
         except (ValueError, KeyError):
             os.remove(path)
-    result = run_program(program, backend=resolve_backend(backend))
+    observe.add("profile_cache.misses")
+    with observe.span("pipeline.profile", backend=wanted) as sp:
+        result = run_program(program, backend=wanted)
+        sp.set(steps=result.steps, status=result.status)
     # Crash-safe publish: parallel evaluation workers (and concurrent
     # CLI runs) may race on the same profile; a reader must never see
     # a torn file, and a kill mid-write must never leave one.

@@ -9,6 +9,8 @@
     python -m repro bench [--quick]           # time emulator backends
     python -m repro evaluate [--extras]       # the paper's tables/figures
     python -m repro evaluate --jobs 4 --bench qsort --bench nreverse
+    python -m repro evaluate --bench conc30 --trace trace.jsonl
+    python -m repro trace summary trace.jsonl # inspect a recorded trace
     python -m repro lint program.pl           # ICI well-formedness lint
     python -m repro verify [--bench qsort]    # independent checker sweep
 
@@ -216,7 +218,55 @@ def _add_supervisor_flags(parser):
                              "JSON")
 
 
+def _trace_seed():
+    """The CLI tracer's seed: ``REPRO_TRACE_SEED`` (default 0), as an
+    int when it parses as one (any string seeds the run id too)."""
+    from repro.observability.tracing import SEED_ENV
+    raw = os.environ.get(SEED_ENV, "0")
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _traced(path, body, out, err):
+    """Run *body* under an active tracer rooted at an ``evaluate`` span
+    and publish the trace at *path* (validated first).
+
+    ``REPRO_TRACE_DETERMINISTIC=1`` drops wall-clock timings so reruns
+    at the same seed render byte-identical documents.
+    """
+    from repro.observability import (
+        activation, trace_lines, validate_trace, write_trace)
+    timings = os.environ.get("REPRO_TRACE_DETERMINISTIC",
+                             "") in ("", "0")
+    with activation(seed=_trace_seed()) as tracer:
+        try:
+            with tracer.span("evaluate"):
+                status = body()
+        except BaseException:
+            # Cancellation/crash: span contexts closed on unwind and
+            # the supervisor abandoned its task spans, so publish the
+            # partial trace before the exception surfaces.
+            write_trace(path, tracer, timings=timings)
+            raise
+    problems = validate_trace(trace_lines(tracer, timings=timings))
+    for problem in problems:
+        err.write("trace: invariant violated: %s\n" % problem)
+    write_trace(path, tracer, timings=timings)
+    out.write("wrote trace %s (%d span(s), run %s)\n"
+              % (path, len(tracer.spans), tracer.run_id))
+    return 1 if problems else status
+
+
 def cmd_evaluate(args, out, err):
+    if args.trace:
+        body = lambda: _cmd_evaluate(args, out, err)
+        return _traced(args.trace, body, out, err)
+    return _cmd_evaluate(args, out, err)
+
+
+def _cmd_evaluate(args, out, err):
     from repro.evaluation.parallel import configure
     from repro.experiments import run_all
     engine = configure(jobs=_resolve_jobs(args),
@@ -281,6 +331,52 @@ def _evaluate_smoke(args, engine, out, err):
                                 stats["corrupt"],
                                 "y" if stats["corrupt"] == 1 else "ies"))
     _write_supervisor_report(args, engine, out)
+    return 0
+
+
+def cmd_trace(args, out, err):
+    from repro.observability import (
+        load_trace, summarize_trace, validate_trace)
+    try:
+        lines = load_trace(args.trace_file)
+    except OSError as error:
+        err.write("trace: cannot read %s: %s\n"
+                  % (args.trace_file, error))
+        return 2
+    except ValueError as error:
+        err.write("trace: %s is not JSONL: %s\n"
+                  % (args.trace_file, error))
+        return 1
+    problems = validate_trace(lines)
+    if problems:
+        for problem in problems:
+            err.write("trace: %s\n" % problem)
+        err.write("trace: %d problem(s) in %s\n"
+                  % (len(problems), args.trace_file))
+        return 1
+    if args.action == "validate":
+        out.write("%s: valid (%d span(s))\n"
+                  % (args.trace_file, lines[0]["spans"]))
+        return 0
+    info = summarize_trace(lines)
+    out.write("run %s  %d span(s)%s\n"
+              % (info["run_id"], info["spans"],
+                 "  [deterministic]" if info["deterministic"] else ""))
+    for name, entry in info["by_name"].items():
+        elapsed = "" if entry["elapsed"] is None \
+            else "  %8.4fs" % entry["elapsed"]
+        errors = "" if not entry["errors"] \
+            else "  %d error(s)" % entry["errors"]
+        out.write("  %-24s x%-5d%s%s\n"
+                  % (name, entry["count"], elapsed, errors))
+    if info["counters"]:
+        out.write("counters:\n")
+        for name, value in info["counters"].items():
+            out.write("  %-32s %d\n" % (name, value))
+    if info["gauges"]:
+        out.write("gauges:\n")
+        for name, value in info["gauges"].items():
+            out.write("  %-32s %r\n" % (name, value))
     return 0
 
 
@@ -445,8 +541,22 @@ def build_parser():
     p.add_argument("--bench", action="append", metavar="NAME",
                    help="smoke-sweep only these benchmarks under the "
                         "master configs (repeatable)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a structured trace of the sweep "
+                        "(spans + metrics) as JSONL at PATH; see "
+                        "'repro trace summary'")
     _add_supervisor_flags(p)
     p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("trace",
+                       help="inspect a trace written by evaluate "
+                            "--trace")
+    p.add_argument("action", choices=("summary", "validate"),
+                   help="summary: aggregate spans/metrics; validate: "
+                        "schema + invariant check only")
+    p.add_argument("trace_file", metavar="FILE",
+                   help="JSONL trace file")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("lint",
                        help="check a compiled program's ICI for "

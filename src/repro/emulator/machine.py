@@ -388,12 +388,33 @@ def run_program(program, max_steps=500_000_000, backend=None):
     cannot compile.
     """
     from repro.testing import faults
+    from repro.observability import tracing as observe
     if faults.armed("emulator.run") \
             and faults.fire("emulator.run") == "step-limit":
         raise EmulatorError("step limit exceeded (0) [injected at "
                             "emulator.run]")
     name = resolve_backend(backend)
-    if name == "reference":
-        return Emulator(program, max_steps=max_steps).run()
-    from repro.emulator.threaded import ThreadedEmulator
-    return ThreadedEmulator(program, max_steps=max_steps).run()
+    # run_program is the hottest instrumentation point (perf-bench
+    # loops call it back to back), so it drives the tracer directly
+    # instead of through the span context manager.
+    tracer = observe.active()
+    span = tracer.open("emulator.run", backend=name) if tracer else None
+    try:
+        if name == "reference":
+            result = Emulator(program, max_steps=max_steps).run()
+        else:
+            from repro.emulator.threaded import ThreadedEmulator
+            result = ThreadedEmulator(program, max_steps=max_steps).run()
+    except BaseException as error:
+        if tracer is not None:
+            tracer.close(span, error=error)
+        raise
+    if tracer is not None:
+        # the threaded backend may have fallen back to the reference
+        # loop; the span records the backend that actually produced
+        # the result
+        tracer.close(span.set(steps=result.steps, status=result.status,
+                              backend=result.backend))
+        tracer.metrics.add("emulator.runs")
+        tracer.metrics.add("emulator.steps", result.steps)
+    return result

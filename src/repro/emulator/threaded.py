@@ -554,6 +554,8 @@ class ThreadedEmulator:
     def _fallback(self):
         """Re-run on the reference loop (deterministic programs: exact
         same result, or the exact same fault with its precise pc)."""
+        from repro.observability import tracing as observe
+        observe.add("emulator.threaded.fallbacks")
         return Emulator(self.program, max_steps=self.max_steps).run()
 
     def run(self):

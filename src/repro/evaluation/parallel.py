@@ -63,6 +63,7 @@ from repro.benchmarks.suite import (
 from repro.emulator import resolve_backend
 from repro.evaluation.supervisor import (
     EvaluationReport, Supervisor, SupervisorPolicy, kill_pool)
+from repro.observability import tracing as obs
 from repro.testing import faults
 
 __all__ = [
@@ -218,19 +219,24 @@ class CacheStore:
                 raise ValueError("payload checksum mismatch")
         except FileNotFoundError:
             self.misses += 1
+            obs.add("cache.misses")
             return None
         except (ValueError, KeyError, TypeError):
             self.corrupt += 1
             self.misses += 1
+            obs.add("cache.corrupt")
+            obs.add("cache.misses")
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
         self.hits += 1
+        obs.add("cache.hits")
         return payload
 
     def put(self, key, payload):
+        obs.add("cache.writes")
         root = self.root
         os.makedirs(root, exist_ok=True)
         entry = {"key": key, "schema": CACHE_SCHEMA, "payload": payload,
@@ -272,8 +278,12 @@ _worker_regions = {}
 
 
 def _worker_program(name, fingerprint):
+    # The memo key includes the active backend: the profile payload
+    # records which backend produced it, so a backend switch between
+    # in-process runs must not serve a stale-provenance entry.
+    backend = resolve_backend(None)
     entry = _worker_programs.get(name)
-    if entry is None or entry[0] != fingerprint:
+    if entry is None or entry[0] != (fingerprint, backend):
         program = compile_benchmark(name)
         compiled = program_fingerprint(program)
         if compiled != fingerprint:
@@ -281,8 +291,8 @@ def _worker_program(name, fingerprint):
                 "benchmark %r compiled to fingerprint %s in the worker, "
                 "expected %s — non-deterministic compilation?"
                 % (name, compiled, fingerprint))
-        result = run_program_cached(program, name + "-")
-        entry = (fingerprint, program, result)
+        result = run_program_cached(program, name + "-", backend)
+        entry = ((fingerprint, backend), program, result)
         _worker_programs[name] = entry
         _worker_regions.clear()
     return entry[1], entry[2]
@@ -478,15 +488,16 @@ class EvaluationEngine:
         plans = []
         failures = []
 
-        for request in requests:
-            try:
-                plans.append(self._plan_request(nodes, request))
-            except Exception:
-                failures.append(("request %r" % request.get("name"),
-                                 traceback.format_exc()))
-                plans.append(None)
-
-        self._run_nodes(nodes, use_cache)
+        with obs.span("engine.evaluate", requests=len(requests)) as sp:
+            for request in requests:
+                try:
+                    plans.append(self._plan_request(nodes, request))
+                except Exception:
+                    failures.append(("request %r" % request.get("name"),
+                                     traceback.format_exc()))
+                    plans.append(None)
+            sp.set(nodes=len(nodes))
+            self._run_nodes(nodes, use_cache)
 
         evaluations = []
         for request, plan in zip(requests, plans):
@@ -570,7 +581,8 @@ class EvaluationEngine:
                           "item": item}, None)
             nodes[node_id] = node
             order.append(node)
-        self._supervisor(_map_pool_task, _map_inline).run(nodes)
+        with obs.span("engine.map", items=len(order), label=label):
+            self._supervisor(_map_pool_task, _map_inline).run(nodes)
         failures = [(node.label, node.error) for node in order
                     if node.failed]
         if failures:
@@ -658,6 +670,7 @@ class EvaluationEngine:
                     or payload.get("verified")):
                 node.payload = payload
                 node.done = True
+                obs.add("engine.tasks.cached")
                 self.report.record(node.id, node.label, "cached",
                                    attempts=0)
             else:

@@ -23,6 +23,7 @@ from repro.compaction.scheduler import schedule_region
 from repro.compaction.regalloc import region_pressure
 from repro.evaluation.simulator import replay_program, dynamic_region_stats
 from repro.benchmarks.suite import run_program_cached
+from repro.observability import tracing as observe
 from repro.testing import faults
 
 #: the SYMBOL prototype's register bank (section 5.2), used when the
@@ -61,9 +62,12 @@ class RegionSet:
 
 def basic_block_regions(program, result):
     """Regions = the original basic blocks (local compaction only)."""
-    cfg = Cfg(program)
-    regions = [Region(block.start, block.end) for block in cfg.blocks]
-    return RegionSet(program, regions, result.counts, result.taken)
+    with observe.span("pipeline.regions", regioning="bb") as sp:
+        cfg = Cfg(program)
+        regions = [Region(block.start, block.end)
+                   for block in cfg.blocks]
+        sp.set(regions=len(regions))
+        return RegionSet(program, regions, result.counts, result.taken)
 
 
 def superblock_regions(program, result, tail_dup_budget=48,
@@ -73,19 +77,22 @@ def superblock_regions(program, result, tail_dup_budget=48,
     The transformed program is re-emulated (cached) both for exact region
     counts and as a semantic equivalence check against the original run.
     """
-    faults.fire("pipeline.superblock")
-    transform = form_superblocks(program, result.counts, result.taken,
-                                 tail_dup_budget)
-    new_result = run_program_cached(transform.program,
-                                    cache_hint + "sb%d-" % tail_dup_budget)
-    if (new_result.status, new_result.output) != (result.status,
-                                                  result.output):
-        raise AssertionError(
-            "superblock transformation changed program behaviour")
-    liveness = Liveness(Cfg(transform.program))
-    return RegionSet(transform.program, transform.regions,
-                     new_result.counts, new_result.taken, liveness,
-                     transform=transform, source_program=program)
+    with observe.span("pipeline.superblock",
+                      budget=tail_dup_budget) as sp:
+        faults.fire("pipeline.superblock")
+        transform = form_superblocks(program, result.counts,
+                                     result.taken, tail_dup_budget)
+        new_result = run_program_cached(
+            transform.program, cache_hint + "sb%d-" % tail_dup_budget)
+        if (new_result.status, new_result.output) != (result.status,
+                                                      result.output):
+            raise AssertionError(
+                "superblock transformation changed program behaviour")
+        liveness = Liveness(Cfg(transform.program))
+        sp.set(regions=len(transform.regions))
+        return RegionSet(transform.program, transform.regions,
+                         new_result.counts, new_result.taken, liveness,
+                         transform=transform, source_program=program)
 
 
 def _off_live_map(region_set, region):
@@ -112,35 +119,41 @@ def machine_cycles(region_set, config, verify=False, diagnostics=None):
     raise :class:`VerificationError` — unless *diagnostics* is a list,
     in which case findings are appended there and the replay continues.
     """
-    faults.fire("pipeline.cycles")
     program = region_set.program
     schedules = []
     regions = []
     checker_liveness = region_set.name_liveness() if verify else None
     found = diagnostics if diagnostics is not None else []
-    for region in region_set.regions:
-        if region_set.counts[region.start] == 0:
-            continue
-        instructions = program.instructions[region.start:region.end]
-        if config.speculation and region_set.liveness is not None:
-            off_live, reg_mask = _off_live_map(region_set, region)
-        else:
-            off_live, reg_mask = None, None
-        schedule = schedule_region(instructions, config,
-                                   off_live, reg_mask)
-        if verify:
-            checker_off_live = off_live_names(
-                program, region.start, region.end, checker_liveness)
-            found.extend(check_schedule(
-                instructions, schedule, config, checker_off_live,
-                region=(region.start, region.end)))
-        schedules.append(schedule)
-        regions.append(region)
-    if verify and diagnostics is None and found:
-        raise VerificationError(
-            found, "illegal schedule under machine %r" % config.name)
-    return replay_program(program, regions, schedules,
-                          region_set.counts, region_set.taken)
+    with observe.span("pipeline.schedule", config=config.name,
+                      verify=verify) as sp:
+        faults.fire("pipeline.cycles")
+        for region in region_set.regions:
+            if region_set.counts[region.start] == 0:
+                continue
+            instructions = program.instructions[region.start:region.end]
+            if config.speculation and region_set.liveness is not None:
+                off_live, reg_mask = _off_live_map(region_set, region)
+            else:
+                off_live, reg_mask = None, None
+            schedule = schedule_region(instructions, config,
+                                       off_live, reg_mask)
+            if verify:
+                checker_off_live = off_live_names(
+                    program, region.start, region.end, checker_liveness)
+                found.extend(check_schedule(
+                    instructions, schedule, config, checker_off_live,
+                    region=(region.start, region.end)))
+            schedules.append(schedule)
+            regions.append(region)
+        sp.set(regions=len(regions))
+        if verify and diagnostics is None and found:
+            raise VerificationError(
+                found, "illegal schedule under machine %r" % config.name)
+    with observe.span("pipeline.simulate", config=config.name) as sp:
+        cycles = replay_program(program, regions, schedules,
+                                region_set.counts, region_set.taken)
+        sp.set(cycles=cycles)
+        return cycles
 
 
 def region_set_diagnostics(region_set):

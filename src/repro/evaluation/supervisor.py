@@ -43,6 +43,8 @@ import zlib
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.observability import tracing as obs
+
 __all__ = ["EvaluationReport", "Supervisor", "SupervisorPolicy"]
 
 
@@ -220,6 +222,42 @@ class Supervisor:
         self.worker = worker
         self.inline = inline
         self._signals = None
+        self._spans = {}            # node id -> open task span
+
+    # -- task spans --------------------------------------------------------
+    #
+    # One span per supervised node, named "task", covering every attempt
+    # (retries, pool resubmissions and degraded re-execution included).
+    # Its ``status``/``attempts`` attrs mirror the EvaluationReport
+    # record exactly, which is what lets the trace-invariant suite
+    # reconcile spans against the report.  Pooled tasks overlap, so
+    # these are explicit open/close spans, not stacked ones.
+
+    def _span_open(self, node):
+        tracer = obs.active()
+        if tracer is None or node.id in self._spans:
+            return
+        self._spans[node.id] = tracer.open(
+            "task", label=node.label,
+            kind=node.spec.get("kind", "map"))
+
+    def _span_close(self, node, status, attempts):
+        span = self._spans.pop(node.id, None)
+        tracer = obs.active()
+        if span is None or tracer is None:
+            return
+        span.set(status=status, attempts=attempts)
+        tracer.close(span,
+                     status="error" if status == "failed" else "ok")
+
+    def _span_abandon(self):
+        """Cancellation: close every still-open task span loudly."""
+        tracer = obs.active()
+        for span in self._spans.values():
+            if tracer is not None:
+                span.set(status="cancelled")
+                tracer.close(span, status="error")
+        self._spans.clear()
 
     # -- outcome recording -------------------------------------------------
 
@@ -230,12 +268,21 @@ class Supervisor:
             "retried" if attempts > 1 else "ok")
         self.report.record(node.id, node.label, status, attempts,
                            time.monotonic() - started)
+        if attempts > 1:
+            obs.add("supervisor.retries", attempts - 1)
+        if degraded:
+            obs.add("supervisor.degraded_tasks")
+        self._span_close(node, status, attempts)
 
     def _give_up(self, node, detail, attempts, started, exception=None):
         self.engine._fail(node, detail, exception)
         self.report.record(node.id, node.label, "failed", attempts,
                            time.monotonic() - started,
                            detail=_last_line(detail))
+        obs.add("supervisor.failed_tasks")
+        if attempts > 1:
+            obs.add("supervisor.retries", attempts - 1)
+        self._span_close(node, "failed", attempts)
 
     # -- serial (jobs=1) and degraded execution ----------------------------
 
@@ -254,6 +301,7 @@ class Supervisor:
                 continue
             if any(dep.failed for dep in node.deps):
                 continue        # _fail already cascaded to this node
+            self._span_open(node)
             started = time.monotonic()
             attempts = 0
             while True:
@@ -309,6 +357,7 @@ class Supervisor:
                 pool_broken = False
                 restarts += 1
                 self.report.pool_restarts += 1
+                obs.add("supervisor.pool_restarts")
                 self.engine._abandon_pool(kill=True)
                 for future, (node, _) in list(in_flight.items()):
                     # Sibling futures of a broken pool all fail; their
@@ -323,6 +372,7 @@ class Supervisor:
                     self.report.degraded = True
 
             if degraded:
+                obs.add("supervisor.degradations")
                 remaining = dict(waiting)
                 remaining.update((node.id, node)
                                  for _, node in sleeping)
@@ -351,6 +401,7 @@ class Supervisor:
             for node in launch:
                 del waiting[node.id]
                 attempts[node.id] += 1
+                self._span_open(node)
                 if started[node.id] is None:
                     started[node.id] = time.monotonic()
                 try:
@@ -405,6 +456,7 @@ class Supervisor:
                        for future, (node, deadline) in in_flight.items()
                        if deadline is not None and now >= deadline]
             if overdue:
+                obs.add("supervisor.watchdog_kills", len(overdue))
                 for future, node in overdue:
                     del in_flight[future]
                     retry_or_fail(
@@ -415,6 +467,7 @@ class Supervisor:
         if self._cancelled():
             self.engine._abandon_pool(kill=True)
             self.report.interrupted = self._signals.received
+            self._span_abandon()
             raise KeyboardInterrupt(self._signals.received)
 
     # -- entry point -------------------------------------------------------
@@ -431,6 +484,7 @@ class Supervisor:
                     if self._cancelled():
                         self.report.interrupted = \
                             self._signals.received
+                        self._span_abandon()
                         raise KeyboardInterrupt(self._signals.received)
                 else:
                     self.run_pooled(pending)

@@ -1,0 +1,64 @@
+"""Structured observability for the evaluation pipeline.
+
+The paper's headline numbers fall out of a long pipeline — translate,
+profile, superblock transform, schedule, simulate — run by a parallel
+engine under a fault-tolerant supervisor.  This package makes that
+pipeline *visible*: a span-based tracer (:mod:`repro.observability
+.tracing`) records what ran, nested how, for how long and with what
+outcome; a metrics registry (:mod:`repro.observability.metrics`)
+counts the events that matter (cache hits, emulator runs, retries,
+watchdog kills); and the export layer (:mod:`repro.observability
+.export`) publishes both as schema-validated JSONL that ``repro
+evaluate --trace FILE`` writes and ``repro trace summary`` reads.
+
+Tracing is **opt-in and observability-only**: with no active tracer
+every instrumentation point is a cheap no-op, and with one active it
+never changes any computed number — the trace-invariant suite
+(``tests/test_trace_invariants.py``) locks both properties down, along
+with span balance, span/report/cache-counter reconciliation, and
+byte-stable deterministic export at a fixed seed.
+"""
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    activate,
+    activation,
+    active,
+    add,
+    deactivate,
+    gauge,
+    span,
+)
+from repro.observability.export import (
+    TRACE_SCHEMA,
+    load_trace,
+    render_trace,
+    summarize_trace,
+    trace_lines,
+    validate_trace,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "activate",
+    "activation",
+    "active",
+    "add",
+    "deactivate",
+    "gauge",
+    "load_trace",
+    "render_trace",
+    "span",
+    "summarize_trace",
+    "trace_lines",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,271 @@
+"""Span-based tracer for the evaluation pipeline.
+
+A **span** is one timed unit of work: an emulator run, a superblock
+transform, a supervised task attempt cycle, a whole ``repro evaluate``
+sweep.  Spans carry
+
+* a per-tracer sequential ``span_id`` and their parent's id (nesting);
+* a **logical clock** pair ``seq_start``/``seq_end`` — every open and
+  close event ticks the tracer's clock, so span containment can be
+  verified without trusting wall time and the deterministic export is
+  byte-stable across runs;
+* monotonic wall-clock timing (``elapsed`` seconds);
+* free-form JSON-safe ``attrs`` and a final ``status`` (``ok`` or
+  ``error``).
+
+Two APIs create spans.  The context manager covers the common nested
+case::
+
+    with obs.span("pipeline.schedule", config=config.name) as sp:
+        ...
+        sp.set(regions=len(regions))
+
+and the explicit :meth:`Tracer.open` / :meth:`Tracer.close` pair covers
+work that overlaps rather than nests (the supervisor's pooled tasks are
+in flight concurrently, so they cannot live on a stack).
+
+The module-level helpers (:func:`span`, :func:`add`, :func:`gauge`)
+route to the **active tracer** and are cheap no-ops when none is
+active — instrumentation points stay in the code permanently and cost
+one global read plus an ``is None`` test when tracing is off.  The
+run id is derived from the tracer's seed, so a fixed seed names runs
+reproducibly; an unseeded tracer gets a random run id.
+
+The tracer is deliberately per-process: pool workers run with tracing
+inactive, so a traced ``--jobs 1`` sweep sees every stage in-process
+while a pooled sweep traces the coordinator's view (task lifecycle,
+cache, supervisor decisions).  See ``docs/observability.md``.
+"""
+
+import hashlib
+import os
+import time
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "activate",
+    "activation",
+    "active",
+    "add",
+    "deactivate",
+    "gauge",
+    "span",
+]
+
+#: environment variable selecting the CLI tracer's seed
+SEED_ENV = "REPRO_TRACE_SEED"
+
+
+class Span:
+    """One unit of traced work; created by a :class:`Tracer`."""
+
+    __slots__ = ("name", "span_id", "parent_id", "seq_start", "seq_end",
+                 "attrs", "status", "error", "_started", "elapsed")
+
+    def __init__(self, name, span_id, parent_id, seq_start, attrs):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.seq_start = seq_start
+        self.seq_end = None
+        self.attrs = attrs
+        self.status = None          # "ok" / "error" once closed
+        self.error = None
+        self._started = time.monotonic()
+        self.elapsed = None
+
+    @property
+    def closed(self):
+        return self.seq_end is not None
+
+    def set(self, **attrs):
+        """Attach (or overwrite) attributes on an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self):
+        return "Span(%s#%d %s)" % (self.name, self.span_id,
+                                   self.status or "open")
+
+
+class _NullSpan:
+    """Absorbs the span API when no tracer is active."""
+
+    __slots__ = ()
+
+    def set(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager binding one span to the tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer, name, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+
+    def __enter__(self):
+        self._span = self._tracer.open(self._name, stacked=True,
+                                       **self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, exc_tb):
+        self._tracer.close(self._span, error=exc_value)
+        return False
+
+
+class Tracer:
+    """Collects spans and metrics for one traced run.
+
+    *seed* makes the run id (and, together with the logical clock and
+    the deterministic export mode, the whole trace) reproducible; None
+    draws a random run id.  Finished *and* open spans are reachable
+    through :attr:`spans` (in open order), so tests can assert both
+    what ran and that everything opened was closed.
+    """
+
+    def __init__(self, seed=None):
+        self.seed = seed
+        if seed is None:
+            self.run_id = os.urandom(8).hex()
+        else:
+            self.run_id = hashlib.sha256(
+                ("repro-trace:seed=%r" % seed).encode()).hexdigest()[:16]
+        from repro.observability.metrics import MetricsRegistry
+        self.metrics = MetricsRegistry()
+        self.spans = []             # every span, in open order
+        self._stack = []            # context-managed spans only
+        self._clock = 0
+        self._next_id = 1
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name, **attrs):
+        """Context manager: open a child of the current stacked span."""
+        return _SpanContext(self, name, attrs)
+
+    def open(self, name, parent=None, stacked=False, **attrs):
+        """Open a span explicitly (for overlapping, non-nesting work).
+
+        *parent* is an explicit parent :class:`Span`; by default the
+        innermost stacked span (if any) is the parent.  The caller owns
+        the matching :meth:`close`.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        self._clock += 1
+        span = Span(name, self._next_id,
+                    parent.span_id if parent is not None else None,
+                    self._clock, attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        if stacked:
+            self._stack.append(span)
+        return span
+
+    def close(self, span, error=None, status=None):
+        """Close *span*; *error* (an exception) forces status
+        ``error`` and records its class name."""
+        if span.closed:
+            raise RuntimeError("span %r closed twice" % span)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self._clock += 1
+        span.seq_end = self._clock
+        span.elapsed = time.monotonic() - span._started
+        if error is not None:
+            span.status = "error"
+            span.error = type(error).__name__
+        else:
+            span.status = status or "ok"
+        return span
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def open_spans(self):
+        return [span for span in self.spans if not span.closed]
+
+    def find(self, name):
+        """All spans named *name*, in open order."""
+        return [span for span in self.spans if span.name == name]
+
+
+# --------------------------------------------------------------------------
+# The active tracer and the no-op instrumentation helpers.
+
+_active = None
+
+
+def active():
+    """The currently active :class:`Tracer`, or None."""
+    return _active
+
+
+def activate(tracer):
+    """Install *tracer* as the process's active tracer."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+def deactivate():
+    """Deactivate (and return) the active tracer."""
+    global _active
+    tracer, _active = _active, None
+    return tracer
+
+
+class activation:
+    """``with activation(seed=0) as tracer: ...`` — scoped activation."""
+
+    def __init__(self, seed=None, tracer=None):
+        self.tracer = tracer if tracer is not None else Tracer(seed=seed)
+        self._previous = None
+
+    def __enter__(self):
+        global _active
+        self._previous = _active
+        _active = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc_info):
+        global _active
+        _active = self._previous
+        return False
+
+
+def span(name, **attrs):
+    """A span on the active tracer, or a no-op when tracing is off."""
+    if _active is None:
+        return NULL_SPAN
+    return _active.span(name, **attrs)
+
+
+def add(name, value=1):
+    """Increment a counter on the active tracer's registry (no-op when
+    tracing is off)."""
+    if _active is not None:
+        _active.metrics.add(name, value)
+
+
+def gauge(name, value):
+    """Set a gauge on the active tracer's registry (no-op when tracing
+    is off)."""
+    if _active is not None:
+        _active.metrics.gauge(name, value)

@@ -137,7 +137,9 @@ def _atom_needs_quotes(name):
     if name[0].islower() and all(c.isalnum() or c == "_" for c in name):
         return False
     if all(c in _SYMBOL_ATOM_CHARS for c in name):
-        return False
+        # A bare "." is the clause terminator and a leading "/*" opens
+        # a block comment — unquoted, neither reads back as an atom.
+        return name == "." or name.startswith("/*")
     return True
 
 
@@ -163,7 +165,9 @@ def term_to_string(term):
             return "[%s|%s]" % (inner, term_to_string(tail))
         args = ",".join(term_to_string(a) for a in term.args)
         head = term.name
-        if _atom_needs_quotes(head):
+        # "[]" and "{}" are single atoms but lex as bracket pairs, so
+        # in functor position they only read back when quoted.
+        if _atom_needs_quotes(head) or head in ("[]", "{}"):
             head = "'%s'" % head.replace("\\", "\\\\").replace("'", "\\'")
         return "%s(%s)" % (head, args)
     raise TypeError("not a term: %r" % (term,))

@@ -1,4 +1,21 @@
-"""Shared test helpers."""
+"""Shared test helpers.
+
+Markers
+-------
+
+The suite is partitioned by three registered markers (see
+``pyproject.toml``):
+
+``tier1``
+    The fast, deterministic core — added automatically to every test
+    that is neither ``slow`` nor ``chaos``.  The CI gate runs
+    ``-m "not slow and not chaos"``, which is exactly this set.
+``slow``
+    Wall-clock heavy or timing-sensitive (perf/overhead measurements).
+``chaos``
+    Fault-injection and crash-recovery suites (subprocess pools,
+    SIGINT, injected faults); applied per-module via ``pytestmark``.
+"""
 
 import re
 
@@ -48,9 +65,35 @@ def assert_lint_clean(program, stage="lint"):
     assert diagnostics == [], format_diagnostics(diagnostics)
 
 
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if not (item.get_closest_marker("slow")
+                or item.get_closest_marker("chaos")):
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def engine():
     return Engine()
+
+
+@pytest.fixture
+def traced_run():
+    """An activated, seeded tracer collecting spans/metrics in-process.
+
+    Everything the test (and the code it calls) does behind the
+    module-level instrumentation helpers lands on this tracer::
+
+        def test_something(traced_run):
+            run_pipeline()
+            assert traced_run.find("pipeline.schedule")
+    """
+    from repro.observability import Tracer, activate, deactivate
+    tracer = activate(Tracer(seed=0))
+    try:
+        yield tracer
+    finally:
+        deactivate()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,119 @@
+"""Edge cases of crash-safe publication and the advisory file lock.
+
+Covers the failure windows the happy-path suites never hit: an
+``fsync`` that fails mid-publish (the error must surface and the
+destination must stay untouched, with no stray temp file), re-entrant
+acquisition of one :class:`FileLock` object (must deepen, not
+deadlock), and :func:`os.replace` over a pre-existing read-only
+target (atomic publish must still win).
+"""
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro.atomicio import (
+    FileLock, LockTimeout, atomic_write_json, atomic_write_text)
+
+
+# --------------------------------------------------------------------------
+# fsync failure.
+
+def _no_tmp_files(directory):
+    return [name for name in os.listdir(directory)
+            if name.endswith(".tmp")] == []
+
+
+def test_fsync_failure_surfaces_and_leaves_no_partial_file(
+        tmp_path, monkeypatch):
+    target = tmp_path / "artefact.json"
+    target.write_text("original")
+
+    def failing_fsync(fd):
+        raise OSError(5, "Input/output error")
+
+    monkeypatch.setattr(os, "fsync", failing_fsync)
+    with pytest.raises(OSError, match="Input/output error"):
+        atomic_write_text(str(target), "replacement")
+    # The destination is untouched and the temp file was cleaned up.
+    assert target.read_text() == "original"
+    assert _no_tmp_files(str(tmp_path))
+
+
+def test_fsync_failure_on_fresh_target_leaves_nothing(tmp_path,
+                                                      monkeypatch):
+    monkeypatch.setattr(
+        os, "fsync",
+        lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")))
+    with pytest.raises(OSError):
+        atomic_write_json(str(tmp_path / "new.json"), {"a": 1})
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_fsync_can_be_waived(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        os, "fsync",
+        lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")))
+    path = atomic_write_text(str(tmp_path / "out.txt"), "data",
+                             fsync=False)
+    assert open(path).read() == "data"
+
+
+# --------------------------------------------------------------------------
+# FileLock re-entrancy.
+
+def test_filelock_reacquire_same_object_does_not_deadlock(tmp_path):
+    lock = FileLock(str(tmp_path / ".lock"), timeout=2.0)
+    with lock:
+        with lock:              # would flock a second fd and block
+            assert lock.held
+        # Inner release keeps the OS lock: an independent object still
+        # cannot acquire it.
+        assert lock.held
+        other = FileLock(str(tmp_path / ".lock"), timeout=0.2)
+        with pytest.raises(LockTimeout):
+            other.acquire()
+    assert not lock.held
+    # Outermost release really released: a fresh object acquires.
+    with FileLock(str(tmp_path / ".lock"), timeout=2.0) as fresh:
+        assert fresh.held
+
+
+def test_filelock_three_deep_releases_in_order(tmp_path):
+    lock = FileLock(str(tmp_path / ".lock"))
+    lock.acquire()
+    lock.acquire()
+    lock.acquire()
+    lock.release()
+    lock.release()
+    assert lock.held
+    lock.release()
+    assert not lock.held
+    # Extra releases are harmless no-ops.
+    lock.release()
+    assert not lock.held
+
+
+def test_distinct_objects_still_exclude_each_other(tmp_path):
+    path = str(tmp_path / ".lock")
+    with FileLock(path, timeout=2.0):
+        with pytest.raises(LockTimeout):
+            FileLock(path, timeout=0.2).acquire()
+
+
+# --------------------------------------------------------------------------
+# Publishing over a read-only target.
+
+def test_replace_over_readonly_target(tmp_path):
+    target = tmp_path / "locked.json"
+    target.write_text(json.dumps({"version": 1}))
+    os.chmod(str(target), 0o444)
+    assert not (os.stat(str(target)).st_mode & stat.S_IWUSR)
+    atomic_write_json(str(target), {"version": 2})
+    assert json.load(open(str(target))) == {"version": 2}
+    assert _no_tmp_files(str(tmp_path))
+    # The publish replaced the inode, so the read-only mode of the old
+    # file does not survive; the new artefact is writable by owner.
+    assert os.stat(str(target)).st_mode & stat.S_IWUSR

@@ -19,6 +19,8 @@ from repro.evaluation import parallel
 from repro.evaluation.parallel import CacheStore, EvaluationEngine
 from repro.evaluation.supervisor import SupervisorPolicy
 
+pytestmark = pytest.mark.chaos
+
 
 # --------------------------------------------------------------------------
 # atomic_write_text / atomic_write_json.

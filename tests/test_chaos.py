@@ -34,6 +34,8 @@ from repro.evaluation.parallel import CacheStore, EvaluationEngine
 from repro.evaluation.supervisor import SupervisorPolicy
 from repro.testing import faults
 
+pytestmark = pytest.mark.chaos
+
 SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1992"))
 
 BENCH = "conc30"

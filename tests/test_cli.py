@@ -213,3 +213,46 @@ def test_evaluate_survives_an_injected_transient_fault(
             ["evaluate", "--jobs", "1", "--bench", "conc30"])
     assert status == 0
     assert "retried" in text
+
+
+# --------------------------------------------------------------------------
+# REPRO_EMULATOR_BACKEND is honoured consistently: the backend recorded
+# in the bench document and in evaluate's profile provenance always
+# matches the active override, even against warm caches produced under
+# the other backend.
+
+def _profile_column(text, benchmark):
+    row = next(line for line in text.splitlines()
+               if line.startswith(benchmark))
+    return row.split()[-1]
+
+
+@pytest.mark.parametrize("backend", ("reference", "threaded"))
+def test_bench_quick_records_env_backend(tmp_path, monkeypatch, backend):
+    import json
+    monkeypatch.setenv("REPRO_EMULATOR_BACKEND", backend)
+    output = str(tmp_path / "BENCH_emulator.json")
+    status, text, errors = run_cli(
+        ["bench", "--quick", "--repeat", "1", "--output", output])
+    assert status == 0, errors
+    with open(output) as handle:
+        document = json.load(handle)
+    assert document["backend"] == backend
+    from repro.benchmarks.perf import validate_bench
+    assert validate_bench(document) == []
+
+
+def test_evaluate_profile_backend_follows_env_override(
+        tmp_path, monkeypatch):
+    """A warm cache written under one backend must not masquerade as
+    the profile provenance of a sweep run under the other."""
+    from repro.evaluation import parallel
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    for backend in ("reference", "threaded", "reference"):
+        monkeypatch.setenv("REPRO_EMULATOR_BACKEND", backend)
+        monkeypatch.setattr(parallel, "_worker_programs", {})
+        monkeypatch.setattr(parallel, "_worker_regions", {})
+        status, text, errors = run_cli(
+            ["evaluate", "--jobs", "1", "--bench", "conc30"])
+        assert status == 0, errors
+        assert _profile_column(text, "conc30") == backend

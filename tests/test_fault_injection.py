@@ -13,6 +13,8 @@ import pytest
 
 from repro.testing import faults
 
+pytestmark = pytest.mark.chaos
+
 
 # --------------------------------------------------------------------------
 # Spec parsing: arming a fault that can never fire is itself a bug.

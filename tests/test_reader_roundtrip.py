@@ -1,0 +1,190 @@
+"""Property-based reader/renderer round trips.
+
+The contract under test: for any term ``t``,
+``parse_term(term_to_string(t))`` is ``t`` again — and for any parsed
+text, render → parse is the identity on the term.  Terms come from two
+independent generators (hypothesis strategies and a seeded
+``random.Random`` builder, so the suite is reproducible without
+hypothesis's database), with the atom pool deliberately loaded with
+quoting edge cases: the bare clause terminator ``.``, the block-comment
+opener ``/*``, embedded quotes/backslashes, and every symbolic operator
+in the table.  Operator-notation texts round-trip through the
+canonical (functor-notation) rendering as well.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.reader import parse_term, ParseError, LexError
+from repro.reader.operators import INFIX, PREFIX
+from repro.terms import Atom, Int, Var, Struct, make_list, term_to_string
+
+# Every one of these once rendered unquoted-but-unparseable (``.``,
+# ``/*``) or stresses quoting/escaping.
+EDGE_ATOMS = [
+    ".", "/*", "/**", "*/", "=..", "it's", "a\\b", "''", " ",
+    "hello world", "Upper", "_under", "[]", "{}", "!", ";", ",",
+    "a.b", "%", "/*inner*/", "...", "-", "+", "**",
+]
+
+SAFE_ATOMS = ["a", "foo", "bar_baz", "q1"]
+
+ALL_ATOMS = SAFE_ATOMS + EDGE_ATOMS + sorted(set(INFIX) | set(PREFIX))
+
+
+def _equal(a, b):
+    """Structural equality; variables compare by rendered name."""
+    if isinstance(a, Atom):
+        return isinstance(b, Atom) and a.name == b.name
+    if isinstance(a, Int):
+        return isinstance(b, Int) and a.value == b.value
+    if isinstance(a, Var):
+        return isinstance(b, Var) \
+            and a.name.lstrip("_") == b.name.lstrip("_")
+    if isinstance(a, Struct):
+        return (isinstance(b, Struct) and a.name == b.name
+                and len(a.args) == len(b.args)
+                and all(_equal(x, y) for x, y in zip(a.args, b.args)))
+    return False
+
+
+def assert_roundtrip(term):
+    text = term_to_string(term)
+    back = parse_term(text)
+    assert _equal(back, term), (
+        "render/parse changed the term:\n  term:   %r\n  text:   %r\n"
+        "  parsed: %r" % (term, text, back))
+    # Rendering the reparse is a fixed point.
+    assert term_to_string(back) == text
+
+
+# --------------------------------------------------------------------------
+# Hypothesis strategies.
+
+_atoms = st.sampled_from(ALL_ATOMS)
+_leaves = st.one_of(
+    _atoms.map(Atom),
+    st.integers(-10**9, 10**9).map(Int),
+    st.sampled_from(["X", "Foo", "_1", "_x9"]).map(Var),
+)
+
+
+def _terms(depth):
+    if depth == 0:
+        return _leaves
+    sub = _terms(depth - 1)
+    return st.one_of(
+        _leaves,
+        st.lists(sub, min_size=0, max_size=3).map(make_list),
+        st.tuples(_atoms, st.lists(sub, min_size=1, max_size=3)).map(
+            lambda pair: Struct(pair[0], pair[1])),
+    )
+
+
+@given(_terms(3))
+def test_hypothesis_roundtrip(term):
+    assert_roundtrip(term)
+
+
+@given(_atoms)
+def test_every_atom_roundtrips_alone(name):
+    assert_roundtrip(Atom(name))
+
+
+@given(_atoms, _atoms)
+def test_every_atom_roundtrips_as_functor(name, arg):
+    assert_roundtrip(Struct(name, [Atom(arg), Int(0)]))
+
+
+# --------------------------------------------------------------------------
+# Seeded random generators (hypothesis-free reproducibility).
+
+def _random_term(rng, depth):
+    if depth == 0 or rng.random() < 0.3:
+        kind = rng.randrange(3)
+        if kind == 0:
+            return Atom(rng.choice(ALL_ATOMS))
+        if kind == 1:
+            return Int(rng.randint(-10**6, 10**6))
+        return Var(rng.choice(["X", "Y", "_t%d" % rng.randrange(4)]))
+    if rng.random() < 0.3:
+        items = [_random_term(rng, depth - 1)
+                 for _ in range(rng.randrange(4))]
+        return make_list(items)
+    args = [_random_term(rng, depth - 1)
+            for _ in range(1 + rng.randrange(3))]
+    return Struct(rng.choice(ALL_ATOMS), args)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_seeded_random_roundtrip(seed):
+    rng = random.Random(seed)
+    for _ in range(40):
+        assert_roundtrip(_random_term(rng, rng.randrange(5)))
+
+
+def _op_text(rng, depth):
+    """A random operator-notation expression (fully parenthesised)."""
+    if depth == 0:
+        return rng.choice(["a", "b", "42", "-7", "X", "[a,b]", "f(x)"])
+    roll = rng.random()
+    if roll < 0.55:
+        op = rng.choice(sorted(INFIX))
+        return "(%s %s %s)" % (_op_text(rng, depth - 1), op,
+                               _op_text(rng, depth - 1))
+    if roll < 0.75:
+        op = rng.choice(sorted(PREFIX))
+        return "(%s (%s))" % (op, _op_text(rng, depth - 1))
+    return _op_text(rng, depth - 1)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_operator_text_roundtrips_through_canonical_form(seed):
+    """parse → render (canonical functor form) → parse is the
+    identity on operator-notation input."""
+    rng = random.Random(1000 + seed)
+    for _ in range(25):
+        text = _op_text(rng, rng.randrange(1, 4))
+        term = parse_term(text)
+        assert_roundtrip(term)
+
+
+# --------------------------------------------------------------------------
+# The specific regressions that motivated the renderer fix.
+
+def test_bare_dot_atom_renders_quoted():
+    assert term_to_string(Atom(".")) == "'.'"
+    assert_roundtrip(Atom("."))
+
+
+def test_comment_opener_atom_renders_quoted():
+    assert term_to_string(Atom("/*")) == "'/*'"
+    assert_roundtrip(Atom("/*"))
+    assert_roundtrip(Atom("/**"))
+
+
+def test_dotted_symbolic_atoms_stay_unquoted():
+    for name in ("=..", "..", "=.", "./*"):
+        assert term_to_string(Atom(name)) == name
+        assert_roundtrip(Atom(name))
+
+
+def test_quote_and_backslash_escapes():
+    assert term_to_string(Atom("it's")) == r"'it\'s'"
+    assert_roundtrip(Atom("it's"))
+    assert_roundtrip(Atom("a\\b"))
+
+
+def test_operator_table_entries_roundtrip_everywhere():
+    for name in sorted(set(INFIX) | set(PREFIX)):
+        assert_roundtrip(Atom(name))
+        assert_roundtrip(Struct(name, [Atom("a"), Atom("b")]))
+        assert_roundtrip(make_list([Atom(name)]))
+
+
+def test_malformed_text_still_raises():
+    for text in ("f(", "')", "1 2", ""):
+        with pytest.raises((ParseError, LexError)):
+            parse_term(text)

@@ -17,6 +17,8 @@ from repro.evaluation.parallel import EvaluationEngine
 from repro.evaluation.supervisor import (
     EvaluationReport, SupervisorPolicy, _cooperative_signals, kill_pool)
 
+pytestmark = pytest.mark.chaos
+
 
 # --------------------------------------------------------------------------
 # Backoff: exponential, capped, deterministically jittered.

@@ -225,13 +225,22 @@ def test_profile_cache_records_backend(tmp_path, monkeypatch):
     assert cached.counts == result.counts
 
 
-def test_profile_cache_backend_mismatch_is_visible(tmp_path, monkeypatch):
+def test_profile_cache_backend_mismatch_recomputes(tmp_path, monkeypatch):
+    import json
+    import os
     from repro.benchmarks.suite import run_program_cached
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     program = compile_program(HELLO)
-    run_program_cached(program, "hello-", backend="reference")
-    # The cache key is backend-independent (profiles are bit-identical),
-    # so a threaded-backend request hits the reference artefact — and
-    # says so.
+    reference = run_program_cached(program, "hello-", backend="reference")
+    # The cache key is backend-independent, but the provenance contract
+    # is that the reported backend always matches the one requested: a
+    # hit produced under a different backend is recomputed, not served.
     hit = run_program_cached(program, "hello-", backend="threaded")
-    assert hit.backend == "reference"
+    assert hit.backend == "threaded"
+    assert hit.counts == reference.counts
+    # ... and the artefact on disk now records the new producer.
+    entries = [name for name in os.listdir(tmp_path)
+               if name.endswith(".json")]
+    assert len(entries) == 1
+    with open(tmp_path / entries[0]) as handle:
+        assert json.load(handle)["backend"] == "threaded"

