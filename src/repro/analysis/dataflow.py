@@ -1,0 +1,746 @@
+"""Lattice-based dataflow analysis over the ICI control-flow graph.
+
+The paper's central question is *how much instruction-level parallelism
+Prolog code exposes* — a dataflow property.  This module supplies the
+static half of that measurement: a generic worklist engine over
+:class:`~repro.analysis.cfg.Cfg` (forward or backward, configurable
+join, widening for loops) plus the concrete passes the rest of the
+repository consumes:
+
+* :class:`ReachingDefinitions` — which definition sites reach each
+  block (forward, union join, bitset-encoded definition sites);
+* :class:`CopyConstants` — region-insensitive copy/constant
+  propagation (forward, pointwise meet on a flat const/copy lattice,
+  widening to not-a-constant at loop heads);
+* :class:`AvailableExpressions` — pure ALU/move expressions available
+  on every path (forward, intersection join);
+* :class:`LiveRegisters` — name-based backward liveness (union join),
+  feeding the dead-code facts;
+* :func:`unreachable_blocks` / :func:`dead_writes` — dead-code
+  detection: blocks no static or indirect entry path reaches, and
+  register writes whose value is never observed;
+* :class:`RegionMemoryFacts` — memory-reference disambiguation for one
+  scheduling region: must/may-alias classification of every load/store
+  pair from static bank membership and base+offset reasoning;
+* :func:`dataflow_limit_cycles` / :func:`region_dependence_height` —
+  the **static ILP bound**: per-region dependence height under
+  unbounded resources, replayed through the dynamic profile to a
+  whole-program dataflow-limit speedup (the number the achieved
+  schedules are measured against in ``results/table_static_ilp.txt``).
+
+Every pass runs under an observability span (``analyze.<pass>``), so
+``repro analyze --perf`` can budget analysis cost like any hot path.
+"""
+
+from repro.analysis.dependence import build_dag, memory_bank
+from repro.intcode.ici import BRANCH_OPS, CONTROL_OPS
+from repro.observability import tracing as observe
+
+__all__ = [
+    "AvailableExpressions",
+    "CopyConstants",
+    "DataflowAnalysis",
+    "LiveRegisters",
+    "ReachingDefinitions",
+    "RegionMemoryFacts",
+    "Solution",
+    "dataflow_limit_cycles",
+    "dead_writes",
+    "reachable_blocks",
+    "region_dead_writes",
+    "region_dependence_height",
+    "solve",
+    "unreachable_blocks",
+]
+
+#: worklist visits of one block before the engine asks the analysis to
+#: widen (loops whose lattice walks long descending chains)
+WIDEN_AFTER = 8
+
+#: hard backstop: no analysis may visit one block more often than this
+#: (a non-monotone transfer function is a bug; fail loudly, not by
+#: spinning)
+MAX_VISITS = 10_000
+
+
+# --------------------------------------------------------------------------
+# The engine.
+
+class DataflowAnalysis:
+    """Base class describing one dataflow problem to :func:`solve`.
+
+    Subclasses define the lattice implicitly through four methods; the
+    engine never inspects values beyond equality:
+
+    * ``boundary(cfg, block)`` — the value flowing into an *entry*
+      block (forward: program/indirect entries; backward: exit blocks);
+    * ``initial(cfg, block)`` — the optimistic starting value of every
+      other block edge;
+    * ``transfer(cfg, block, value)`` — the block's transfer function;
+    * ``join(values)`` — combine the values of several in-edges
+      (*values* is a non-empty list).
+
+    ``widen(old, new)`` is consulted after :data:`WIDEN_AFTER` visits
+    of the same block and must return a value that terminates the
+    chain; the default keeps ``new`` (correct for finite lattices).
+    """
+
+    direction = "forward"
+
+    def boundary(self, cfg, block):
+        raise NotImplementedError
+
+    def initial(self, cfg, block):
+        raise NotImplementedError
+
+    def transfer(self, cfg, block, value):
+        raise NotImplementedError
+
+    def join(self, values):
+        raise NotImplementedError
+
+    def widen(self, old, new):
+        return new
+
+
+class Solution:
+    """The fixpoint of one analysis: per-block in/out values.
+
+    ``in_of`` / ``out_of`` are keyed by block start pc; for backward
+    problems *in* still means "value at the block's first instruction"
+    (i.e. the result of the transfer), so callers read the same keys
+    whichever direction the problem ran.
+    """
+
+    __slots__ = ("analysis", "cfg", "in_of", "out_of", "visits")
+
+    def __init__(self, analysis, cfg, in_of, out_of, visits):
+        self.analysis = analysis
+        self.cfg = cfg
+        self.in_of = in_of
+        self.out_of = out_of
+        self.visits = visits
+
+
+def reachable_blocks(cfg):
+    """Start pcs of blocks some entry path reaches: the forward closure
+    of the static successor edges from the program entry and every
+    indirect entry point (``ldi``-materialised labels, call targets,
+    call return points)."""
+    seen = set()
+    work = [pc for pc in cfg.indirect_entries if pc in cfg.block_at]
+    while work:
+        start = work.pop()
+        if start in seen:
+            continue
+        seen.add(start)
+        for succ in cfg.block_at[start].succs:
+            if succ not in seen:
+                work.append(succ)
+    return seen
+
+
+def _edges(cfg, direction, reachable):
+    """(inputs, outputs) adjacency over reachable blocks only, oriented
+    for the requested direction."""
+    succs = {}
+    for start in reachable:
+        succs[start] = [s for s in cfg.block_at[start].succs
+                        if s in reachable]
+    if direction == "forward":
+        inputs = {start: [] for start in reachable}
+        for start, outs in succs.items():
+            for succ in outs:
+                inputs[succ].append(start)
+        return inputs, succs
+    preds = {start: [] for start in reachable}
+    for start, outs in succs.items():
+        for succ in outs:
+            preds[succ].append(start)
+    return succs, preds
+
+
+def _entry_blocks(cfg, direction, reachable, inputs):
+    """Blocks whose boundary value is pinned rather than joined."""
+    if direction == "forward":
+        return {pc for pc in cfg.indirect_entries if pc in reachable}
+    # Backward: blocks with no (reachable) successor — region exits.
+    return {start for start in reachable if not inputs[start]}
+
+
+def solve(cfg, analysis):
+    """Run *analysis* to its fixpoint over *cfg* and return a
+    :class:`Solution`.
+
+    Deterministic worklist: blocks are visited in a fixed priority
+    order (program order for forward problems, reverse for backward),
+    values at entry blocks are re-joined with the boundary each visit,
+    and after :data:`WIDEN_AFTER` visits of the same block the
+    analysis's ``widen`` hook is applied so descending chains in
+    infinite or tall lattices still converge.
+    """
+    direction = analysis.direction
+    reachable = reachable_blocks(cfg)
+    inputs, outputs = _edges(cfg, direction, reachable)
+    entries = _entry_blocks(cfg, direction, reachable, inputs)
+
+    order = sorted(reachable, reverse=(direction == "backward"))
+    priority = {start: index for index, start in enumerate(order)}
+
+    # *upstream* is the joined value flowing into the transfer (block
+    # entry for forward problems, block exit for backward ones);
+    # *downstream* is the transfer's result.
+    upstream = {}
+    downstream = {}
+    visits = {start: 0 for start in reachable}
+    for start in reachable:
+        block = cfg.block_at[start]
+        if start in entries:
+            upstream[start] = analysis.boundary(cfg, block)
+        else:
+            upstream[start] = analysis.initial(cfg, block)
+        downstream[start] = analysis.transfer(cfg, block, upstream[start])
+
+    pending = set(reachable)
+    work = list(order)
+    while work:
+        work.sort(key=priority.__getitem__, reverse=True)
+        start = work.pop()
+        if start not in pending:
+            continue
+        pending.discard(start)
+        block = cfg.block_at[start]
+        visits[start] += 1
+        if visits[start] > MAX_VISITS:
+            raise RuntimeError(
+                "dataflow analysis %s did not converge at block %d"
+                % (type(analysis).__name__, start))
+
+        joined = [downstream[p] for p in inputs[start]]
+        if start in entries:
+            joined.append(analysis.boundary(cfg, block))
+        if not joined:
+            new_up = upstream[start]
+        else:
+            new_up = analysis.join(joined)
+        if visits[start] > WIDEN_AFTER:
+            new_up = analysis.widen(upstream[start], new_up)
+        new_down = analysis.transfer(cfg, block, new_up)
+        if new_up == upstream[start] and new_down == downstream[start]:
+            continue
+        upstream[start] = new_up
+        downstream[start] = new_down
+        for succ in outputs[start]:
+            if succ not in pending:
+                pending.add(succ)
+                work.append(succ)
+    # Per the Solution contract, in_of is always the value at the
+    # block's first instruction: the joined value for forward problems,
+    # the transfer result for backward ones.
+    if direction == "forward":
+        return Solution(analysis, cfg, upstream, downstream, visits)
+    return Solution(analysis, cfg, downstream, upstream, visits)
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions.
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Which definition sites reach each block (forward, union join).
+
+    A definition site is an instruction pc; the synthetic site ``-1``
+    stands for the ABI contract at indirect entry points.  Values are
+    int bitsets over the numbered sites, so join is ``|`` and the
+    per-block kill masks make transfer O(defs-in-block).
+    """
+
+    direction = "forward"
+
+    def __init__(self, cfg, abi_registers=()):
+        self.site_of = {}       # def index -> (pc, register)
+        self.sites_of_reg = {}  # register -> bitmask of its def sites
+        self._gen = {}
+        self._kill = {}
+        self._abi_mask = 0
+        for name in sorted(abi_registers):
+            self._abi_mask |= self._add_site(-1, name)
+        instructions = cfg.program.instructions
+        for block in cfg.blocks:
+            gen = 0
+            kill = 0
+            for pc in range(block.start, block.end):
+                for name in instructions[pc].writes():
+                    bit = self._add_site(pc, name)
+                    kill |= self.sites_of_reg[name]
+                    gen = (gen & ~self.sites_of_reg[name]) | bit
+            self._gen[block.start] = gen
+            self._kill[block.start] = kill
+
+    def _add_site(self, pc, name):
+        index = len(self.site_of)
+        self.site_of[index] = (pc, name)
+        bit = 1 << index
+        self.sites_of_reg[name] = self.sites_of_reg.get(name, 0) | bit
+        return bit
+
+    def boundary(self, cfg, block):
+        return self._abi_mask
+
+    def initial(self, cfg, block):
+        return 0
+
+    def join(self, values):
+        out = 0
+        for value in values:
+            out |= value
+        return out
+
+    def transfer(self, cfg, block, value):
+        return (value & ~self._kill[block.start]) | self._gen[block.start]
+
+    def sites(self, mask):
+        """Decode a bitset into ``{(pc, register), ...}``."""
+        out = set()
+        index = 0
+        while mask:
+            if mask & 1:
+                out.add(self.site_of[index])
+            mask >>= 1
+            index += 1
+        return out
+
+
+# --------------------------------------------------------------------------
+# Copy / constant propagation.
+
+#: lattice bottom: the register's value is not a single known constant
+#: or copy on every path
+NAC = ("nac",)
+
+
+class CopyConstants(DataflowAnalysis):
+    """Copy and constant propagation (forward, pointwise meet).
+
+    A value maps register name -> fact, where a fact is ``("const",
+    imm)`` for ``ldi``-produced tagged words, ``("copy", source)`` for
+    ``mov`` chains (resolved to their root), or :data:`NAC`.  A name
+    missing from the map is *unknown-yet* (lattice top), so the meet of
+    an unvisited path constrains nothing.  Widening collapses any
+    still-changing entry to :data:`NAC`, which bounds loop iteration.
+    """
+
+    direction = "forward"
+
+    def __init__(self, cfg, abi_registers=()):
+        self._abi = {name: NAC for name in abi_registers}
+
+    def boundary(self, cfg, block):
+        return dict(self._abi)
+
+    def initial(self, cfg, block):
+        return {}
+
+    def join(self, values):
+        out = dict(values[0])
+        for value in values[1:]:
+            for name, fact in value.items():
+                if name not in out:
+                    out[name] = fact
+                elif out[name] != fact:
+                    out[name] = NAC
+        return out
+
+    def widen(self, old, new):
+        out = dict(new)
+        for name, fact in new.items():
+            if old.get(name, fact) != fact:
+                out[name] = NAC
+        return out
+
+    @staticmethod
+    def resolve(value, name):
+        """The root fact for *name* under *value*: follows copy chains
+        to a register no fact renames further."""
+        seen = set()
+        while True:
+            fact = value.get(name)
+            if fact is None or fact == NAC:
+                return ("reg", name)
+            if fact[0] == "const":
+                return fact
+            if fact[0] == "copy":
+                if name in seen:
+                    return ("reg", name)
+                seen.add(name)
+                name = fact[1]
+                continue
+            return ("reg", name)
+
+    def transfer(self, cfg, block, value):
+        out = dict(value)
+        instructions = cfg.program.instructions
+        for pc in range(block.start, block.end):
+            instruction = instructions[pc]
+            written = instruction.writes()
+            for name in written:
+                # The old value dies: any copy fact naming it is stale.
+                for other, fact in list(out.items()):
+                    if fact[0] == "copy" and fact[1] == name \
+                            and other != name:
+                        out[other] = NAC
+            if instruction.op == "ldi" and instruction.imm is not None:
+                out[instruction.rd] = ("const", instruction.imm)
+            elif instruction.op == "mov":
+                root = self.resolve(out, instruction.ra)
+                if root[0] == "const":
+                    out[instruction.rd] = root
+                elif root[1] == instruction.rd:
+                    out[instruction.rd] = NAC
+                else:
+                    out[instruction.rd] = ("copy", root[1])
+            else:
+                for name in written:
+                    out[name] = NAC
+        return out
+
+
+# --------------------------------------------------------------------------
+# Available expressions.
+
+#: every value-producing operation with no side effects and a
+#: deterministic result from its register operands
+_PURE_OPS = frozenset(
+    ["add", "sub", "mul", "div", "mod", "and", "or", "xor", "sll",
+     "sra", "lea", "mktag", "gettag", "mov", "ldi"])
+
+
+def _expression(instruction):
+    """The hashable expression an instruction computes, or None."""
+    if instruction.op not in _PURE_OPS:
+        return None
+    return (instruction.op, instruction.ra, instruction.rb,
+            instruction.imm, instruction.tag, instruction.label)
+
+
+class AvailableExpressions(DataflowAnalysis):
+    """Expressions computed on *every* path (forward, intersection).
+
+    The universe is the set of expressions the program contains;
+    blocks start optimistic (everything available) so loops converge
+    to the greatest fixpoint.  An expression dies when one of its
+    register operands is redefined.
+    """
+
+    direction = "forward"
+
+    def __init__(self, cfg):
+        self.universe = set()
+        for instruction in cfg.program.instructions:
+            expr = _expression(instruction)
+            if expr is not None:
+                self.universe.add(expr)
+
+    def boundary(self, cfg, block):
+        return frozenset()
+
+    def initial(self, cfg, block):
+        return frozenset(self.universe)
+
+    def join(self, values):
+        out = frozenset(values[0])
+        for value in values[1:]:
+            out &= value
+        return out
+
+    def transfer(self, cfg, block, value):
+        out = set(value)
+        instructions = cfg.program.instructions
+        for pc in range(block.start, block.end):
+            instruction = instructions[pc]
+            for name in instruction.writes():
+                out = {expr for expr in out
+                       if expr[1] != name and expr[2] != name}
+            expr = _expression(instruction)
+            if expr is not None and expr[1] not in instruction.writes() \
+                    and expr[2] not in instruction.writes():
+                out.add(expr)
+        return frozenset(out)
+
+
+# --------------------------------------------------------------------------
+# Liveness (name sets) and dead code.
+
+class LiveRegisters(DataflowAnalysis):
+    """Backward name-set liveness; ``in_of[start]`` is the set of
+    registers live on entry to the block at *start*.
+
+    Blocks ending in an indirect transfer (``call``/``jmpr``) and the
+    backward entry blocks assume the ABI set live-out, mirroring the
+    contract of :mod:`repro.analysis.liveness`.
+    """
+
+    direction = "backward"
+
+    def __init__(self, cfg, abi_registers=()):
+        self._abi = frozenset(abi_registers)
+        self._indirect_out = {}
+        instructions = cfg.program.instructions
+        for block in cfg.blocks:
+            op = instructions[block.end - 1].op
+            if op in ("call", "jmpr"):
+                self._indirect_out[block.start] = True
+
+    def boundary(self, cfg, block):
+        return self._abi
+
+    def initial(self, cfg, block):
+        return frozenset()
+
+    def join(self, values):
+        out = frozenset(values[0])
+        for value in values[1:]:
+            out |= value
+        return out
+
+    def transfer(self, cfg, block, value):
+        live = set(value)
+        if self._indirect_out.get(block.start):
+            live |= self._abi
+        instructions = cfg.program.instructions
+        for pc in range(block.end - 1, block.start - 1, -1):
+            instruction = instructions[pc]
+            for name in instruction.writes():
+                live.discard(name)
+            for name in instruction.reads():
+                live.add(name)
+        return frozenset(live)
+
+
+def unreachable_blocks(cfg):
+    """Blocks no static or indirect entry path reaches, as a sorted
+    list of ``(start, end)`` pairs."""
+    reachable = reachable_blocks(cfg)
+    return sorted((block.start, block.end) for block in cfg.blocks
+                  if block.start not in reachable)
+
+
+#: operations whose only effect is their register result — a write
+#: nobody observes makes the whole instruction dead
+_EFFECT_FREE = frozenset(list(_PURE_OPS) + ["ld"])
+
+
+def dead_writes(cfg, liveness=None, abi_registers=()):
+    """Instruction pcs whose register result is never observed.
+
+    A write is dead when the register is not live immediately after the
+    instruction — no later read on any path, not live at an indirect
+    transfer, not in the ABI set.  Only effect-free operations are
+    reported (a dead ``st`` does not exist; a dead ``ld`` still reads
+    memory, which is side-effect-free in this machine).  Unreachable
+    blocks are skipped: everything there is trivially dead and is
+    reported as unreachable instead.
+    """
+    liveness = liveness or solve(cfg, LiveRegisters(cfg, abi_registers))
+    reachable = reachable_blocks(cfg)
+    instructions = cfg.program.instructions
+    dead = []
+    for block in cfg.blocks:
+        if block.start not in reachable:
+            continue
+        live = set()
+        for succ in block.succs:
+            live |= liveness.in_of.get(succ, frozenset(abi_registers))
+        op = instructions[block.end - 1].op
+        if op in ("call", "jmpr"):
+            live |= set(abi_registers)
+        for pc in range(block.end - 1, block.start - 1, -1):
+            instruction = instructions[pc]
+            written = instruction.writes()
+            if written and instruction.op in _EFFECT_FREE \
+                    and all(name not in live for name in written):
+                dead.append(pc)
+            for name in written:
+                live.discard(name)
+            for name in instruction.reads():
+                live.add(name)
+    return sorted(dead)
+
+
+# --------------------------------------------------------------------------
+# Memory-reference disambiguation.
+
+class RegionMemoryFacts:
+    """Must/may-alias classification of one region's memory references.
+
+    Two references are **independent** (must-not-alias) when the
+    analysis can prove they touch different words:
+
+    * their base registers are pointers into *statically distinct data
+      areas* (heap / environments / choice points / trail — the bank
+      classification of section 6), or
+    * they share the *same base value* — same base register with no
+      intervening redefinition, or region-local copies of one root —
+      and their immediate offsets differ (distinct words of one area).
+
+    Same base value at the *same* offset is a must-alias: the pair
+    really is ordered.  Everything else is a may-alias and stays
+    conservatively ordered, exactly the stance of section 4.1.
+    """
+
+    def __init__(self, instructions):
+        self.instructions = instructions
+        self._base = {}         # position -> (root name, version) | None
+        self._offset = {}       # position -> immediate offset
+        self._bank = {}         # position -> bank name or "?"
+        version = {}
+        copies = {}             # name -> (root name, version at copy)
+        for index, instruction in enumerate(instructions):
+            if instruction.op in ("ld", "st"):
+                base = instruction.ra if instruction.op == "ld" \
+                    else instruction.rb
+                root = copies.get(base, (base, version.get(base, 0)))
+                self._base[index] = root
+                self._offset[index] = instruction.imm or 0
+                self._bank[index] = memory_bank(instruction)
+            for name in instruction.writes():
+                version[name] = version.get(name, 0) + 1
+                copies.pop(name, None)
+                for copy_name, (root, _v) in list(copies.items()):
+                    if root == name:
+                        del copies[copy_name]
+            if instruction.op == "mov":
+                source = instruction.ra
+                root = copies.get(source,
+                                  (source, version.get(source, 0)))
+                if root[0] != instruction.rd:
+                    copies[instruction.rd] = root
+
+    def classify(self, i, j):
+        """``"must"`` (same word), ``"independent"`` (different words)
+        or ``"may"`` for the memory operations at positions *i*, *j*."""
+        bank_i, bank_j = self._bank[i], self._bank[j]
+        if bank_i != "?" and bank_j != "?" and bank_i != bank_j:
+            return "independent"
+        if self._base[i] == self._base[j]:
+            if self._offset[i] == self._offset[j]:
+                return "must"
+            return "independent"
+        return "may"
+
+    def independent(self, i, j):
+        return self.classify(i, j) == "independent"
+
+    def pair_census(self):
+        """{classification: count} over every load/store pair that is
+        not a load/load pair (those never conflict)."""
+        positions = sorted(self._base)
+        census = {"must": 0, "independent": 0, "may": 0}
+        for a in range(len(positions)):
+            for b in range(a + 1, len(positions)):
+                i, j = positions[a], positions[b]
+                if self.instructions[i].op == "ld" \
+                        and self.instructions[j].op == "ld":
+                    continue
+                census[self.classify(i, j)] += 1
+        return census
+
+
+def region_dead_writes(instructions, live_out_mask, off_live=None,
+                       reg_mask=None):
+    """Region positions whose register write is provably dead, using
+    the scheduler's bitmask vocabulary.
+
+    A write at position *p* is dead when its register is not read at
+    any later position of the region, is not live at the region's
+    fall-through end (*live_out_mask*), and is not live on the
+    off-trace path of any branch after *p* (*off_live*, the same
+    per-position masks the scheduler's speculation rule uses).  Control
+    operations and stores/escapes are never candidates; a region exit
+    whose continuation liveness is unknown (``jmp``/``jmpr``/``call``
+    without a mask) makes everything before it conservatively live.
+    """
+    if reg_mask is None or live_out_mask is None:
+        return frozenset()
+    off_live = off_live or {}
+    dead = set()
+    live = live_out_mask
+    for index in range(len(instructions) - 1, -1, -1):
+        instruction = instructions[index]
+        op = instruction.op
+        if op in CONTROL_OPS:
+            if op == "halt":
+                live = 0
+            elif op in BRANCH_OPS:
+                mask = off_live.get(index)
+                live = -1 if mask is None else (live | mask)
+            else:
+                live = -1    # unknown continuation: everything live
+        else:
+            write_mask = 0
+            for name in instruction.writes():
+                write_mask |= reg_mask(name)
+            if write_mask and op not in ("st", "esc") \
+                    and not (write_mask & live):
+                dead.add(index)
+            live &= ~write_mask
+        for name in instruction.reads():
+            live |= reg_mask(name)
+    return frozenset(dead)
+
+
+# --------------------------------------------------------------------------
+# The static ILP bound.
+
+def region_dependence_height(instructions, config, facts=None):
+    """ASAP issue cycles of a region under unbounded resources.
+
+    This is the region's *dataflow limit*: every operation issues as
+    soon as its predecessors in the dependence DAG allow, with no slot,
+    port, format or issue-width constraint.  The branch-order rule is
+    kept (the region model requires exits in order); memory references
+    are disambiguated with *facts* (defaults to the region's own
+    :class:`RegionMemoryFacts`), because the bound should charge only
+    true dependences, not the compiler's conservatism.
+
+    Returns a :class:`~repro.compaction.scheduler.Schedule` whose
+    cycles are the ASAP times, so the standard timing replay can price
+    region exits identically to an achieved schedule.
+    """
+    from repro.compaction.scheduler import Schedule
+    if not instructions:
+        return Schedule(instructions, [], config)
+    durations = [config.duration(i.op) for i in instructions]
+    if facts is None:
+        facts = RegionMemoryFacts(instructions)
+    dag = build_dag(instructions, durations, None, None,
+                    branch_branch_latency=0, independence=facts)
+    asap = [0] * len(instructions)
+    for index in range(len(instructions)):
+        earliest = 0
+        for pred, latency in dag.preds[index]:
+            ready = asap[pred] + latency
+            if ready > earliest:
+                earliest = ready
+        asap[index] = earliest
+    return Schedule(instructions, asap, config)
+
+
+def dataflow_limit_cycles(region_set, config):
+    """Whole-program cycles at the dataflow limit: every executed
+    region replayed through its ASAP schedule."""
+    from repro.evaluation.simulator import replay_program
+    with observe.span("analyze.ilp_bound", config=config.name) as sp:
+        program = region_set.program
+        regions = []
+        schedules = []
+        for region in region_set.regions:
+            if region_set.counts[region.start] == 0:
+                continue
+            instructions = program.instructions[region.start:region.end]
+            schedules.append(region_dependence_height(instructions,
+                                                      config))
+            regions.append(region)
+        cycles = replay_program(program, regions, schedules,
+                                region_set.counts, region_set.taken)
+        sp.set(regions=len(regions), cycles=cycles)
+        return cycles

@@ -70,7 +70,8 @@ class DependenceDag:
 
 
 def build_dag(instructions, durations, off_live=None, reg_mask=None,
-              branch_branch_latency=0, bank_disambiguation=False):
+              branch_branch_latency=0, bank_disambiguation=False,
+              independence=None, dead=None, pruned=None):
     """Build the dependence DAG of a region.
 
     * ``instructions`` — region operations in original program order.
@@ -86,6 +87,21 @@ def build_dag(instructions, durations, off_live=None, reg_mask=None,
       conflict; computed-pointer accesses still conflict with everything.
       This is the multi-bank future-work model; the paper's shared-memory
       analysis keeps it off.
+    * ``independence`` — optional memory-disambiguation oracle (e.g.
+      :class:`repro.analysis.dataflow.RegionMemoryFacts`): an object
+      whose ``independent(i, j)`` proves the memory operations at region
+      positions ``i < j`` touch different words.  When provided, memory
+      edges are built *pairwise* and every proven-independent pair is
+      left unordered (subsuming ``bank_disambiguation``).
+    * ``dead`` — optional set of region positions whose register result
+      is provably dead (never read later, not off-live, not live-out).
+      The WAW edge *into* a dead write is dropped: reordering it against
+      the previous writer is unobservable.  Only that edge — WAR edges
+      and the edge out of the dead write stay.
+    * ``pruned`` — optional list; every edge the oracles removed is
+      recorded as ``(kind, pred, index)`` with kind ``"mem"`` or
+      ``"waw"`` so an independent checker can re-derive each claim
+      (:func:`repro.analysis.verify.check_pruned_edges`).
     """
     n = len(instructions)
     preds = [[] for _ in range(n)]
@@ -94,6 +110,7 @@ def build_dag(instructions, durations, off_live=None, reg_mask=None,
     readers_since = {}
     last_store = {bank: None for bank in _ALL_BANKS}
     loads_since_store = {bank: [] for bank in _ALL_BANKS}
+    memory_ops = []
     last_branch = None
     ops_since_branch = []
     last_esc = None
@@ -101,6 +118,10 @@ def build_dag(instructions, durations, off_live=None, reg_mask=None,
 
     def add(pred, index, latency):
         preds[index].append((pred, latency))
+
+    def prune(kind, pred, index):
+        if pruned is not None:
+            pruned.append((kind, pred, index))
 
     for index, instruction in enumerate(instructions):
         op = instruction.op
@@ -116,30 +137,50 @@ def build_dag(instructions, durations, off_live=None, reg_mask=None,
                     add(reader, index, 0)
             writer = last_writer.get(name)
             if writer is not None:
-                add(writer, index, 1)
+                if dead is not None and index in dead:
+                    prune("waw", writer, index)
+                else:
+                    add(writer, index, 1)
             last_writer[name] = index
             readers_since[name] = []
 
         if op in ("ld", "st"):
-            bank = memory_bank(instruction) if bank_disambiguation else "?"
-            conflicts = _conflicting_banks(bank)
-            if op == "ld":
-                for other in conflicts:
-                    if last_store[other] is not None:
-                        add(last_store[other], index, 1)
-                loads_since_store[bank].append(index)
+            if independence is not None:
+                # Pairwise construction: the transitive chain through
+                # per-bank last stores no longer covers a pair once an
+                # intermediate edge may be pruned, so every prior memory
+                # operation is considered directly.
+                for prior in memory_ops:
+                    prior_op = instructions[prior].op
+                    if prior_op == "ld" and op == "ld":
+                        continue
+                    if independence.independent(prior, index):
+                        prune("mem", prior, index)
+                    else:
+                        add(prior, index,
+                            0 if prior_op == "ld" else 1)
+                memory_ops.append(index)
             else:
-                for other in conflicts:
-                    if last_store[other] is not None:
-                        add(last_store[other], index, 1)
-                    for load in loads_since_store[other]:
-                        add(load, index, 0)
-                    loads_since_store[other] = []
-                if bank == "?":
-                    for other in _ALL_BANKS:
-                        last_store[other] = index
+                bank = memory_bank(instruction) if bank_disambiguation \
+                    else "?"
+                conflicts = _conflicting_banks(bank)
+                if op == "ld":
+                    for other in conflicts:
+                        if last_store[other] is not None:
+                            add(last_store[other], index, 1)
+                    loads_since_store[bank].append(index)
                 else:
-                    last_store[bank] = index
+                    for other in conflicts:
+                        if last_store[other] is not None:
+                            add(last_store[other], index, 1)
+                        for load in loads_since_store[other]:
+                            add(load, index, 0)
+                        loads_since_store[other] = []
+                    if bank == "?":
+                        for other in _ALL_BANKS:
+                            last_store[other] = index
+                    else:
+                        last_store[bank] = index
 
         if op == "esc":
             if last_esc is not None:

@@ -257,9 +257,25 @@ def _leaders_and_entries(program):
     return sorted(leaders), indirect, returns
 
 
+#: backstop for the definite-assignment fixpoint — the transfer is
+#: monotone (sets only shrink), so this is never reached by a correct
+#: lattice; it bounds the damage of a future non-monotone bug.
+_MAX_DA_SWEEPS = 1000
+
+
 def _definite_assignment(program, stage):
     """Forward all-paths dataflow: which registers are certainly written
-    before each block; flag reads outside that set."""
+    before each block; flag reads outside that set.
+
+    Unreachable blocks are excluded from both the fixpoint and the
+    reporting walk: a read there can never execute (so it is not
+    flagged), and — equally important — an unreachable predecessor's
+    optimistic everything-is-defined state never enters a reachable
+    block's intersection, so it can never suppress a real diagnostic.
+    Self-loop blocks converge because the transfer is monotone on a
+    finite lattice; the sweep order is program order, so the fixpoint
+    (and the diagnostics) are deterministic.
+    """
     instructions = program.instructions
     n = len(instructions)
     if n == 0:
@@ -295,6 +311,19 @@ def _definite_assignment(program, stage):
             out.append(end)
         succs[start] = [s for s in out if s is not None and s < n]
 
+    # Execution enters at the indirect entries (program entry, call
+    # targets, materialised retry addresses) and flows along static
+    # successors; everything else is unreachable.
+    entries = set(indirect) or {starts[0]}
+    reachable = set()
+    work = [start for start in entries if start in block_end]
+    while work:
+        start = work.pop()
+        if start in reachable:
+            continue
+        reachable.add(start)
+        work.extend(succs[start])
+
     abi = _abi_registers()
     universe = set(abi)
     for instruction in instructions:
@@ -309,25 +338,26 @@ def _definite_assignment(program, stage):
     defs_of = {start: block_defs(start) for start in starts}
     preds = {start: [] for start in starts}
     for start in starts:
+        if start not in reachable:
+            continue
         for succ in succs[start]:
             preds[succ].append(start)
 
-    # Indirect entries (procedure entries, retry addresses, call returns)
-    # are pinned to the ABI contract; other blocks take the intersection
-    # of their static predecessors' guarantees.  Start optimistic (full
-    # universe) and shrink to the greatest fixpoint.
+    # Indirect entries are pinned to the ABI contract; other blocks take
+    # the intersection of their *reachable* predecessors' guarantees.
+    # Start optimistic (full universe) and shrink to the greatest
+    # fixpoint — monotone, so the sweep cap is a pure backstop.
     abi_in = abi & universe
-    defined_in = {start: set(universe) for start in starts}
+    order = [start for start in starts if start in reachable]
+    defined_in = {start: set(universe) for start in order}
     for start in indirect:
-        defined_in[start] = set(abi_in)
-    changed = True
-    while changed:
+        if start in defined_in:
+            defined_in[start] = set(abi_in)
+    for _sweep in range(_MAX_DA_SWEEPS):
         changed = False
-        for start in starts:
-            if start in indirect:
+        for start in order:
+            if start in indirect or not preds[start]:
                 continue
-            if not preds[start]:
-                continue        # statically unreachable: keep optimistic
             new = set.intersection(
                 *(defined_in[p] | defs_of[p] for p in preds[start]))
             if start in returns:
@@ -337,9 +367,11 @@ def _definite_assignment(program, stage):
             if new != defined_in[start]:
                 defined_in[start] = new
                 changed = True
+        if not changed:
+            break
 
     diags = []
-    for start in starts:
+    for start in order:
         defined = set(defined_in[start])
         for pc in range(start, block_end[start]):
             instruction = instructions[pc]

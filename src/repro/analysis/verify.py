@@ -36,6 +36,7 @@ from repro.intcode.ici import (
 __all__ = [
     "VerificationError",
     "check_schedule",
+    "check_pruned_edges",
     "check_transform",
     "check_regions",
     "check_allocation",
@@ -86,6 +87,108 @@ def _banks_conflict(a, b):
     return a == b
 
 
+class _RegionIndependence:
+    """Checker-side must-not-alias proof for one region's memory
+    references, re-derived from scratch (it shares nothing with
+    :class:`repro.analysis.dataflow.RegionMemoryFacts`, which the
+    scheduler consumes).
+
+    Two references provably touch different words when their base
+    registers are area pointers into distinct data areas, or when they
+    carry the *same base value* — the same register version, tracked
+    through region-local ``mov`` copies — at different immediate
+    offsets."""
+
+    def __init__(self, instructions):
+        self.instructions = instructions
+        self._value = {}          # position -> (root, version) of the base
+        self._offset = {}
+        self._area = {}           # position -> data area name or None
+        generation = {}
+        alias_of = {}             # copy register -> (root, version)
+        for pos, instruction in enumerate(instructions):
+            if instruction.op in ("ld", "st"):
+                base = instruction.ra if instruction.op == "ld" \
+                    else instruction.rb
+                self._value[pos] = alias_of.get(
+                    base, (base, generation.get(base, 0)))
+                self._offset[pos] = instruction.imm or 0
+                self._area[pos] = _AREA_POINTERS.get(base)
+            written = instruction.writes()
+            for name in written:
+                generation[name] = generation.get(name, 0) + 1
+                alias_of.pop(name, None)
+            if written:
+                stale = [copy for copy, (root, _v) in alias_of.items()
+                         if root in written]
+                for copy in stale:
+                    del alias_of[copy]
+            if instruction.op == "mov" and instruction.rd is not None:
+                source = instruction.ra
+                value = alias_of.get(
+                    source, (source, generation.get(source, 0)))
+                if value[0] != instruction.rd:
+                    alias_of[instruction.rd] = value
+
+    def independent(self, i, j):
+        """Do the memory operations at positions *i*, *j* provably
+        touch different words?"""
+        if i not in self._value or j not in self._value:
+            return False
+        area_i, area_j = self._area[i], self._area[j]
+        if area_i is not None and area_j is not None \
+                and area_i != area_j:
+            return True
+        return self._value[i] == self._value[j] \
+            and self._offset[i] != self._offset[j]
+
+
+def _dead_positions(instructions, off_live, live_out):
+    """Region positions whose register write is provably dead, with the
+    checker's name-set vocabulary (the mirror of
+    :func:`repro.analysis.dataflow.region_dead_writes`, independently
+    re-derived).
+
+    ``off_live`` maps branch positions to the *names* live on the
+    branch's off-trace path; ``live_out`` is the set of names live at
+    the region's fall-through end.  ``live_out=None`` means unknown —
+    nothing is provably dead.  A region exit with an unknown
+    continuation (``jmp``/``jmpr``/``call``, or a branch missing from
+    ``off_live``) makes every name live at that point."""
+    if live_out is None:
+        return frozenset()
+    off_live = off_live or {}
+    universe = set(live_out)
+    for names in off_live.values():
+        if names:
+            universe |= set(names)
+    for instruction in instructions:
+        universe.update(instruction.reads())
+        universe.update(instruction.writes())
+
+    dead = set()
+    live = set(live_out)
+    for index in range(len(instructions) - 1, -1, -1):
+        instruction = instructions[index]
+        op = instruction.op
+        if op in CONTROL_OPS:
+            if op == "halt":
+                live = set()
+            elif op in BRANCH_OPS:
+                names = off_live.get(index)
+                live = set(universe) if names is None else (live | names)
+            else:
+                live = set(universe)
+        else:
+            written = instruction.writes()
+            if written and op not in ("st", "esc") \
+                    and not any(name in live for name in written):
+                dead.add(index)
+            live.difference_update(written)
+        live.update(instruction.reads())
+    return frozenset(dead)
+
+
 # -- schedule legality -------------------------------------------------------
 
 def _schedule_shape(instructions, schedule, stage, region):
@@ -113,7 +216,7 @@ def _schedule_shape(instructions, schedule, stage, region):
 
 
 def _dependence_diagnostics(instructions, schedule, config, off_live,
-                            stage, region):
+                            stage, region, live_out=None):
     """Re-derive every ordering constraint pairwise and check it
     cycle-accurately against the issue cycles."""
     diags = []
@@ -123,6 +226,17 @@ def _dependence_diagnostics(instructions, schedule, config, off_live,
     bbl = config.branch_branch_latency
     speculation = config.speculation
     n = len(instructions)
+
+    # Under analysis_prune the scheduler may legally drop the ordering
+    # of a proven-independent memory pair and the WAW edge into a dead
+    # write; the checker re-proves both facts from first principles
+    # before accepting the corresponding reorderings.
+    if getattr(config, "analysis_prune", False):
+        independence = _RegionIndependence(instructions)
+        dead = _dead_positions(instructions, off_live, live_out)
+    else:
+        independence = None
+        dead = frozenset()
 
     def bad(rule, pos, message):
         diags.append(Diagnostic(stage, rule, message, pos=pos,
@@ -166,7 +280,8 @@ def _dependence_diagnostics(instructions, schedule, config, off_live,
                         "%r overwrites %s at cycle %d before op %d (%r) "
                         "reads it at cycle %d"
                         % (ins_j, name, cycles[j], i, ins_i, cycles[i]))
-                if name in ins_i.writes() and cycles[j] < cycles[i] + 1:
+                if name in ins_i.writes() and cycles[j] < cycles[i] + 1 \
+                        and j not in dead:
                     bad("waw-order", j,
                         "%r rewrites %s at cycle %d, not after op %d "
                         "(%r) at cycle %d"
@@ -177,6 +292,9 @@ def _dependence_diagnostics(instructions, schedule, config, off_live,
                 use_banks = config.bank_disambiguation
                 conflict = _banks_conflict(_bank(ins_i), _bank(ins_j)) \
                     if use_banks else True
+                if conflict and independence is not None \
+                        and independence.independent(i, j):
+                    conflict = False
                 if conflict:
                     need = cycles[i] if (op_i == "ld") else cycles[i] + 1
                     rule = "store-load-order" if op_i == "ld" \
@@ -322,22 +440,86 @@ def _resource_diagnostics(instructions, schedule, config, stage, region):
 
 
 def check_schedule(instructions, schedule, config, off_live=None,
-                   region=None, stage="schedule"):
+                   region=None, stage="schedule", live_out=None):
     """Validate one region's :class:`Schedule` against *config*.
 
     ``off_live`` maps region positions of conditional branches to the
     *set of register names* live on the branch's off-trace path (see
     :func:`off_live_names`); ``None`` disables the off-live rule (legal
     only for single-exit regions or non-speculating models, which are
-    checked structurally regardless).
+    checked structurally regardless).  ``live_out`` is the set of names
+    live at the region's fall-through end; it is only consulted under
+    ``config.analysis_prune``, where it anchors the dead-write proof
+    that relaxes the WAW rule.
     """
     diags = _schedule_shape(instructions, schedule, stage, region)
     if diags:
         return diags
     diags.extend(_dependence_diagnostics(instructions, schedule, config,
-                                         off_live, stage, region))
+                                         off_live, stage, region,
+                                         live_out=live_out))
     diags.extend(_resource_diagnostics(instructions, schedule, config,
                                        stage, region))
+    return diags
+
+
+def check_pruned_edges(instructions, pruned, off_live=None, live_out=None,
+                       region=None, stage="schedule"):
+    """Re-prove every dependence edge the scheduler's analysis oracle
+    removed (see ``pruned`` in
+    :func:`repro.analysis.dependence.build_dag`).
+
+    Each entry must be a ``(kind, pred, index)`` tuple with
+    ``pred < index`` inside the region.  A ``"mem"`` edge is accepted
+    only when the checker's own :class:`_RegionIndependence` proves the
+    pair touches different words; a ``"waw"`` edge only when the
+    checker's own :func:`_dead_positions` proves the overwritten result
+    is dead.  Anything else is a diagnostic — the analyzer is never
+    trusted.
+    """
+    diags = []
+    n = len(instructions)
+    independence = _RegionIndependence(instructions)
+    dead = _dead_positions(instructions, off_live, live_out)
+
+    def bad(rule, pos, message):
+        diags.append(Diagnostic(stage, rule, message, pos=pos,
+                                region=region))
+
+    for entry in pruned:
+        if not (isinstance(entry, tuple) and len(entry) == 3):
+            bad("pruned-shape", None,
+                "malformed pruned-edge record %r" % (entry,))
+            continue
+        kind, i, j = entry
+        if not (isinstance(i, int) and isinstance(j, int)
+                and 0 <= i < j < n):
+            bad("pruned-shape", None,
+                "pruned %s edge (%r, %r) outside region of %d ops"
+                % (kind, i, j, n))
+            continue
+        ins_i, ins_j = instructions[i], instructions[j]
+        if kind == "mem":
+            if ins_i.op not in ("ld", "st") or ins_j.op not in ("ld", "st"):
+                bad("pruned-shape", j,
+                    "pruned mem edge %d->%d joins non-memory ops "
+                    "%r / %r" % (i, j, ins_i, ins_j))
+            elif not independence.independent(i, j):
+                bad("pruned-mem", j,
+                    "pruned memory edge %d->%d (%r / %r) is not "
+                    "provably independent" % (i, j, ins_i, ins_j))
+        elif kind == "waw":
+            if not (set(ins_i.writes()) & set(ins_j.writes())):
+                bad("pruned-shape", j,
+                    "pruned waw edge %d->%d joins ops with no common "
+                    "destination: %r / %r" % (i, j, ins_i, ins_j))
+            elif j not in dead:
+                bad("pruned-waw", j,
+                    "pruned WAW edge %d->%d but the write of %r is not "
+                    "provably dead" % (i, j, ins_j))
+        else:
+            bad("pruned-shape", j,
+                "unknown pruned-edge kind %r" % (kind,))
     return diags
 
 

@@ -6,6 +6,9 @@
     python -m repro listing program.pl        # BAM and ICI listings
     python -m repro speedup program.pl -m vliw3
     python -m repro analyze program.pl        # mix + branch statistics
+    python -m repro analyze --jobs 2          # dataflow passes + static
+                                              # ILP bound over the suite
+    python -m repro analyze --format json --output analyze.json
     python -m repro bench [--quick]           # time emulator backends
     python -m repro evaluate [--extras]       # the paper's tables/figures
     python -m repro evaluate --jobs 4 --bench qsort --bench nreverse
@@ -112,6 +115,13 @@ def cmd_speedup(args, out, err):
 
 
 def cmd_analyze(args, out, err):
+    if args.file:
+        return _analyze_file(args, out, err)
+    return _analyze_suite(args, out, err)
+
+
+def _analyze_file(args, out, err):
+    """Per-file analysis: instruction mix + branch statistics."""
     from repro.analysis.branch_stats import branch_records, average_p_fp
     _, program = _load(args)
     result = run_program(program, max_steps=args.max_steps)
@@ -128,6 +138,92 @@ def cmd_analyze(args, out, err):
               % (len(records), sum(r.executed for r in records),
                  average_p_fp(records)))
     return 0
+
+
+def _analyze_target(spec):
+    """Analyze one suite benchmark (pool worker)."""
+    from repro.analysis.driver import timed_analyze
+    record, seconds = timed_analyze(spec["bench"], spec["budget"])
+    return record, seconds
+
+
+def _analyze_suite(args, out, err):
+    """Dataflow-pass sweep + static ILP bound over suite benchmarks."""
+    import json
+    from repro.analysis.report import (
+        diagnostics_document, validate_analysis)
+    from repro.benchmarks import PROGRAMS, TABLE_BENCHMARKS
+    from repro.evaluation.parallel import EvaluationError, configure
+
+    names = args.bench or list(TABLE_BENCHMARKS)
+    unknown = [name for name in names if name not in PROGRAMS]
+    if unknown:
+        err.write("unknown benchmark(s) %s; available: %s\n"
+                  % (", ".join(sorted(unknown)),
+                     ", ".join(sorted(PROGRAMS))))
+        return 2
+    engine = configure(jobs=_resolve_jobs(args),
+                       policy=_supervisor_policy(args))
+    specs = [{"bench": name, "budget": args.tail_dup_budget}
+             for name in names]
+    import time
+    started = time.perf_counter()
+    try:
+        results = engine.map(_analyze_target, specs)
+    except EvaluationError as error:
+        err.write(str(error) + "\n")
+        _write_supervisor_report(args, engine, out)
+        return 1
+    elapsed = time.perf_counter() - started
+
+    records = [record for record, _seconds in results]
+    document = diagnostics_document("analyze", records)
+    problems = validate_analysis(document)
+    for problem in problems:
+        err.write("analyze: schema problem: %s\n" % problem)
+
+    if args.perf:
+        from repro.analysis.driver import (
+            analyze_bench_document, validate_analyze_bench,
+            write_analyze_bench)
+        entries = [{"target": record["target"], "ops": record["ops"],
+                    "seconds": round(seconds, 4)}
+                   for record, seconds in results]
+        perf = analyze_bench_document(entries, elapsed)
+        for problem in validate_analyze_bench(perf):
+            err.write("analyze: perf schema problem: %s\n" % problem)
+            problems.append(problem)
+        write_analyze_bench(perf, args.perf)
+        # Keep stdout pure JSON in --format json; notices go to stderr.
+        notice = err if args.format == "json" else out
+        notice.write("wrote %s\n" % args.perf)
+
+    if args.output:
+        from repro.atomicio import atomic_write_json
+        atomic_write_json(args.output, document, indent=2,
+                          sort_keys=True)
+        notice = err if args.format == "json" else out
+        notice.write("wrote %s\n" % args.output)
+    if args.format == "json":
+        out.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write("%-12s %9s %9s %9s %8s %8s %6s %6s\n"
+                  % ("benchmark", "seq", "achieved", "dfl-limit",
+                     "ach-ilp", "dfl-ilp", "gap", "diags"))
+        for record in records:
+            ilp = record["ilp"]
+            out.write("%-12s %9d %9d %9d %8.2f %8.2f %6.2f %6d\n"
+                      % (record["target"], ilp["sequential_cycles"],
+                         ilp["achieved_cycles"],
+                         ilp["dataflow_limit_cycles"],
+                         ilp["achieved_speedup"],
+                         ilp["dataflow_limit_speedup"], ilp["gap"],
+                         record["count"]))
+        total = document["count"]
+        out.write("analyze: %d benchmark(s), %d diagnostic(s), %.1fs\n"
+                  % (len(records), total, elapsed))
+    _write_supervisor_report(args, engine, out)
+    return 1 if problems else 0
 
 
 def cmd_bench(args, out, err):
@@ -380,10 +476,31 @@ def cmd_trace(args, out, err):
     return 0
 
 
+def _emit_diagnostics_json(tool, entries, out, err):
+    """Serialize per-target diagnostics as the shared JSON document
+    (self-validated before it is printed)."""
+    import json
+    from repro.analysis.report import (
+        diagnostics_document, validate_diagnostics)
+    document = diagnostics_document(tool, entries)
+    problems = validate_diagnostics(document)
+    for problem in problems:
+        err.write("%s: schema problem: %s\n" % (tool, problem))
+    out.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return bool(problems)
+
+
 def cmd_lint(args, out, err):
     from repro.analysis import lint_program, format_diagnostics
+    from repro.analysis.report import target_entry
     _, program = _load(args)
     diagnostics = lint_program(program)
+    if args.format == "json":
+        broken = _emit_diagnostics_json(
+            "lint",
+            [target_entry(args.file, diagnostics, ops=len(program))],
+            out, err)
+        return 1 if (diagnostics or broken) else 0
     if diagnostics:
         err.write(format_diagnostics(diagnostics) + "\n")
         err.write("%s: %d lint finding(s)\n"
@@ -461,6 +578,20 @@ def cmd_verify(args, out, err):
         _write_supervisor_report(args, engine, out)
         return 1
 
+    if args.format == "json":
+        from repro.analysis.report import target_entry
+        entries = []
+        any_findings = False
+        for spec, (n_ops, diagnostics) in zip(specs, results):
+            name = spec.get("file") or spec["bench"]
+            any_findings = any_findings or bool(diagnostics)
+            entries.append(target_entry(
+                name, diagnostics, ops=n_ops,
+                machine_configs=sorted(configs)))
+        broken = _emit_diagnostics_json("verify", entries, out, err)
+        _write_supervisor_report(args, engine, out)
+        return 1 if (any_findings or broken) else 0
+
     status = 0
     total = 0
     for spec, (n_ops, diagnostics) in zip(specs, results):
@@ -509,9 +640,37 @@ def build_parser():
                    help="machine model (repeatable; default vliw3)")
     p.set_defaults(func=cmd_speedup)
 
-    p = sub.add_parser("analyze", help="instruction mix + branch stats")
-    _add_compile_flags(p)
+    p = sub.add_parser("analyze",
+                       help="per-file: instruction mix + branch stats; "
+                            "without a file: dataflow passes + static "
+                            "ILP bound over suite benchmarks")
+    p.add_argument("file", nargs="?",
+                   help="Prolog source file (omit for the suite sweep)")
+    p.add_argument("--entry", default="main",
+                   help="entry predicate (arity 0; default main)")
+    p.add_argument("--optimize", action="store_true",
+                   help="run the block-local ICI optimiser")
+    p.add_argument("--no-indexing", action="store_true",
+                   help="disable first-argument indexing")
+    p.add_argument("--no-lco", action="store_true",
+                   help="disable last-call optimisation")
     p.add_argument("--max-steps", type=int, default=500_000_000)
+    p.add_argument("--bench", action="append", metavar="NAME",
+                   help="suite benchmark to analyze (repeatable; "
+                        "default: the paper's table benchmarks)")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="suite-sweep output format (default text)")
+    p.add_argument("--output", metavar="PATH",
+                   help="also write the JSON analyze document to PATH")
+    p.add_argument("--perf", metavar="PATH",
+                   help="write the analysis overhead record "
+                        "(BENCH_analyze.json layout) to PATH")
+    p.add_argument("--tail-dup-budget", type=int, default=48)
+    p.add_argument("-j", "--jobs", type=int, metavar="N",
+                   help="analysis worker processes (default: all "
+                        "cores; 1 = in-process)")
+    _add_supervisor_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bench",
@@ -562,6 +721,10 @@ def build_parser():
                        help="check a compiled program's ICI for "
                             "well-formedness")
     _add_compile_flags(p)
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="diagnostics as human text (default) or the "
+                        "shared JSON document")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("verify",
@@ -581,6 +744,10 @@ def build_parser():
     p.add_argument("--tail-dup-budget", type=int, default=48)
     p.add_argument("--bank-size", type=int, default=16,
                    help="register bank size for allocation checking")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="diagnostics as human text (default) or the "
+                        "shared JSON document")
     p.add_argument("-j", "--jobs", type=int, metavar="N",
                    help="verification worker processes (default: all "
                         "cores; 1 = in-process)")

@@ -32,7 +32,8 @@ class MachineConfig:
                  ctrl_latency=2, alu_latency=1, move_latency=1,
                  issue_width=None, multiway=True, delay_slots_filled=1,
                  formats=None, in_order=False, inter_unit_penalty=0,
-                 speculation=True, bank_disambiguation=False):
+                 speculation=True, bank_disambiguation=False,
+                 analysis_prune=False):
         self.name = name
         self.n_units = n_units
         self.mem_ports = mem_ports
@@ -56,6 +57,12 @@ class MachineConfig:
         #: banks (section 6's distributed-memory direction; off in the
         #: paper's shared-memory model)
         self.bank_disambiguation = bank_disambiguation
+        #: feed the dataflow analyses into the scheduler: must-not-alias
+        #: memory pairs are left unordered and the WAW edge into a dead
+        #: write is dropped.  Every pruned edge is cross-checked by the
+        #: independent verifier; off by default so the paper's
+        #: conservative no-disambiguation stance (section 4.1) holds.
+        self.analysis_prune = analysis_prune
 
     def duration(self, op):
         return self.latencies[OP_CLASS[op]]

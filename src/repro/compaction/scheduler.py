@@ -46,15 +46,31 @@ def _durations(instructions, config):
     return [config.duration(i.op) for i in instructions]
 
 
-def schedule_region(instructions, config, off_live=None, reg_mask=None):
+def schedule_region(instructions, config, off_live=None, reg_mask=None,
+                    live_out=None, pruned=None):
     """Schedule one region's operations under *config*.
 
     ``off_live``/``reg_mask`` enable the off-live speculation rule for
     multi-block regions (see :mod:`repro.analysis.dependence`).
+
+    With ``config.analysis_prune`` the dataflow analyses feed the DAG:
+    must-not-alias memory pairs stay unordered and the WAW edge into a
+    provably dead write (requires ``live_out``, the register bitmask
+    live at the region's fall-through end) is dropped.  Every pruned
+    edge is appended to *pruned* (when a list is given) as
+    ``(kind, pred, index)`` for the independent verifier.
     """
     if not instructions:
         return Schedule(instructions, [], config)
     durations = _durations(instructions, config)
+    independence = None
+    dead = None
+    if config.analysis_prune:
+        from repro.analysis.dataflow import (
+            RegionMemoryFacts, region_dead_writes)
+        independence = RegionMemoryFacts(instructions)
+        dead = region_dead_writes(instructions, live_out, off_live,
+                                  reg_mask)
     if not config.speculation and off_live is None:
         # Forbid any motion above branches: every register is off-live.
         off_live = {i: -1 for i, ins in enumerate(instructions)
@@ -62,7 +78,8 @@ def schedule_region(instructions, config, off_live=None, reg_mask=None):
         reg_mask = lambda name: 1
     dag = build_dag(instructions, durations, off_live, reg_mask,
                     config.branch_branch_latency,
-                    config.bank_disambiguation)
+                    config.bank_disambiguation,
+                    independence=independence, dead=dead, pruned=pruned)
     if config.in_order:
         return _schedule_in_order(instructions, durations, config, dag)
     return _schedule_greedy(instructions, durations, config, dag)

@@ -129,6 +129,8 @@ _REGION_FILES = _PROFILE_FILES + (
 _CELL_FILES = _REGION_FILES + (
     "compaction/scheduler.py",
     "compaction/machine_model.py",
+    "analysis/dependence.py",
+    "analysis/dataflow.py",
     "analysis/liveness.py",
     "evaluation/pipeline.py",
 )
@@ -140,6 +142,8 @@ _COMPONENT_FILES = {
     "dataflow": _PROFILE_FILES + ("evaluation/dynamic.py",),
     "pressure": _CELL_FILES + ("compaction/regalloc.py",),
     "wam": _CELL_FILES,
+    # the static dataflow-limit bound (repro.experiments.static_ilp)
+    "static_ilp": _CELL_FILES,
 }
 
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

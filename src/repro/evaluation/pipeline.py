@@ -16,8 +16,8 @@ from repro.analysis.cfg import Cfg
 from repro.analysis.liveness import Liveness
 from repro.analysis.lint import Diagnostic, lint_program
 from repro.analysis.verify import (
-    VerificationError, NameLiveness, check_schedule, check_transform,
-    check_regions, check_allocation, off_live_names)
+    VerificationError, NameLiveness, check_schedule, check_pruned_edges,
+    check_transform, check_regions, check_allocation, off_live_names)
 from repro.compaction.transform import form_superblocks, Region
 from repro.compaction.scheduler import schedule_region
 from repro.compaction.regalloc import region_pressure
@@ -124,6 +124,8 @@ def machine_cycles(region_set, config, verify=False, diagnostics=None):
     regions = []
     checker_liveness = region_set.name_liveness() if verify else None
     found = diagnostics if diagnostics is not None else []
+    prune = config.analysis_prune
+    pruned_total = 0
     with observe.span("pipeline.schedule", config=config.name,
                       verify=verify) as sp:
         faults.fire("pipeline.cycles")
@@ -133,19 +135,40 @@ def machine_cycles(region_set, config, verify=False, diagnostics=None):
             instructions = program.instructions[region.start:region.end]
             if config.speculation and region_set.liveness is not None:
                 off_live, reg_mask = _off_live_map(region_set, region)
+                live_out = region_set.liveness.live_in_mask(region.end) \
+                    if prune else None
             else:
-                off_live, reg_mask = None, None
+                off_live, reg_mask, live_out = None, None, None
+            pruned = [] if prune else None
             schedule = schedule_region(instructions, config,
-                                       off_live, reg_mask)
+                                       off_live, reg_mask,
+                                       live_out=live_out, pruned=pruned)
+            if pruned:
+                pruned_total += len(pruned)
             if verify:
                 checker_off_live = off_live_names(
                     program, region.start, region.end, checker_liveness)
+                checker_live_out = \
+                    checker_liveness.live_in_at(region.end) \
+                    if live_out is not None else None
                 found.extend(check_schedule(
                     instructions, schedule, config, checker_off_live,
-                    region=(region.start, region.end)))
+                    region=(region.start, region.end),
+                    live_out=checker_live_out))
+                if pruned:
+                    # Every edge the analysis removed must be re-proven
+                    # by the checker's own facts (the analyzer is never
+                    # trusted).
+                    found.extend(check_pruned_edges(
+                        instructions, pruned, checker_off_live,
+                        checker_live_out,
+                        region=(region.start, region.end)))
             schedules.append(schedule)
             regions.append(region)
         sp.set(regions=len(regions))
+        if prune:
+            sp.set(pruned_edges=pruned_total)
+            observe.add("pipeline.pruned_edges", pruned_total)
         if verify and diagnostics is None and found:
             raise VerificationError(
                 found, "illegal schedule under machine %r" % config.name)

@@ -4,7 +4,7 @@ register pressure)."""
 
 from repro.experiments import (
     data, figure2, figure3, figure4, table1, table2, table3, table4,
-    table5, ablations, future_work, registers, wam_baseline)
+    table5, ablations, future_work, registers, static_ilp, wam_baseline)
 
 #: the paper's own evaluation artefacts
 ALL_EXPERIMENTS = {
@@ -23,6 +23,7 @@ EXTRA_EXPERIMENTS = {
     "ablations": ablations,
     "future_work": future_work,
     "registers": registers,
+    "static_ilp": static_ilp,
     "wam_baseline": wam_baseline,
 }
 

@@ -256,3 +256,73 @@ def test_evaluate_profile_backend_follows_env_override(
             ["evaluate", "--jobs", "1", "--bench", "conc30"])
         assert status == 0, errors
         assert _profile_column(text, "conc30") == backend
+
+
+# -- machine-readable diagnostics --------------------------------------------
+
+def test_lint_json_document(program_file):
+    import json
+    from repro.analysis.report import validate_diagnostics
+    status, text, errors = run_cli(["lint", program_file,
+                                    "--format", "json"])
+    assert status == 0
+    document = json.loads(text)
+    assert validate_diagnostics(document) == []
+    assert document["tool"] == "lint"
+    assert document["count"] == 0
+    (entry,) = document["targets"]
+    assert entry["target"] == program_file and entry["ops"] > 0
+
+
+def test_verify_json_document(program_file):
+    import json
+    from repro.analysis.report import validate_diagnostics
+    status, text, errors = run_cli(["verify", "--file", program_file,
+                                    "-m", "vliw3", "--format", "json"])
+    assert status == 0
+    document = json.loads(text)
+    assert validate_diagnostics(document) == []
+    assert document["tool"] == "verify"
+    (entry,) = document["targets"]
+    assert entry["machine_configs"] == ["vliw3"]
+
+
+def test_analyze_suite_json_document(tmp_path):
+    import json
+    from repro.analysis.report import validate_analysis
+    out_path = tmp_path / "analyze.json"
+    perf_path = tmp_path / "BENCH_analyze.json"
+    status, text, errors = run_cli([
+        "analyze", "--bench", "conc30", "--format", "json",
+        "--output", str(out_path), "--perf", str(perf_path)])
+    assert status == 0, errors
+    document = json.loads(text)
+    assert validate_analysis(document) == []
+    assert json.loads(out_path.read_text()) == document
+    (entry,) = document["targets"]
+    assert entry["target"] == "conc30"
+    ilp = entry["ilp"]
+    assert ilp["dataflow_limit_cycles"] <= ilp["achieved_cycles"]
+    assert ilp["gap"] >= 1.0
+    perf = json.loads(perf_path.read_text())
+    assert perf["kind"] == "analyze-perf"
+    assert perf["benchmarks"][0]["target"] == "conc30"
+
+
+def test_analyze_suite_text_table():
+    status, text, errors = run_cli(["analyze", "--bench", "conc30"])
+    assert status == 0, errors
+    assert "conc30" in text
+    assert "dfl" in text and "gap" in text
+
+
+def test_analyze_unknown_benchmark():
+    status, text, errors = run_cli(["analyze", "--bench", "nonesuch"])
+    assert status == 2
+    assert "available" in errors
+
+
+def test_analyze_single_file_still_reports_mix(program_file):
+    status, text, errors = run_cli(["analyze", program_file])
+    assert status == 0
+    assert "mix" in text.lower() or "branch" in text.lower()

@@ -1,0 +1,469 @@
+"""Lattice dataflow framework: the worklist engine, every concrete
+pass, the region-level disambiguation/dead-write facts, and the static
+ILP bound — on hand-built CFGs (including adversarial shapes: dead
+code, irreducible loops, empty regions, fallthrough-only blocks) and
+property-based on random compiled programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cfg import Cfg
+from repro.analysis.dataflow import (
+    AvailableExpressions, CopyConstants, LiveRegisters, NAC,
+    ReachingDefinitions, RegionMemoryFacts, dataflow_limit_cycles,
+    dead_writes, reachable_blocks, region_dead_writes,
+    region_dependence_height, solve, unreachable_blocks)
+from repro.bam import compile_source
+from repro.compaction.machine_model import ideal, vliw
+from repro.emulator import Emulator
+from repro.intcode import translate_module
+from repro.intcode.ici import Ici
+from repro.intcode.program import Program
+
+
+def prog(instructions, labels=None, entry="$start"):
+    labels = dict(labels or {})
+    labels.setdefault(entry, 0)
+    return Program(list(instructions), labels, None, entry=entry)
+
+
+# -- engine: reachability and convergence ------------------------------------
+
+def test_unreachable_blocks_after_halt():
+    cfg = Cfg(prog([
+        Ici("halt"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("halt"),
+    ]))
+    assert unreachable_blocks(cfg) == [(1, 3)]
+    assert 0 in reachable_blocks(cfg)
+
+
+def test_indirect_entries_are_reachable():
+    # The block at "fn" has no static in-edge but its address is
+    # materialised, so the analyses must treat it as live code.
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r7", label="fn"),
+        Ici("jmpr", ra="r7"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("halt"),
+    ], labels={"fn": 2}))
+    assert 2 in reachable_blocks(cfg)
+    assert unreachable_blocks(cfg) == []
+
+
+def test_engine_converges_on_irreducible_loop():
+    # Two branch entries into a two-block cycle: no reducible-loop
+    # assumption holds, the engine must still reach a fixpoint.
+    cfg = Cfg(prog([
+        Ici("btag", ra="a0", tag=0, label="B"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("btag", ra="a1", tag=0, label="B"),  # A: falls into B too
+        Ici("ldi", rd="r1", imm=2),
+        Ici("btag", ra="a2", tag=0, label="A"),  # B: back edge to A
+        Ici("halt"),
+    ], labels={"A": 2, "B": 3}))
+    solution = solve(cfg, CopyConstants(cfg, abi_registers=("a0", "a1",
+                                                           "a2")))
+    assert max(solution.visits.values()) < 50
+    # r1 is 1 or 2 depending on the path: meet must say not-a-constant.
+    assert solution.in_of[3].get("r1") == NAC
+
+
+def test_self_loop_converges():
+    cfg = Cfg(prog([
+        Ici("add", rd="r1", ra="a0", rb="a0"),
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("halt"),
+    ], labels={"L": 0}))
+    solution = solve(cfg, ReachingDefinitions(cfg))
+    assert max(solution.visits.values()) < 50
+
+
+# -- reaching definitions ----------------------------------------------------
+
+def test_reaching_definitions_merge_both_paths():
+    cfg = Cfg(prog([
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("jmp", label="M"),
+        Ici("ldi", rd="r1", imm=2),   # L
+        Ici("add", rd="r2", ra="r1", rb="a0"),  # M
+        Ici("halt"),
+    ], labels={"L": 3, "M": 4}))
+    rd = ReachingDefinitions(cfg)
+    solution = solve(cfg, rd)
+    sites = rd.sites(solution.in_of[4])
+    assert (1, "r1") in sites and (3, "r1") in sites
+
+
+def test_reaching_definitions_kill():
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r1", imm=1),
+        Ici("ldi", rd="r1", imm=2),
+        Ici("halt"),
+    ]))
+    rd = ReachingDefinitions(cfg)
+    solution = solve(cfg, rd)
+    assert rd.sites(solution.out_of[0]) == {(1, "r1")}
+
+
+def test_reaching_definitions_abi_boundary():
+    cfg = Cfg(prog([Ici("halt")]))
+    rd = ReachingDefinitions(cfg, abi_registers=("a0",))
+    solution = solve(cfg, rd)
+    assert (-1, "a0") in rd.sites(solution.in_of[0])
+
+
+# -- copy/constant propagation -----------------------------------------------
+
+def test_constants_flow_through_copy_chains():
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r1", imm=7),
+        Ici("mov", rd="r2", ra="r1"),
+        Ici("mov", rd="r3", ra="r2"),
+        Ici("halt"),
+    ]))
+    solution = solve(cfg, CopyConstants(cfg))
+    out = solution.out_of[0]
+    assert CopyConstants.resolve(out, "r3") == ("const", 7)
+
+
+def test_copy_fact_dies_with_its_source():
+    cfg = Cfg(prog([
+        Ici("mov", rd="r2", ra="r1"),
+        Ici("add", rd="r1", ra="a0", rb="a0"),   # r1 redefined
+        Ici("halt"),
+    ]))
+    solution = solve(cfg, CopyConstants(cfg))
+    assert solution.out_of[0].get("r2") == NAC
+
+
+def test_loop_carried_constant_widens_to_nac():
+    # r1 is 0 on entry, incremented in the loop: no single constant.
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r1", imm=0),
+        Ici("add", rd="r1", ra="r1", rb="r1"),   # L
+        Ici("ldi", rd="r1", imm=1),
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("halt"),
+    ], labels={"L": 1}))
+    solution = solve(cfg, CopyConstants(cfg))
+    assert solution.in_of[1].get("r1") == NAC
+
+
+# -- available expressions ---------------------------------------------------
+
+def test_expression_available_after_both_paths():
+    cfg = Cfg(prog([
+        Ici("add", rd="r1", ra="a0", rb="a1"),
+        Ici("btag", ra="a0", tag=0, label="M"),
+        Ici("ldi", rd="r9", imm=0),
+        Ici("sub", rd="r2", ra="a0", rb="a1"),   # M
+        Ici("halt"),
+    ], labels={"M": 3}))
+    ae = AvailableExpressions(cfg)
+    solution = solve(cfg, ae)
+    assert ("add", "a0", "a1", None, None, None) in solution.in_of[3]
+
+
+def test_expression_killed_by_operand_redefinition():
+    cfg = Cfg(prog([
+        Ici("add", rd="r1", ra="a0", rb="a1"),
+        Ici("ldi", rd="a0", imm=0),
+        Ici("halt"),
+    ]))
+    solution = solve(cfg, AvailableExpressions(cfg))
+    assert ("add", "a0", "a1", None, None, None) not in solution.out_of[0]
+
+
+def test_ldi_label_and_immediate_are_distinct_expressions():
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r1", imm=0),
+        Ici("ldi", rd="r2", label="L"),
+        Ici("halt"),                              # L
+    ], labels={"L": 2}))
+    ae = AvailableExpressions(cfg)
+    exprs = {e for e in ae.universe if e[0] == "ldi"}
+    assert len(exprs) == 2
+
+
+# -- liveness and dead code --------------------------------------------------
+
+def test_live_registers_across_branch():
+    cfg = Cfg(prog([
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("add", rd="r2", ra="r1", rb="a0"),
+        Ici("halt"),                              # L
+    ], labels={"L": 2}))
+    solution = solve(cfg, LiveRegisters(cfg))
+    assert "r1" in solution.in_of[0]
+
+
+def test_call_block_keeps_abi_live():
+    cfg = Cfg(prog([
+        Ici("ldi", rd="a0", imm=1),
+        Ici("call", rd="RL", label="fn"),
+        Ici("halt"),
+        Ici("jmpr", ra="RL"),                     # fn
+    ], labels={"fn": 3}))
+    solution = solve(cfg, LiveRegisters(cfg, abi_registers=("a0",)))
+    assert "a0" in solution.out_of[0] or "a0" in solution.in_of[0]
+    assert dead_writes(cfg, abi_registers=("a0",)) == []
+
+
+def test_dead_write_detected_and_stores_exempt():
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r1", imm=1),               # dead: never read
+        Ici("st", ra="a0", rb="H", imm=0),        # a store is an effect
+        Ici("halt"),
+    ]))
+    assert dead_writes(cfg) == [0]
+
+
+def test_dead_writes_skip_unreachable_blocks():
+    cfg = Cfg(prog([
+        Ici("halt"),
+        Ici("ldi", rd="r1", imm=1),               # unreachable, not dead
+        Ici("halt"),
+    ]))
+    assert dead_writes(cfg) == []
+    assert unreachable_blocks(cfg) == [(1, 3)]
+
+
+def test_fallthrough_only_blocks():
+    # An ldi-materialised label splits straight-line code into blocks
+    # joined only by fallthrough; liveness must flow across the seam.
+    cfg = Cfg(prog([
+        Ici("ldi", rd="r7", label="M"),
+        Ici("ldi", rd="r1", imm=3),
+        Ici("add", rd="r2", ra="r1", rb="r7"),    # M
+        Ici("st", ra="r2", rb="H", imm=0),
+        Ici("halt"),
+    ], labels={"M": 2}))
+    assert len(cfg.blocks) > 1
+    assert dead_writes(cfg) == []
+
+
+# -- region memory facts -----------------------------------------------------
+
+def test_bank_distinct_references_independent():
+    facts = RegionMemoryFacts([
+        Ici("ld", rd="r1", ra="H", imm=0),
+        Ici("st", ra="r1", rb="E", imm=0),
+    ])
+    assert facts.classify(0, 1) == "independent"
+
+
+def test_same_base_offsets_disambiguated():
+    facts = RegionMemoryFacts([
+        Ici("st", ra="a0", rb="r9", imm=0),
+        Ici("st", ra="a1", rb="r9", imm=1),
+        Ici("ld", rd="r2", ra="r9", imm=0),
+    ])
+    assert facts.classify(0, 1) == "independent"
+    assert facts.classify(0, 2) == "must"
+
+
+def test_redefined_base_is_may_alias():
+    facts = RegionMemoryFacts([
+        Ici("st", ra="a0", rb="r9", imm=0),
+        Ici("add", rd="r9", ra="r9", rb="a0"),
+        Ici("ld", rd="r2", ra="r9", imm=0),
+    ])
+    assert facts.classify(0, 2) == "may"
+
+
+def test_copy_of_base_shares_its_value():
+    facts = RegionMemoryFacts([
+        Ici("st", ra="a0", rb="r9", imm=0),
+        Ici("mov", rd="r8", ra="r9"),
+        Ici("ld", rd="r2", ra="r8", imm=1),
+    ])
+    assert facts.classify(0, 2) == "independent"
+
+
+def test_pair_census_skips_load_load():
+    facts = RegionMemoryFacts([
+        Ici("ld", rd="r1", ra="r9", imm=0),
+        Ici("ld", rd="r2", ra="r9", imm=0),
+        Ici("st", ra="r1", rb="r9", imm=2),
+    ])
+    census = facts.pair_census()
+    assert sum(census.values()) == 2        # (0,2) and (1,2) only
+    assert census["independent"] == 2
+
+
+# -- region dead writes ------------------------------------------------------
+
+def _mask_for(names):
+    bits = {name: 1 << i for i, name in enumerate(sorted(names))}
+    return lambda name: bits.get(name, 0), bits
+
+
+def test_region_dead_write_before_halt():
+    reg_mask, bits = _mask_for(["r1", "r2", "a0"])
+    ops = [Ici("ldi", rd="r1", imm=1),
+           Ici("add", rd="r2", ra="a0", rb="a0"),
+           Ici("halt")]
+    dead = region_dead_writes(ops, live_out_mask=0, reg_mask=reg_mask)
+    assert dead == frozenset({0, 1})
+
+
+def test_region_dead_writes_need_masks():
+    ops = [Ici("ldi", rd="r1", imm=1), Ici("halt")]
+    assert region_dead_writes(ops, live_out_mask=None,
+                              reg_mask=None) == frozenset()
+
+
+def test_live_out_keeps_write_alive():
+    reg_mask, bits = _mask_for(["r1"])
+    ops = [Ici("ldi", rd="r1", imm=1)]
+    assert region_dead_writes(ops, live_out_mask=bits["r1"],
+                              reg_mask=reg_mask) == frozenset()
+
+
+def test_unknown_continuation_makes_everything_live():
+    reg_mask, bits = _mask_for(["r1"])
+    ops = [Ici("ldi", rd="r1", imm=1),
+           Ici("jmp", label="out")]
+    assert region_dead_writes(ops, live_out_mask=0,
+                              reg_mask=reg_mask) == frozenset()
+
+
+def test_branch_without_off_live_mask_is_conservative():
+    reg_mask, bits = _mask_for(["r1", "a0"])
+    ops = [Ici("ldi", rd="r1", imm=1),
+           Ici("btag", ra="a0", tag=0, label="out"),
+           Ici("halt")]
+    # No off-live information for the branch: r1 must stay.
+    assert region_dead_writes(ops, live_out_mask=0,
+                              reg_mask=reg_mask) == frozenset()
+    # With an off-live mask that excludes r1, the write is dead.
+    dead = region_dead_writes(ops, live_out_mask=0,
+                              off_live={1: 0}, reg_mask=reg_mask)
+    assert dead == frozenset({0})
+
+
+# -- static ILP bound --------------------------------------------------------
+
+def test_empty_region_has_zero_height():
+    schedule = region_dependence_height([], ideal("t"))
+    assert list(schedule.cycles) == []
+
+
+def test_asap_respects_raw_latency():
+    config = vliw(4)
+    ops = [Ici("ld", rd="r1", ra="H", imm=0),
+           Ici("add", rd="r2", ra="r1", rb="r1"),
+           Ici("add", rd="r3", ra="a0", rb="a0")]
+    schedule = region_dependence_height(ops, config)
+    assert schedule.cycles[1] == schedule.cycles[0] \
+        + config.duration("ld")
+    assert schedule.cycles[2] == 0   # independent: no resource limits
+
+
+def test_disambiguated_stores_issue_together():
+    config = vliw(4)
+    ops = [Ici("st", ra="a0", rb="r9", imm=0),
+           Ici("st", ra="a1", rb="r9", imm=1)]
+    schedule = region_dependence_height(ops, config)
+    assert schedule.cycles[0] == schedule.cycles[1] == 0
+
+
+def test_dataflow_limit_bounds_benchmark():
+    from repro.benchmarks.suite import compile_benchmark, run_program
+    from repro.evaluation.pipeline import machine_cycles, \
+        superblock_regions
+    program = compile_benchmark("conc30")
+    result = run_program(program)
+    region_set = superblock_regions(program, result, 48)
+    limit = dataflow_limit_cycles(region_set, ideal("dataflow"))
+    achieved = machine_cycles(region_set, ideal("ideal_tr"))
+    assert 0 < limit <= achieved
+
+
+# -- property-based: random compiled programs --------------------------------
+
+LIBRARY = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+rev([], A, A).
+rev([H|T], A, R) :- rev(T, [H|A], R).
+"""
+
+
+def _plist(items):
+    return "[%s]" % ",".join(str(i) for i in items)
+
+
+@st.composite
+def sources(draw):
+    xs = draw(st.lists(st.integers(-5, 5), max_size=5))
+    ys = draw(st.lists(st.integers(-5, 5), max_size=4))
+    body = draw(st.sampled_from([
+        "app({xs}, {ys}, R), write(R)",
+        "rev({xs}, [], R), write(R)",
+        "app(A, B, {xs}), write(A), write(B), nl, fail",
+    ])).format(xs=_plist(xs), ys=_plist(ys))
+    return (LIBRARY
+            + "main :- %s, nl.\n" % body
+            + "main :- write(none), nl.\n")
+
+
+@settings(max_examples=25, deadline=None)
+@given(sources())
+def test_passes_converge_and_agree_on_compiled_programs(source):
+    program = translate_module(compile_source(source))
+    cfg = Cfg(program)
+    reachable = reachable_blocks(cfg)
+
+    rd = ReachingDefinitions(cfg)
+    rd_solution = solve(cfg, rd)
+    cc_solution = solve(cfg, CopyConstants(cfg))
+    ae = AvailableExpressions(cfg)
+    ae_solution = solve(cfg, ae)
+    lv_solution = solve(cfg, LiveRegisters(cfg))
+
+    for solution in (rd_solution, cc_solution, ae_solution, lv_solution):
+        assert set(solution.in_of) == reachable
+        assert max(solution.visits.values()) < 200
+    for start, value in ae_solution.in_of.items():
+        assert value <= frozenset(ae.universe)
+    # A reachable read must be fed by some reaching definition site.
+    instructions = program.instructions
+    for start in reachable:
+        block = cfg.block_at[start]
+        known = {name for _pc, name in rd.sites(rd_solution.in_of[start])}
+        for pc in range(block.start, block.end):
+            known.update(instructions[pc].writes())
+    # Dead writes are effect-free and reachable.
+    for pc in dead_writes(cfg):
+        assert cfg.blocks[cfg.block_of_pc[pc]].start in reachable
+        assert instructions[pc].op not in ("st", "esc")
+
+
+@settings(max_examples=15, deadline=None)
+@given(sources())
+def test_region_facts_are_consistent_on_compiled_regions(source):
+    program = translate_module(compile_source(source))
+    result = Emulator(program, max_steps=2_000_000).run()
+    cfg = Cfg(program)
+    config = ideal("prop")
+    for block in cfg.blocks:
+        if result.counts[block.start] == 0:
+            continue
+        ops = program.instructions[block.start:block.end]
+        facts = RegionMemoryFacts(ops)
+        positions = sorted(facts._base)
+        for a in range(len(positions)):
+            for b in range(a + 1, len(positions)):
+                i, j = positions[a], positions[b]
+                kind = facts.classify(i, j)
+                assert kind in ("must", "independent", "may")
+                assert facts.classify(j, i) == kind
+        schedule = region_dependence_height(ops, config)
+        # ASAP is a lower bound on any legal schedule of the region.
+        baseline = region_dependence_height(ops, config,
+                                            facts=facts)
+        assert max(schedule.cycles, default=0) \
+            == max(baseline.cycles, default=0)

@@ -117,3 +117,73 @@ def test_heights_reflect_critical_path():
     dag = build_dag(ops, durations=[2, 1, 1])
     heights = dag.heights(lambda i: [2, 1, 1][i])
     assert heights == [4, 2, 1]
+
+
+# -- disambiguation oracle and pruning recording ------------------------------
+
+def test_independence_oracle_prunes_memory_edges():
+    from repro.analysis.dataflow import RegionMemoryFacts
+    ops = [Ici("st", ra="x", rb="E", imm=0),
+           Ici("st", ra="y", rb="E", imm=1)]
+    facts = RegionMemoryFacts(ops)
+    pruned = []
+    dag = build_dag(ops, [1, 1], independence=facts, pruned=pruned)
+    assert not edges(dag)
+    assert pruned == [("mem", 0, 1)]
+
+
+def test_oracle_keeps_must_alias_pairs_ordered():
+    from repro.analysis.dataflow import RegionMemoryFacts
+    ops = [Ici("st", ra="x", rb="E", imm=0),
+           Ici("ld", rd="y", ra="E", imm=0)]
+    facts = RegionMemoryFacts(ops)
+    pruned = []
+    dag = build_dag(ops, [1, 1], independence=facts, pruned=pruned)
+    assert (0, 1, 1) in edges(dag)
+    assert pruned == []
+
+
+def test_oracle_orders_pairs_transitively_broken_by_pruning():
+    # st E+0 ; st H+0 ; st E+0 — the middle store is independent of
+    # both, but the outer pair must stay ordered even though the
+    # per-bank chain through the middle op is gone.
+    from repro.analysis.dataflow import RegionMemoryFacts
+    ops = [Ici("st", ra="x", rb="E", imm=0),
+           Ici("st", ra="y", rb="H", imm=0),
+           Ici("st", ra="z", rb="E", imm=0)]
+    facts = RegionMemoryFacts(ops)
+    dag = build_dag(ops, [1, 1], independence=facts)
+    assert (0, 2, 1) in edges(dag)
+    assert (0, 1, 1) not in edges(dag)
+    assert (1, 2, 1) not in edges(dag)
+
+
+def test_dead_write_prunes_only_incoming_waw():
+    from repro.analysis.dataflow import region_dead_writes
+    reg_mask = {"r": 0b1, "a": 0b10, "b": 0b100, "x": 0b1000}.get
+    ops = [Ici("mov", rd="r", ra="a"),
+           Ici("mov", rd="x", ra="r"),    # keeps write 0 alive
+           Ici("mov", rd="r", ra="b")]    # dead: never observed
+    dead = region_dead_writes(ops, live_out_mask=0b1000,
+                              reg_mask=reg_mask)
+    assert dead == frozenset({2})
+    pruned = []
+    dag = build_dag(ops, [1, 1, 1], dead=dead, pruned=pruned)
+    assert (0, 2, 1) not in edges(dag)    # WAW into the dead write
+    assert (0, 1, 1) in edges(dag)        # RAW stays
+    assert (1, 2, 0) in edges(dag)        # WAR stays
+    assert ("waw", 0, 2) in pruned
+
+
+def test_live_waw_edges_survive_pruning():
+    from repro.analysis.dataflow import region_dead_writes
+    reg_mask = {"r": 0b1, "a": 0b10, "b": 0b100}.get
+    ops = [Ici("mov", rd="r", ra="a"),
+           Ici("mov", rd="r", ra="b")]
+    # r is live out of the region: the *later* write is observed, so
+    # the WAW edge into it must survive (only the shadowed first write
+    # is dead, and that never licenses reordering).
+    dead = region_dead_writes(ops, live_out_mask=0b1, reg_mask=reg_mask)
+    assert dead == frozenset({0})
+    dag = build_dag(ops, [1, 1], dead=dead)
+    assert (0, 1, 1) in edges(dag)

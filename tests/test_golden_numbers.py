@@ -86,3 +86,26 @@ def test_rendered_table1_average_line(t1):
                 if row.strip().startswith("AVERAGE"))
     assert "%.2f" % t1["average"]["trace_speedup"] in line
     assert "%.2f" % t1["average"]["bb_speedup"] in line
+
+
+# -- dataflow-oracle pruning (repro analyze / config.analysis_prune) ---------
+
+def test_pruned_schedule_golden_cycles():
+    """Hook off is the default everywhere above (byte-identical goldens);
+    hook on is pinned here: the oracle's gain on conc30 is exactly two
+    cycles on the ideal trace machine, every claim re-proved."""
+    from repro.benchmarks.suite import compile_benchmark, \
+        run_program_cached
+    from repro.compaction.machine_model import ideal
+    from repro.evaluation.pipeline import machine_cycles, \
+        superblock_regions
+
+    program = compile_benchmark("conc30")
+    result = run_program_cached(program, "conc30-")
+    region_set = superblock_regions(program, result, 48, "conc30-")
+    baseline = machine_cycles(region_set, ideal("ideal_tr"))
+    config = ideal("ideal_tr")
+    config.analysis_prune = True
+    pruned = machine_cycles(region_set, config, verify=True)
+    assert baseline == 397
+    assert pruned == 395

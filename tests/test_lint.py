@@ -193,6 +193,67 @@ def test_indirect_entries_assume_only_the_abi():
     assert "r5" in diags[0].message
 
 
+def test_unreachable_def_does_not_suppress_reachable_read():
+    # pc 1 writes r1 but can never execute (the entry jumps over it);
+    # the read at M must still be flagged.
+    diags = lint_program(prog([
+        Ici("jmp", label="M"),
+        Ici("ldi", rd="r1", imm=1),
+        Ici("add", rd="r2", ra="r1", rb="a0"),
+        Ici("halt"),
+    ], labels={"M": 2}))
+    assert rules(diags) == {"use-before-def"}
+    assert diags[0].pos == 2 and "r1" in diags[0].message
+
+
+def test_reads_inside_unreachable_code_stay_silent():
+    # Dead code can never execute, so its reads are not diagnosed.
+    assert_clean(lint_program(prog([
+        Ici("halt"),
+        Ici("add", rd="r2", ra="r9", rb="a0"),
+        Ici("halt"),
+    ])))
+
+
+def test_reachable_self_loop_converges_clean():
+    # A block that is its own predecessor must reach the fixpoint and
+    # keep the definition flowing in from outside the loop.
+    assert_clean(lint_program(prog([
+        Ici("ldi", rd="r1", imm=0),
+        Ici("add", rd="r1", ra="r1", rb="a0"),
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("halt"),
+    ], labels={"L": 1})))
+
+
+def test_self_loop_does_not_launder_its_own_later_def():
+    # The loop body writes r9 *after* reading it; the back edge must not
+    # make that write count for the first iteration.
+    diags = lint_program(prog([
+        Ici("ldi", rd="r1", imm=1),
+        Ici("add", rd="r2", ra="r9", rb="a0"),
+        Ici("ldi", rd="r9", imm=5),
+        Ici("btag", ra="a0", tag=0, label="L"),
+        Ici("halt"),
+    ], labels={"L": 1}))
+    assert rules(diags) == {"use-before-def"}
+    assert diags[0].pos == 1 and "r9" in diags[0].message
+
+
+def test_unreachable_self_loop_feeding_reachable_block_still_flags():
+    # The dead loop at U writes r9 and falls through into M; since U can
+    # never run, M's read of r9 is still a diagnostic.
+    diags = lint_program(prog([
+        Ici("jmp", label="M"),
+        Ici("ldi", rd="r9", imm=1),
+        Ici("btag", ra="a0", tag=0, label="U"),
+        Ici("add", rd="r2", ra="r9", rb="a0"),
+        Ici("halt"),
+    ], labels={"M": 3, "U": 1}))
+    assert rules(diags) == {"use-before-def"}
+    assert diags[0].pos == 3 and "r9" in diags[0].message
+
+
 def test_dataflow_skipped_when_shape_is_broken():
     diags = lint_program(prog([
         Ici("btag", ra="a0", tag=0, label="nowhere"),

@@ -96,3 +96,28 @@ def test_compile_and_emulate_api():
     result = repro.emulate(program)
     assert result.succeeded
     assert result.output == "1\n"
+
+
+def test_analysis_prune_never_slows_and_verifies(pipeline):
+    # The dataflow oracle only removes false dependences, so with the
+    # hook on every machine is at least as fast — and every pruned edge
+    # must survive the independent checker's re-proof (machine_cycles
+    # raises on a claim it cannot re-establish).
+    program, result = pipeline
+    tr = superblock_regions(program, result)
+    for make in (lambda: vliw(3), lambda: ideal()):
+        base_config = make()
+        pruned_config = make()
+        pruned_config.analysis_prune = True
+        base = machine_cycles(tr, base_config)
+        pruned = machine_cycles(tr, pruned_config, verify=True)
+        assert pruned <= base
+
+
+def test_analysis_prune_off_is_byte_identical(pipeline):
+    # Default configs never consult the oracle: same cycles as always.
+    program, result = pipeline
+    tr = superblock_regions(program, result)
+    config = vliw(3)
+    assert config.analysis_prune is False
+    assert machine_cycles(tr, config) == machine_cycles(tr, vliw(3))

@@ -6,8 +6,9 @@ right structured diagnostic."""
 import pytest
 
 from repro.analysis import (
-    check_schedule, check_transform, check_regions, check_allocation,
-    off_live_names, format_diagnostics, VerificationError, raise_if_failed)
+    check_schedule, check_pruned_edges, check_transform, check_regions,
+    check_allocation, off_live_names, format_diagnostics,
+    VerificationError, raise_if_failed)
 from repro.analysis.lint import Diagnostic
 from repro.bam import compile_source
 from repro.compaction import MachineConfig, Region, schedule_region
@@ -445,3 +446,83 @@ def test_raise_if_failed():
     assert "context here" in str(info.value)
     assert "raw-latency" in str(info.value)
     assert info.value.diagnostics == [finding]
+
+
+# -- pruned dependence edges: the analyzer is never trusted ------------------
+
+def test_pruned_mem_edge_accepted_when_provably_independent():
+    ops = [Ici("st", ra="r1", rb="E", imm=0),
+           Ici("st", ra="r2", rb="E", imm=1)]
+    assert_clean(check_pruned_edges(ops, [("mem", 0, 1)]))
+
+
+def test_pruned_mem_edge_rejected_when_possibly_aliasing():
+    ops = [Ici("st", ra="r1", rb="r9", imm=0),
+           Ici("ld", rd="r2", ra="r8", imm=0)]
+    diags = check_pruned_edges(ops, [("mem", 0, 1)])
+    assert rules(diags) == {"pruned-mem"}
+
+
+def test_pruned_mem_edge_rejected_after_base_redefinition():
+    ops = [Ici("st", ra="r1", rb="r9", imm=0),
+           Ici("add", rd="r9", ra="r9", rb="r1"),
+           Ici("ld", rd="r2", ra="r9", imm=1)]
+    diags = check_pruned_edges(ops, [("mem", 0, 2)])
+    assert rules(diags) == {"pruned-mem"}
+
+
+def test_pruned_waw_edge_needs_a_dead_write_proof():
+    ops = [Ici("mov", rd="r1", ra="a0"),
+           Ici("mov", rd="r1", ra="a1")]
+    # Without liveness the checker cannot prove death: reject.
+    diags = check_pruned_edges(ops, [("waw", 0, 1)])
+    assert rules(diags) == {"pruned-waw"}
+    # r1 dead at exit (and no later read): accept.
+    assert_clean(check_pruned_edges(ops, [("waw", 0, 1)],
+                                    live_out=set()))
+    # r1 live out: the later write is observed — reject again.
+    diags = check_pruned_edges(ops, [("waw", 0, 1)],
+                               live_out={"r1"})
+    assert rules(diags) == {"pruned-waw"}
+
+
+def test_pruned_edge_shape_violations():
+    ops = [Ici("mov", rd="r1", ra="a0"),
+           Ici("add", rd="r2", ra="r1", rb="a0")]
+    diags = check_pruned_edges(ops, [
+        ("mem", 0, 1),            # not memory ops
+        ("waw", 0, 1),            # no common destination
+        ("raw", 0, 1),            # unknown kind
+        ("mem", 1, 0),            # not i < j
+        "nonsense",               # not a tuple
+    ])
+    assert rules(diags) == {"pruned-shape"}
+    assert len(diags) == 5
+
+
+def test_checker_keeps_memory_order_strict_without_prune_flag():
+    # Same base, different offsets: a plain config must still flag the
+    # reorder — the relaxation is tied to config.analysis_prune.
+    ops = [Ici("st", ra="r1", rb="E", imm=0),
+           Ici("st", ra="r2", rb="E", imm=1)]
+    config = cfg()
+    swapped = Schedule(ops, [1, 0], config)
+    diags = check_schedule(ops, swapped, config)
+    assert "mem-order" in rules(diags)
+    relaxed = cfg(analysis_prune=True)
+    swapped = Schedule(ops, [1, 0], relaxed)
+    assert_clean(check_schedule(ops, swapped, relaxed))
+
+
+def test_scheduler_prunes_verify_clean_end_to_end():
+    # Schedule with the analysis oracle on and re-prove every claim.
+    ops = [Ici("st", ra="r1", rb="E", imm=0),
+           Ici("st", ra="r2", rb="E", imm=1),
+           Ici("ld", rd="r3", ra="H", imm=0),
+           Ici("jmp", label="next")]
+    config = cfg(analysis_prune=True)
+    pruned = []
+    schedule = schedule_region(ops, config, pruned=pruned)
+    assert pruned, "oracle found nothing to prune"
+    assert_clean(check_schedule(ops, schedule, config))
+    assert_clean(check_pruned_edges(ops, pruned))
