@@ -5,7 +5,8 @@ from repro.benchmarks.programs import (
 from repro.benchmarks.extended import EXTENDED_PROGRAMS
 from repro.benchmarks.suite import (
     compile_benchmark, run_benchmark, run_program_cached,
-    interpret_benchmark, validate_benchmark, program_fingerprint, cache_dir)
+    interpret_benchmark, validate_benchmark, program_fingerprint,
+    cache_dir, suite_catalogue, resolve_program)
 
 __all__ = [
     "PROGRAMS",
@@ -13,6 +14,8 @@ __all__ = [
     "TABLE_BENCHMARKS",
     "EXTENDED_PROGRAMS",
     "BenchmarkProgram",
+    "suite_catalogue",
+    "resolve_program",
     "compile_benchmark",
     "run_benchmark",
     "run_program_cached",

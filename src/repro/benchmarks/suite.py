@@ -42,10 +42,37 @@ def program_fingerprint(program):
     return digest.hexdigest()[:24]
 
 
+def suite_catalogue():
+    """Every registered program: the paper suite, the extended set and
+    the DCG application workloads.
+
+    Built lazily — the corpus package imports the suite for its cache
+    and fingerprints, so importing it at module scope would be a cycle.
+    """
+    from repro.benchmarks.extended import EXTENDED_PROGRAMS
+    from repro.corpus.workloads import DCG_PROGRAMS
+    catalogue = dict(PROGRAMS)
+    catalogue.update(EXTENDED_PROGRAMS)
+    catalogue.update(DCG_PROGRAMS)
+    return catalogue
+
+
+def resolve_program(name):
+    """Look up *name* across the whole catalogue (paper suite first)."""
+    if name in PROGRAMS:
+        return PROGRAMS[name]
+    catalogue = suite_catalogue()
+    if name not in catalogue:
+        raise KeyError("unknown benchmark %r; available: %s"
+                       % (name, ", ".join(sorted(catalogue))))
+    return catalogue[name]
+
+
 def compile_benchmark(name):
     """Compile benchmark *name* to an ICI program."""
     with observe.span("pipeline.translate", benchmark=name) as sp:
-        program = translate_module(compile_source(PROGRAMS[name].source))
+        program = translate_module(
+            compile_source(resolve_program(name).source))
         sp.set(instructions=len(program.instructions))
         return program
 
@@ -104,7 +131,7 @@ def interpret_benchmark(name):
     Returns ``(succeeded, output_text)``.
     """
     engine = Engine()
-    engine.consult(PROGRAMS[name].source)
+    engine.consult(resolve_program(name).source)
     return engine.run_query("main"), engine.output_text()
 
 
@@ -118,6 +145,8 @@ def validate_benchmark(name):
 __all__ = [
     "PROGRAMS",
     "TABLE_BENCHMARKS",
+    "suite_catalogue",
+    "resolve_program",
     "compile_benchmark",
     "run_benchmark",
     "run_program_cached",

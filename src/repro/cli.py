@@ -16,6 +16,7 @@
     python -m repro trace summary trace.jsonl # inspect a recorded trace
     python -m repro lint program.pl           # ICI well-formedness lint
     python -m repro verify [--bench qsort]    # independent checker sweep
+    python -m repro corpus --quick --jobs 2   # generated-corpus sweep
 
 ``evaluate`` and ``verify`` fan their benchmark x machine-configuration
 cells out across ``--jobs`` worker processes (default: all cores)
@@ -510,6 +511,71 @@ def cmd_lint(args, out, err):
     return 0
 
 
+def cmd_corpus(args, out, err):
+    from repro.evaluation.parallel import EvaluationError, configure
+    from repro.experiments.corpus_sweep import (
+        run_corpus_sweep, validate_corpus_bench, write_corpus_bench)
+
+    if args.quick and args.count is not None:
+        err.write("corpus: give --count or --quick, not both\n")
+        return 2
+    count = 10 if args.quick else (args.count
+                                   if args.count is not None else 200)
+    engine = configure(jobs=_resolve_jobs(args),
+                       policy=_supervisor_policy(args))
+    try:
+        document = run_corpus_sweep(count, args.base_seed, engine=engine,
+                                    budget=args.tail_dup_budget)
+    except EvaluationError as error:
+        err.write(str(error) + "\n")
+        _write_supervisor_report(args, engine, out)
+        return 1
+
+    summary = document["summary"]
+    claim = summary["claim"]
+    out.write("corpus: %d program(s) = %d generated + %d DCG "
+              "workload(s), %d steps in %.1fs\n"
+              % (summary["programs"], summary["generated"],
+                 summary["dcg_workloads"], summary["total_steps"],
+                 summary["total_seconds"]))
+    out.write("oracle: %d mismatch(es); verifier: %d program(s) with "
+              "findings\n"
+              % (len(summary["oracle_mismatches"]),
+                 len(summary["verify_finding_programs"])))
+    out.write("branch claim (P_fp <= %.2f): holds for %d/%d "
+              "(median %.3f, worst %.3f)\n"
+              % (claim["threshold_p_fp"], claim["predictable"],
+                 claim["programs_with_branches"],
+                 claim["p_fp_distribution"]["median"],
+                 claim["p_fp_distribution"]["max"]))
+    for outlier in claim["worst"][:3]:
+        out.write("  breaks on %-12s P_fp=%.3f %s\n"
+                  % (outlier["name"], outlier["avg_p_fp"],
+                     ",".join(outlier["schemes"]) or "dcg workload"))
+    gap = summary["ilp"]["gap"]
+    out.write("static ILP gap: median %.2fx (p25 %.2fx, p75 %.2fx, "
+              "max %.2fx)\n"
+              % (gap["median"], gap["p25"], gap["p75"], gap["max"]))
+
+    problems = validate_corpus_bench(document)
+    if problems:
+        for problem in problems:
+            err.write("corpus: schema problem: %s\n" % problem)
+        return 1
+    path = write_corpus_bench(document, args.output)
+    out.write("wrote %s\n" % path)
+    _write_supervisor_report(args, engine, out)
+    if summary["oracle_mismatches"]:
+        err.write("corpus: differential oracle mismatches: %s\n"
+                  % ", ".join(summary["oracle_mismatches"]))
+        return 1
+    if summary["verify_finding_programs"]:
+        err.write("corpus: checker findings on: %s\n"
+                  % ", ".join(summary["verify_finding_programs"]))
+        return 1
+    return 0
+
+
 def _verify_target(spec):
     """Run the independent checker over one target (pool worker)."""
     from repro.benchmarks.suite import compile_benchmark, \
@@ -726,6 +792,27 @@ def build_parser():
                    help="diagnostics as human text (default) or the "
                         "shared JSON document")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("corpus",
+                       help="sweep the generated corpus + DCG workloads "
+                            "through the differential oracle, the "
+                            "checker and the static ILP bound")
+    p.add_argument("--count", type=int, metavar="N",
+                   help="generated programs to sweep (default 200)")
+    p.add_argument("--quick", action="store_true",
+                   help="small fixed seed set (10 programs; CI smoke)")
+    p.add_argument("--base-seed", type=int, default=1992, metavar="SEED",
+                   help="first generator seed (default 1992)")
+    p.add_argument("--tail-dup-budget", type=int, default=48)
+    p.add_argument("--output", default="results/BENCH_corpus.json",
+                   metavar="PATH",
+                   help="corpus document path (default "
+                        "results/BENCH_corpus.json)")
+    p.add_argument("-j", "--jobs", type=int, metavar="N",
+                   help="sweep worker processes (default: all cores; "
+                        "1 = in-process)")
+    _add_supervisor_flags(p)
+    p.set_defaults(func=cmd_corpus)
 
     p = sub.add_parser("verify",
                        help="run the independent checker over the "

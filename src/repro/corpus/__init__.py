@@ -1,0 +1,47 @@
+"""Generative benchmark corpus: DCG workloads + a seeded program generator.
+
+The paper's analysis rests on 14 hand-picked benchmarks; this package
+scales the workload axis (ROADMAP item 5).  It contributes
+
+* :mod:`repro.corpus.dcg` — a definite-clause-grammar translator that
+  rewrites ``-->`` rules into plain clauses with threaded
+  difference-list arguments,
+* :mod:`repro.corpus.workloads` — three grammar *application* workloads
+  (a self-parsing grammar, a JSON-ish parser, a small expression
+  compiler) registered in the benchmark suite as ``dcg_*`` programs,
+* :mod:`repro.corpus.generate` — a seeded, property-based Prolog
+  program generator emitting type-correct, terminating programs from a
+  grammar of clause skeletons; every program carries a ground ``main/0``
+  entry query and regenerates byte-identically from its seed.
+
+The corpus sweep driving all of this through the differential oracle,
+the independent checker and the static ILP bound lives in
+:mod:`repro.experiments.corpus_sweep` (``repro corpus``).
+"""
+
+from repro.corpus.dcg import (
+    DcgError, alpha_equal, clause_to_string, is_dcg_rule,
+    translate_dcg_rule, translate_source, translate_term)
+from repro.corpus.generate import (
+    BASE_SEED, DEFAULT_COUNT, GENERATOR_MAX_STEPS, GeneratedProgram,
+    corpus_programs, corpus_seeds, generate_program)
+from repro.corpus.workloads import DCG_PROGRAMS, DCG_WORKLOADS
+
+__all__ = [
+    "BASE_SEED",
+    "DCG_PROGRAMS",
+    "DCG_WORKLOADS",
+    "DEFAULT_COUNT",
+    "DcgError",
+    "GENERATOR_MAX_STEPS",
+    "GeneratedProgram",
+    "alpha_equal",
+    "clause_to_string",
+    "corpus_programs",
+    "corpus_seeds",
+    "generate_program",
+    "is_dcg_rule",
+    "translate_dcg_rule",
+    "translate_source",
+    "translate_term",
+]

@@ -1,0 +1,272 @@
+"""Definite-clause-grammar translation.
+
+Rewrites grammar rules of the form ``Head --> Body`` into plain Prolog
+clauses threading a difference list through the body, exactly as a
+classical DCG expansion does::
+
+    greeting --> [hello], name.
+    name --> [world].
+
+becomes::
+
+    greeting(S0, S) :- S0 = [hello|S1], name(S1, S).
+    name(S0, S) :- S0 = [world|S].
+
+Supported body elements: nonterminals (atoms or compound terms, given
+two extra threading arguments), terminal lists (proper lists, including
+the double-quoted-string code lists the reader produces), the empty
+production ``[]``, embedded goals ``{Goal}`` (called without consuming
+input), cut, conjunction, disjunction, if-then-else and negation
+``\\+``.  Variable nonterminals (``call//N``) and pushback rules
+(``Head, Pushback --> Body``) are outside the subset the compiler
+handles and raise :class:`DcgError`.
+
+The module also renders translated clauses back to canonical source
+text (:func:`clause_to_string`, :func:`translate_source`): the rendered
+text re-reads to the same structure, which makes translation a *fixed
+point* on already-translated programs — the property the round-trip
+tests pin.
+"""
+
+from repro.reader import parse_program
+from repro.terms import Atom, Int, Struct, Var, term_to_string
+
+__all__ = [
+    "DcgError",
+    "alpha_equal",
+    "clause_to_string",
+    "is_dcg_rule",
+    "translate_dcg_rule",
+    "translate_source",
+    "translate_term",
+]
+
+_NIL = Atom("[]")
+
+
+class DcgError(Exception):
+    """A grammar rule outside the translatable subset."""
+
+
+def is_dcg_rule(term):
+    """Is *term* a ``Head --> Body`` grammar rule?"""
+    return isinstance(term, Struct) and term.indicator == ("-->", 2)
+
+
+class _Threader:
+    """Fresh difference-list variables, avoiding the rule's own names."""
+
+    def __init__(self, used):
+        self.used = set(used)
+        self.counter = 0
+
+    def fresh(self):
+        while True:
+            name = "S%d" % self.counter
+            self.counter += 1
+            if name not in self.used:
+                self.used.add(name)
+                return Var(name)
+
+
+def _collect_var_names(term, names):
+    if isinstance(term, Var):
+        names.add(term.name)
+    elif isinstance(term, Struct):
+        for arg in term.args:
+            _collect_var_names(arg, names)
+
+
+def _proper_list_items(term):
+    """Items of a proper list term, or None if it is not one."""
+    items = []
+    while isinstance(term, Struct) and term.indicator == (".", 2):
+        items.append(term.args[0])
+        term = term.args[1]
+    if term == _NIL:
+        return items
+    return None
+
+
+def _conj(left, right):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return Struct(",", [left, right])
+
+
+def _translate_body(body, s_in, threader):
+    """Translate one body element starting at list variable *s_in*.
+
+    Returns ``(goal, s_out)`` where *goal* is the threaded goal term (or
+    ``None`` for the empty production) and *s_out* the list variable the
+    element leaves off at — ``s_in`` itself when nothing is consumed.
+    """
+    if isinstance(body, Var):
+        raise DcgError("variable nonterminal (call//N) is not supported")
+    if isinstance(body, Int):
+        raise DcgError("integer %d cannot appear as a grammar body"
+                       % body.value)
+    if isinstance(body, Atom):
+        if body.name == "[]":
+            return None, s_in
+        if body.name == "!":
+            return Atom("!"), s_in
+        s_out = threader.fresh()
+        return Struct(body.name, [s_in, s_out]), s_out
+
+    indicator = body.indicator
+    if indicator == (",", 2):
+        left, mid = _translate_body(body.args[0], s_in, threader)
+        right, s_out = _translate_body(body.args[1], mid, threader)
+        return _conj(left, right), s_out
+    if indicator == (";", 2):
+        s_out = threader.fresh()
+        first = body.args[0]
+        if isinstance(first, Struct) and first.indicator == ("->", 2):
+            condition, mid = _translate_body(first.args[0], s_in,
+                                             threader)
+            then = _force(first.args[1], mid, s_out, threader)
+            otherwise = _force(body.args[1], s_in, s_out, threader)
+            return Struct(";", [
+                Struct("->", [condition or Atom("true"), then]),
+                otherwise]), s_out
+        left = _force(first, s_in, s_out, threader)
+        right = _force(body.args[1], s_in, s_out, threader)
+        return Struct(";", [left, right]), s_out
+    if indicator == ("->", 2):
+        condition, mid = _translate_body(body.args[0], s_in, threader)
+        s_out = threader.fresh()
+        then = _force(body.args[1], mid, s_out, threader)
+        return Struct("->", [condition or Atom("true"), then]), s_out
+    if indicator == ("{}", 1):
+        return body.args[0], s_in
+    if indicator == ("\\+", 1):
+        inner, _ = _translate_body(body.args[0], s_in, threader)
+        return Struct("\\+", [inner or Atom("true")]), s_in
+    if indicator == (".", 2):
+        items = _proper_list_items(body)
+        if items is None:
+            raise DcgError("terminal list must be proper: %s"
+                           % term_to_string(body))
+        s_out = threader.fresh()
+        chain = s_out
+        for item in reversed(items):
+            chain = Struct(".", [item, chain])
+        return Struct("=", [s_in, chain]), s_out
+
+    # A compound nonterminal: thread two extra arguments.
+    s_out = threader.fresh()
+    return Struct(body.name, list(body.args) + [s_in, s_out]), s_out
+
+
+def _force(body, s_in, s_out, threader):
+    """Translate *body* so it lands exactly on *s_out* (branch joins)."""
+    goal, out = _translate_body(body, s_in, threader)
+    if out is s_out:
+        return goal or Atom("true")
+    join = Struct("=", [s_out, out])
+    return join if goal is None else _conj(goal, join)
+
+
+def translate_dcg_rule(term):
+    """Translate one ``Head --> Body`` rule into a plain clause term."""
+    if not is_dcg_rule(term):
+        raise DcgError("not a grammar rule: %s" % term_to_string(term))
+    head, body = term.args
+    if isinstance(head, Struct) and head.indicator == (",", 2):
+        raise DcgError("pushback grammar rules are not supported")
+    if not isinstance(head, (Atom, Struct)):
+        raise DcgError("grammar head must be an atom or compound term")
+    used = set()
+    _collect_var_names(term, used)
+    threader = _Threader(used)
+    s_in = threader.fresh()
+    goal, s_out = _translate_body(body, s_in, threader)
+    if isinstance(head, Atom):
+        new_head = Struct(head.name, [s_in, s_out])
+    else:
+        new_head = Struct(head.name, list(head.args) + [s_in, s_out])
+    if goal is None:
+        return new_head
+    return Struct(":-", [new_head, goal])
+
+
+def translate_term(term):
+    """Translate a clause term: DCG rules are rewritten, everything else
+    (facts, ``:-`` rules, directives) passes through unchanged."""
+    if is_dcg_rule(term):
+        return translate_dcg_rule(term)
+    return term
+
+
+def _flatten_conjunction(goal):
+    goals = []
+    while isinstance(goal, Struct) and goal.indicator == (",", 2):
+        goals.append(goal.args[0])
+        goal = goal.args[1]
+    goals.append(goal)
+    return goals
+
+
+def clause_to_string(term):
+    """Render a clause term as re-readable source text.
+
+    Heads and goals are rendered in canonical functor syntax (which the
+    reader parses back to the identical structure); the top-level
+    conjunction is laid out one goal per line for readability.
+    """
+    if isinstance(term, Struct) and term.indicator == (":-", 2):
+        head, body = term.args
+        goals = _flatten_conjunction(body)
+        return "%s :-\n    %s." % (
+            term_to_string(head),
+            ",\n    ".join(term_to_string(goal) for goal in goals))
+    if isinstance(term, (Atom, Struct)):
+        return term_to_string(term) + "."
+    raise DcgError("not a clause: %r" % (term,))
+
+
+def translate_source(text):
+    """Translate every DCG rule in *text*; returns plain Prolog source.
+
+    Non-DCG clauses are re-rendered but otherwise untouched, so applying
+    :func:`translate_source` to its own output is the identity — the
+    fixed-point property the round-trip tests rely on.
+    """
+    clauses = [translate_term(clause) for clause in parse_program(text)]
+    return "\n".join(clause_to_string(clause) for clause in clauses) + "\n"
+
+
+def alpha_equal(left, right, mapping=None):
+    """Structural equality of two terms up to variable renaming.
+
+    The correspondence must be a bijection: two distinct variables on
+    one side can never map to the same variable on the other.
+    """
+    if mapping is None:
+        mapping = ({}, {})
+    forward, backward = mapping
+    if isinstance(left, Var) or isinstance(right, Var):
+        if not (isinstance(left, Var) and isinstance(right, Var)):
+            return False
+        bound = forward.get(id(left))
+        if bound is not None:
+            return bound is right
+        if id(right) in backward:
+            return False
+        forward[id(left)] = right
+        backward[id(right)] = left
+        return True
+    if isinstance(left, Atom):
+        return isinstance(right, Atom) and left.name == right.name
+    if isinstance(left, Int):
+        return isinstance(right, Int) and left.value == right.value
+    if isinstance(left, Struct):
+        if not (isinstance(right, Struct)
+                and left.indicator == right.indicator):
+            return False
+        return all(alpha_equal(a, b, mapping)
+                   for a, b in zip(left.args, right.args))
+    raise TypeError("not a term: %r" % (left,))

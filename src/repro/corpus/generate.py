@@ -1,0 +1,266 @@
+"""Seeded, property-based Prolog program generator.
+
+Emits type-correct, terminating programs from a grammar of clause
+skeletons — the recursion schemes the paper's benchmarks are made of:
+deterministic list recursion (map/filter/fold), bounded arithmetic
+recursion (countdown, binary recursion), list builders, and the
+cut / if-then-else shapes the hand-written fuzz grammar of
+``tests/test_fuzz_equivalence.py`` misses.
+
+Determinism contract
+--------------------
+
+:func:`generate_program` is a pure function of its seed: the same seed
+regenerates the identical source text byte for byte, on any platform
+(only ``random.Random`` integer draws are used — no hashing, no set
+iteration, no wall clock).  That makes every corpus program a stable,
+content-addressable differential test: the sweep in
+:mod:`repro.experiments.corpus_sweep` caches its artefacts under the
+compiled fingerprint exactly like the paper suite.
+
+Termination contract
+--------------------
+
+Every scheme recurses structurally on a ground list or counts a
+non-negative integer down to zero, and every ``main/0`` goal is ground
+at entry, so every program terminates; :data:`GENERATOR_MAX_STEPS` is a
+hard ceiling the test suite enforces with a large margin.
+"""
+
+import random
+
+__all__ = [
+    "BASE_SEED",
+    "DEFAULT_COUNT",
+    "GENERATOR_MAX_STEPS",
+    "GeneratedProgram",
+    "SCHEME_NAMES",
+    "corpus_programs",
+    "corpus_seeds",
+    "generate_program",
+]
+
+#: default first seed of the corpus (the paper's publication year)
+BASE_SEED = 1992
+
+#: default corpus size (ROADMAP item 5: "grow the corpus to hundreds")
+DEFAULT_COUNT = 200
+
+#: emulation step ceiling every generated program must finish under
+GENERATOR_MAX_STEPS = 2_000_000
+
+
+class GeneratedProgram:
+    """One generated program: source text plus provenance."""
+
+    __slots__ = ("name", "seed", "source", "schemes")
+
+    def __init__(self, name, seed, source, schemes):
+        self.name = name
+        self.seed = seed
+        self.source = source
+        #: the clause-skeleton schemes instantiated, in program order
+        self.schemes = list(schemes)
+
+    def __repr__(self):
+        return "GeneratedProgram(%r, seed=%d)" % (self.name, self.seed)
+
+
+def _ints(rng, count, low, high):
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+def _plist(items):
+    return "[%s]" % ",".join(str(item) for item in items)
+
+
+def _affine(variable, scale, offset):
+    """Render ``variable * scale +- offset`` without a ``+ -3`` glitch."""
+    text = "%s * %d" % (variable, scale)
+    if offset > 0:
+        return "%s + %d" % (text, offset)
+    if offset < 0:
+        return "%s - %d" % (text, -offset)
+    return text
+
+
+# --------------------------------------------------------------------------
+# Clause skeleton schemes.  Each takes (rng, i) — the program's RNG and
+# the instance index (predicate names are suffixed with it, so one
+# program can instantiate the same scheme twice) — and returns
+# (clauses_text, goal_text).  Every goal is ground, always succeeds,
+# and writes its result.
+
+def _scheme_map_affine(rng, i):
+    scale = rng.randint(2, 5)
+    offset = rng.randint(-3, 3)
+    xs = _ints(rng, rng.randint(4, 9), -9, 9)
+    defs = ("map%d([], []).\n"
+            "map%d([X|T], [Y|R]) :- Y is %s, map%d(T, R).\n"
+            % (i, i, _affine("X", scale, offset), i))
+    goal = "map%d(%s, R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_filter_ite(rng, i):
+    pivot = rng.randint(-4, 4)
+    xs = _ints(rng, rng.randint(4, 10), -9, 9)
+    defs = ("flt%d([], []).\n"
+            "flt%d([X|T], R) :- ( X > %d -> R = [X|R1] ; R = R1 ), "
+            "flt%d(T, R1).\n" % (i, i, pivot, i))
+    goal = "flt%d(%s, R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_filter_cut(rng, i):
+    modulus = rng.randint(2, 5)
+    residue = rng.randint(0, modulus - 1)
+    xs = _ints(rng, rng.randint(4, 10), 0, 19)
+    defs = ("pck%d([], []).\n"
+            "pck%d([X|T], [X|R]) :- X mod %d =:= %d, !, pck%d(T, R).\n"
+            "pck%d([_|T], R) :- pck%d(T, R).\n"
+            % (i, i, modulus, residue, i, i, i))
+    goal = "pck%d(%s, R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_fold_acc(rng, i):
+    weight = rng.randint(1, 4)
+    xs = _ints(rng, rng.randint(4, 10), -9, 9)
+    defs = ("acc%d([], A, A).\n"
+            "acc%d([X|T], A0, A) :- A1 is A0 + X * %d, acc%d(T, A1, A).\n"
+            % (i, i, weight, i))
+    goal = "acc%d(%s, 0, R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_countdown(rng, i):
+    modulus = rng.randint(2, 7)
+    start = rng.randint(6, 15)
+    defs = ("cnt%d(0, A, A) :- !.\n"
+            "cnt%d(N, A0, A) :- N > 0, A1 is A0 + N mod %d, "
+            "N1 is N - 1, cnt%d(N1, A1, A).\n" % (i, i, modulus, i))
+    goal = "cnt%d(%d, 0, R%d), write(R%d), nl" % (i, start, i, i)
+    return defs, goal
+
+
+def _scheme_build_list(rng, i):
+    scale = rng.randint(2, 6)
+    modulus = rng.randint(5, 11)
+    length = rng.randint(5, 12)
+    defs = ("bld%d(0, []) :- !.\n"
+            "bld%d(N, [X|T]) :- N > 0, X is N * %d mod %d, "
+            "N1 is N - 1, bld%d(N1, T).\n"
+            % (i, i, scale, modulus, i))
+    goal = "bld%d(%d, R%d), write(R%d), nl" % (i, length, i, i)
+    return defs, goal
+
+
+def _scheme_binary_rec(rng, i):
+    base0 = rng.randint(0, 3)
+    base1 = rng.randint(1, 3)
+    depth = rng.randint(7, 11)
+    defs = ("fib%d(0, %d).\n"
+            "fib%d(1, %d).\n"
+            "fib%d(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n"
+            "    fib%d(N1, F1), fib%d(N2, F2), F is F1 + F2.\n"
+            % (i, base0, i, base1, i, i, i))
+    goal = "fib%d(%d, R%d), write(R%d), nl" % (i, depth, i, i)
+    return defs, goal
+
+
+def _scheme_classify(rng, i):
+    low = rng.randint(-5, 0)
+    high = rng.randint(1, 8)
+    xs = _ints(rng, rng.randint(4, 10), -9, 12)
+    defs = ("cls%d([], []).\n"
+            "cls%d([X|T], [Y|R]) :-\n"
+            "    ( X < %d -> Y = lo ; X < %d -> Y = mid ; Y = hi ),\n"
+            "    cls%d(T, R).\n" % (i, i, low, high, i))
+    goal = "cls%d(%s, R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_zip_struct(rng, i):
+    xs = _ints(rng, rng.randint(3, 8), -6, 9)
+    defs = ("zip%d([], []).\n"
+            "zip%d([X|T], [p(X, Y)|R]) :- Y is X * X, zip%d(T, R).\n"
+            % (i, i, i))
+    goal = "zip%d(%s, R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_reverse_acc(rng, i):
+    xs = _ints(rng, rng.randint(4, 11), -9, 9)
+    defs = ("rev%d([], A, A).\n"
+            "rev%d([H|T], A, R) :- rev%d(T, [H|A], R).\n" % (i, i, i))
+    goal = "rev%d(%s, [], R%d), write(R%d), nl" % (i, _plist(xs), i, i)
+    return defs, goal
+
+
+def _scheme_search_cut(rng, i):
+    modulus = rng.randint(2, 5)
+    xs = _ints(rng, rng.randint(4, 9), 1, 17)
+    defs = ("mem%d(X, [X|_]).\n"
+            "mem%d(X, [_|T]) :- mem%d(X, T).\n" % (i, i, i))
+    goal = ("( mem%d(X%d, %s), X%d mod %d =:= 0 -> write(X%d) "
+            "; write(none) ), nl" % (i, i, _plist(xs), i, modulus, i))
+    return defs, goal
+
+
+def _scheme_negation(rng, i):
+    probe = rng.randint(-9, 9)
+    xs = _ints(rng, rng.randint(3, 8), -9, 9)
+    defs = ("has%d(X, [X|_]).\n"
+            "has%d(X, [_|T]) :- has%d(X, T).\n" % (i, i, i))
+    goal = ("( \\+ has%d(%d, %s) -> write(absent) ; write(present) ), nl"
+            % (i, probe, _plist(xs)))
+    return defs, goal
+
+
+_SCHEMES = [
+    ("map_affine", _scheme_map_affine),
+    ("filter_ite", _scheme_filter_ite),
+    ("filter_cut", _scheme_filter_cut),
+    ("fold_acc", _scheme_fold_acc),
+    ("countdown", _scheme_countdown),
+    ("build_list", _scheme_build_list),
+    ("binary_rec", _scheme_binary_rec),
+    ("classify", _scheme_classify),
+    ("zip_struct", _scheme_zip_struct),
+    ("reverse_acc", _scheme_reverse_acc),
+    ("search_cut", _scheme_search_cut),
+    ("negation", _scheme_negation),
+]
+
+SCHEME_NAMES = [name for name, _ in _SCHEMES]
+
+
+def generate_program(seed):
+    """Generate one program deterministically from *seed*."""
+    rng = random.Random(seed)
+    instances = rng.randint(2, 4)
+    chosen = [_SCHEMES[rng.randrange(len(_SCHEMES))]
+              for _ in range(instances)]
+    parts = ["%% generated by repro.corpus.generate (seed=%d)" % seed]
+    goals = []
+    names = []
+    for index, (name, scheme) in enumerate(chosen):
+        names.append(name)
+        defs, goal = scheme(rng, index)
+        parts.append(defs.rstrip("\n"))
+        goals.append(goal)
+    parts.append("main :-\n    %s.\n" % ",\n    ".join(goals))
+    source = "\n\n".join(parts)
+    return GeneratedProgram("gen%05d" % seed, seed, source, names)
+
+
+def corpus_seeds(count=DEFAULT_COUNT, base_seed=BASE_SEED):
+    """The seed sequence of a *count*-program corpus."""
+    return [base_seed + index for index in range(count)]
+
+
+def corpus_programs(count=DEFAULT_COUNT, base_seed=BASE_SEED):
+    """Generate the whole corpus (deterministic in both arguments)."""
+    return [generate_program(seed)
+            for seed in corpus_seeds(count, base_seed)]

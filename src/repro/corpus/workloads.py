@@ -1,0 +1,233 @@
+"""Grammar application workloads, written as DCGs.
+
+Three workloads exercise the parsing profile the paper's 14
+list-crunching microbenchmarks miss (grammar code branches on token
+shape, not list structure):
+
+* ``dcg_grammar`` — a grammar-of-grammars that parses a token encoding
+  of *its own* rule set, counting productions,
+* ``dcg_json`` — a JSON-ish token parser building a tree, plus walkers
+  summing the numbers and counting the nodes,
+* ``dcg_calc`` — a precedence-correct expression parser compiling its
+  AST to stack code and executing it on a stack machine.
+
+Each workload is authored in ``-->`` form here and registered in the
+benchmark suite *post-translation* (:data:`DCG_PROGRAMS`), so the rest
+of the pipeline — compiler, emulators, verifier, analysis — never sees
+a grammar rule.  The raw DCG sources stay available in
+:data:`DCG_WORKLOADS` for the round-trip tests.
+"""
+
+from repro.benchmarks.programs import BenchmarkProgram
+from repro.corpus.dcg import translate_source
+
+__all__ = ["DCG_PROGRAMS", "DCG_WORKLOADS", "DcgWorkload"]
+
+
+class DcgWorkload:
+    """A DCG-authored workload: raw grammar source + translation."""
+
+    __slots__ = ("name", "description", "dcg_source", "source")
+
+    def __init__(self, name, description, dcg_source):
+        self.name = name
+        self.description = description
+        self.dcg_source = dcg_source
+        self.source = translate_source(dcg_source)
+
+    def __repr__(self):
+        return "DcgWorkload(%r)" % self.name
+
+
+_GRAMMAR = r"""
+% A grammar of grammar rules, applied to the token encoding of its own
+% eight productions.  Tokens: nt(Name), t(Name), arrow, comma, stop.
+
+grammar(0) --> [].
+grammar(N) --> rule_, grammar(M), {N is M + 1}.
+
+rule_ --> [nt(_)], [arrow], body, [stop].
+
+body --> item, body_tail.
+
+body_tail --> [comma], item, body_tail.
+body_tail --> [].
+
+item --> [nt(_)].
+item --> [t(_)].
+
+self_tokens([nt(grammar), arrow, t(empty), stop,
+             nt(grammar), arrow, nt(rule), comma, nt(grammar), stop,
+             nt(rule), arrow, t(nt), comma, t(arrow), comma, nt(body),
+             comma, t(stop), stop,
+             nt(body), arrow, nt(item), comma, nt(btail), stop,
+             nt(btail), arrow, t(comma), comma, nt(item), comma,
+             nt(btail), stop,
+             nt(btail), arrow, t(empty), stop,
+             nt(item), arrow, t(nt), stop,
+             nt(item), arrow, t(t), stop]).
+
+count_terminals([], 0).
+count_terminals([t(_)|Ts], N) :- !, count_terminals(Ts, M), N is M + 1.
+count_terminals([_|Ts], N) :- count_terminals(Ts, N).
+
+main :-
+    self_tokens(Ts),
+    grammar(Rules, Ts, []),
+    count_terminals(Ts, Terminals),
+    write(rules(Rules)), nl,
+    write(terminals(Terminals)), nl.
+"""
+
+
+_JSON = r"""
+% A JSON-ish token parser.  Tokens: lbrace, rbrace, lbrack, rbrack,
+% colon, comma, key(K), num(N), str(S), true, false, null.
+
+jvalue(obj(Ms)) --> [lbrace], jmembers(Ms), [rbrace].
+jvalue(arr(Vs)) --> [lbrack], jelements(Vs), [rbrack].
+jvalue(num(N)) --> [num(N)].
+jvalue(str(S)) --> [str(S)].
+jvalue(true) --> [true].
+jvalue(false) --> [false].
+jvalue(null) --> [null].
+
+jmembers([M|Ms]) --> jpair(M), jmembers_tail(Ms).
+jmembers([]) --> [].
+
+jmembers_tail([M|Ms]) --> [comma], jpair(M), jmembers_tail(Ms).
+jmembers_tail([]) --> [].
+
+jpair(pair(K, V)) --> [key(K)], [colon], jvalue(V).
+
+jelements([V|Vs]) --> jvalue(V), jelements_tail(Vs).
+jelements([]) --> [].
+
+jelements_tail([V|Vs]) --> [comma], jvalue(V), jelements_tail(Vs).
+jelements_tail([]) --> [].
+
+jsum(obj(Ms), S) :- jsum_pairs(Ms, S).
+jsum(arr(Vs), S) :- jsum_list(Vs, S).
+jsum(num(N), N).
+jsum(str(_), 0).
+jsum(true, 1).
+jsum(false, 0).
+jsum(null, 0).
+
+jsum_pairs([], 0).
+jsum_pairs([pair(_, V)|Ms], S) :-
+    jsum(V, A), jsum_pairs(Ms, B), S is A + B.
+
+jsum_list([], 0).
+jsum_list([V|Vs], S) :- jsum(V, A), jsum_list(Vs, B), S is A + B.
+
+jcount(obj(Ms), N) :- jcount_pairs(Ms, M), N is M + 1.
+jcount(arr(Vs), N) :- jcount_list(Vs, M), N is M + 1.
+jcount(num(_), 1).
+jcount(str(_), 1).
+jcount(true, 1).
+jcount(false, 1).
+jcount(null, 1).
+
+jcount_pairs([], 0).
+jcount_pairs([pair(_, V)|Ms], N) :-
+    jcount(V, A), jcount_pairs(Ms, B), N is A + B.
+
+jcount_list([], 0).
+jcount_list([V|Vs], N) :- jcount(V, A), jcount_list(Vs, B), N is A + B.
+
+doc_tokens([lbrace,
+            key(name), colon, str(repro), comma,
+            key(year), colon, num(1992), comma,
+            key(tags), colon,
+                lbrack, str(ilp), comma, str(prolog), comma,
+                num(3), rbrack, comma,
+            key(meta), colon,
+                lbrace, key(ok), colon, true, comma,
+                key(depth), colon, num(7), comma,
+                key(inner), colon,
+                    lbrack, lbrace, key(k), colon, num(40),
+                    rbrace, comma, null, comma, false, rbrack,
+                rbrace,
+            rbrace]).
+
+main :-
+    doc_tokens(Ts),
+    jvalue(Doc, Ts, []),
+    jsum(Doc, Sum),
+    jcount(Doc, Nodes),
+    write(sum(Sum)), nl,
+    write(nodes(Nodes)), nl.
+"""
+
+
+_CALC = r"""
+% An infix expression compiler: parse tokens into an AST with correct
+% precedence, compile the AST to stack code, execute the stack code.
+% Tokens: num(N), plus, minus, times, lpar, rpar.
+
+expr(T) --> term(F), expr_tail(F, T).
+
+expr_tail(A, T) --> [plus], !, term(B), expr_tail(add(A, B), T).
+expr_tail(A, T) --> [minus], !, term(B), expr_tail(sub(A, B), T).
+expr_tail(A, A) --> [].
+
+term(T) --> factor(F), term_tail(F, T).
+
+term_tail(A, T) --> [times], !, factor(B), term_tail(mul(A, B), T).
+term_tail(A, A) --> [].
+
+factor(num(N)) --> [num(N)].
+factor(T) --> [lpar], expr(T), [rpar].
+
+comp(num(N), [push(N)|C], C).
+comp(add(A, B), C0, C) :- comp(A, C0, C1), comp(B, C1, [add|C]).
+comp(sub(A, B), C0, C) :- comp(A, C0, C1), comp(B, C1, [sub|C]).
+comp(mul(A, B), C0, C) :- comp(A, C0, C1), comp(B, C1, [mul|C]).
+
+exec([], [V], V).
+exec([push(N)|C], S, V) :- exec(C, [N|S], V).
+exec([add|C], [B, A|S], V) :- X is A + B, exec(C, [X|S], V).
+exec([sub|C], [B, A|S], V) :- X is A - B, exec(C, [X|S], V).
+exec([mul|C], [B, A|S], V) :- X is A * B, exec(C, [X|S], V).
+
+run(Ts, V) :-
+    expr(Ast, Ts, []),
+    comp(Ast, Code, []),
+    exec(Code, [], V).
+
+main :-
+    run([lpar, num(1), plus, num(2), rpar, times, num(3),
+         plus, num(4), times, num(5)], V1),
+    write(V1), nl,
+    run([num(2), times, lpar, num(3), plus, num(4), times,
+         lpar, num(5), plus, num(6), rpar, rpar], V2),
+    write(V2), nl,
+    run([num(100), minus, num(7), times, num(8), minus,
+         lpar, num(9), minus, num(4), rpar], V3),
+    write(V3), nl.
+"""
+
+
+DCG_WORKLOADS = {
+    "dcg_grammar": DcgWorkload(
+        "dcg_grammar",
+        "grammar-of-grammars parsing a token encoding of itself",
+        _GRAMMAR),
+    "dcg_json": DcgWorkload(
+        "dcg_json",
+        "JSON-ish token parser with summing and node-counting walkers",
+        _JSON),
+    "dcg_calc": DcgWorkload(
+        "dcg_calc",
+        "infix expression parser compiling to stack code and executing it",
+        _CALC),
+}
+
+#: the translated workloads as suite-registrable benchmark programs;
+#: excluded from Table 1 so the paper tables stay the paper's.
+DCG_PROGRAMS = {
+    name: BenchmarkProgram(workload.name, workload.description,
+                           workload.source, in_table1=False)
+    for name, workload in DCG_WORKLOADS.items()
+}

@@ -29,6 +29,34 @@ def test_table_benchmarks_exclude_predictability_only_programs():
     assert len(TABLE_BENCHMARKS) == 14
 
 
+def test_suite_catalogue_spans_all_program_families():
+    """The resolvable catalogue = paper suite + extended + DCG
+    workloads, without disturbing the paper's fixed tables."""
+    from repro.benchmarks import resolve_program, suite_catalogue
+    catalogue = suite_catalogue()
+    for name in PROGRAMS:
+        assert catalogue[name] is PROGRAMS[name]
+    for name in ("fib", "hanoi", "primes"):
+        assert name in catalogue
+    for name in ("dcg_grammar", "dcg_json", "dcg_calc"):
+        assert name in catalogue
+        assert not catalogue[name].in_table1
+        assert name not in TABLE_BENCHMARKS
+        assert resolve_program(name) is catalogue[name]
+    with pytest.raises(KeyError):
+        resolve_program("no_such_benchmark")
+
+
+@pytest.mark.parametrize("name", ("dcg_grammar", "dcg_json", "dcg_calc"))
+def test_dcg_workload_resolves_through_suite(name):
+    program = compile_benchmark(name)
+    assert len(program) > 50
+    result = run_benchmark(name)
+    ok, output = interpret_benchmark(name)
+    assert result.succeeded == ok
+    assert normalise_vars(result.output) == normalise_vars(output)
+
+
 @pytest.mark.parametrize("name", sorted(PROGRAMS))
 def test_benchmark_compiles(name):
     program = compile_benchmark(name)

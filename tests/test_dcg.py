@@ -1,0 +1,289 @@
+"""DCG translator tests: unit translations, property-based round trips
+and the hand-threaded reference differential.
+
+The round-trip property pinned here is the one the corpus relies on:
+``translate → render → re-read → re-translate`` is a *fixed point* —
+already-translated programs pass through unchanged (up to variable
+renaming at the term level, byte-identical at the source level).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.dcg import (
+    DcgError, alpha_equal, clause_to_string, is_dcg_rule,
+    translate_dcg_rule, translate_source, translate_term)
+from repro.corpus.workloads import DCG_WORKLOADS
+from repro.reader import parse_program
+from repro.terms import Atom, Struct, Var
+
+from tests.conftest import assert_equivalent, interpret
+
+
+def _parse_one(text):
+    clauses = parse_program(text)
+    assert len(clauses) == 1
+    return clauses[0]
+
+
+def _translated(text):
+    return translate_dcg_rule(_parse_one(text))
+
+
+# -- unit translations -------------------------------------------------------
+
+def test_is_dcg_rule():
+    assert is_dcg_rule(_parse_one("a --> [b]."))
+    assert not is_dcg_rule(_parse_one("a :- b."))
+    assert not is_dcg_rule(_parse_one("a."))
+
+
+def test_empty_production_becomes_fact():
+    clause = _translated("a --> [].")
+    assert isinstance(clause, Struct)
+    assert clause.indicator == ("a", 2)
+    # a(S0, S0): both threading arguments are the same variable
+    assert clause.args[0] is clause.args[1]
+
+
+def test_terminals_thread_difference_list():
+    clause = _translated("greeting --> [hello, world].")
+    expected = _parse_one(
+        "greeting(S0, S) :- S0 = [hello, world|S].")
+    assert alpha_equal(clause, expected)
+
+
+def test_nonterminal_chain():
+    clause = _translated("s --> a, b.")
+    expected = _parse_one("s(S0, S) :- a(S0, S1), b(S1, S).")
+    assert alpha_equal(clause, expected)
+
+
+def test_compound_head_and_embedded_goal():
+    clause = _translated("count(N) --> [x], count(M), {N is M + 1}.")
+    expected = _parse_one(
+        "count(N, S0, S) :- S0 = [x|S1], count(M, S1, S), N is M + 1.")
+    assert alpha_equal(clause, expected)
+
+
+def test_cut_consumes_nothing():
+    clause = _translated("a --> [t], !, [u].")
+    expected = _parse_one(
+        "a(S0, S) :- S0 = [t|S1], !, S1 = [u|S].")
+    assert alpha_equal(clause, expected)
+
+
+def test_negation_consumes_nothing():
+    clause = _translated("a --> \\+ [z], [q].")
+    expected = _parse_one(
+        "a(S0, S) :- \\+ S0 = [z|S1], S0 = [q|S].")
+    assert alpha_equal(clause, expected)
+
+
+def test_disjunction_joins_both_branches():
+    clause = _translated("a --> [x] ; [y].")
+    head, body = clause.args
+    assert head.indicator == ("a", 2)
+    assert body.indicator == (";", 2)
+    # both branches must land on the head's output variable
+    out = head.args[1]
+
+    def lands_on_out(branch):
+        names = set()
+
+        def collect(term):
+            if isinstance(term, Var):
+                names.add(id(term))
+            elif isinstance(term, Struct):
+                for arg in term.args:
+                    collect(arg)
+
+        collect(branch)
+        return id(out) in names
+
+    assert lands_on_out(body.args[0])
+    assert lands_on_out(body.args[1])
+
+
+def test_if_then_else_translates():
+    source = "a --> ( [x] -> [y] ; [z] )."
+    clause = _translated(source)
+    body = clause.args[1]
+    assert body.indicator == (";", 2)
+    assert body.args[0].indicator == ("->", 2)
+
+
+def test_non_dcg_clauses_pass_through():
+    fact = _parse_one("likes(mary, wine).")
+    assert translate_term(fact) is fact
+    rule = _parse_one("a :- b, c.")
+    assert translate_term(rule) is rule
+
+
+# -- the unsupported subset raises -------------------------------------------
+
+def test_pushback_rules_raise():
+    with pytest.raises(DcgError):
+        _translated("a, [x] --> [y].")
+
+
+def test_variable_nonterminal_raises():
+    with pytest.raises(DcgError):
+        _translated("a --> X.")
+
+
+def test_integer_body_raises():
+    with pytest.raises(DcgError):
+        _translated("a --> 42.")
+
+
+def test_improper_terminal_list_raises():
+    with pytest.raises(DcgError):
+        _translated("a --> [x|_].")
+
+
+def test_non_callable_head_raises():
+    with pytest.raises(DcgError):
+        translate_dcg_rule(Struct("-->", [Var("X"), Atom("[]")]))
+
+
+def test_clause_to_string_rejects_non_clauses():
+    with pytest.raises(DcgError):
+        clause_to_string(Var("X"))
+
+
+# -- fixed-point round trips -------------------------------------------------
+
+SAMPLE = r"""
+greeting --> [hello], name.
+name --> [world].
+count(0) --> [].
+count(N) --> [x], count(M), {N is M + 1}.
+choice --> ( [a] -> [b] ; [c] ), !.
+neg --> \+ [z], [q].
+main :- greeting([hello, world], []), write(ok), nl.
+"""
+
+
+def assert_fixed_point(source):
+    translated = translate_source(source)
+    again = translate_source(translated)
+    assert again == translated
+    for left, right in zip(parse_program(translated),
+                           parse_program(again)):
+        assert alpha_equal(left, right)
+
+
+def test_sample_grammar_is_fixed_point():
+    assert_fixed_point(SAMPLE)
+
+
+@pytest.mark.parametrize("name", sorted(DCG_WORKLOADS))
+def test_workload_translation_is_fixed_point(name):
+    assert_fixed_point(DCG_WORKLOADS[name].dcg_source)
+
+
+_TERMINALS = st.sampled_from(["a", "b", "c", "tok"])
+_NONTERMINALS = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def dcg_bodies(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["terminals", "nonterminal",
+                                     "empty", "goal", "cut"]))
+    else:
+        kind = draw(st.sampled_from(["terminals", "nonterminal",
+                                     "empty", "goal", "cut", "conj",
+                                     "disj", "ite", "neg"]))
+    if kind == "terminals":
+        items = draw(st.lists(_TERMINALS, min_size=1, max_size=3))
+        return "[%s]" % ", ".join(items)
+    if kind == "nonterminal":
+        return draw(_NONTERMINALS)
+    if kind == "empty":
+        return "[]"
+    if kind == "goal":
+        return "{X is 1 + 2}"
+    if kind == "cut":
+        return "!"
+    left = draw(dcg_bodies(depth=depth - 1))
+    right = draw(dcg_bodies(depth=depth - 1))
+    if kind == "conj":
+        return "(%s, %s)" % (left, right)
+    if kind == "disj":
+        return "(%s ; %s)" % (left, right)
+    if kind == "ite":
+        third = draw(dcg_bodies(depth=0))
+        return "(%s -> %s ; %s)" % (left, right, third)
+    return "\\+ (%s)" % left
+
+
+@settings(max_examples=120, deadline=None)
+@given(dcg_bodies())
+def test_random_rules_round_trip(body):
+    """translate → render → re-read → re-translate is a fixed point."""
+    source = "p --> %s.\n" % body
+    assert_fixed_point(source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dcg_bodies())
+def test_rendered_clause_reparses_alpha_equal(body):
+    clause = _translated("p --> %s." % body)
+    reread = _parse_one(clause_to_string(clause))
+    assert alpha_equal(clause, reread)
+
+
+# -- hand-threaded reference differential ------------------------------------
+
+# The same ab*c grammar twice: once as a DCG, once threaded by hand.
+_DCG_GRAMMAR = """
+s --> [a], bs, [c].
+bs --> [].
+bs --> [b], bs.
+"""
+
+_HAND_THREADED = """
+s(S0, S) :- S0 = [a|S1], bs(S1, S2), S2 = [c|S].
+bs(S, S).
+bs(S0, S) :- S0 = [b|S1], bs(S1, S).
+"""
+
+
+def _accepts(definitions, tokens):
+    source = definitions + (
+        "main :- (s(%s, []) -> write(yes) ; write(no)), nl.\n" % tokens)
+    ok, output = interpret(source)
+    assert ok
+    return output
+
+
+@pytest.mark.parametrize("tokens", [
+    "[a, c]", "[a, b, c]", "[a, b, b, b, c]", "[a, b]", "[b, c]",
+    "[]", "[a, c, c]", "[c, b, a]",
+])
+def test_translation_matches_hand_threaded_reference(tokens):
+    """The translated parse succeeds iff the hand-threaded one does."""
+    translated = translate_source(_DCG_GRAMMAR)
+    assert _accepts(translated, tokens) == _accepts(_HAND_THREADED,
+                                                    tokens)
+
+
+# -- the workloads themselves ------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(DCG_WORKLOADS))
+def test_workload_interpreter_emulator_agree(name):
+    """Each translated workload runs identically on both engines."""
+    result = assert_equivalent(DCG_WORKLOADS[name].source)
+    assert result.succeeded
+
+
+def test_workload_expected_outputs():
+    """The application answers themselves (not just agreement)."""
+    _, grammar_out = interpret(DCG_WORKLOADS["dcg_grammar"].source)
+    assert grammar_out == "rules(8)\nterminals(8)\n"
+    _, json_out = interpret(DCG_WORKLOADS["dcg_json"].source)
+    assert json_out == "sum(2043)\nnodes(15)\n"
+    _, calc_out = interpret(DCG_WORKLOADS["dcg_calc"].source)
+    assert calc_out == "29\n94\n39\n"

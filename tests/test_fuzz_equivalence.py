@@ -6,6 +6,7 @@ This is the fuzzing layer over the single most important invariant of the
 reproduction (compiled semantics == source semantics).
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bam import compile_source
@@ -177,6 +178,49 @@ def test_backends_agree_on_paper_suite():
     from repro.benchmarks.suite import compile_benchmark
     for name in TABLE_BENCHMARKS:
         assert_backends_identical(compile_benchmark(name))
+
+
+# --------------------------------------------------------------------------
+# Corpus-seeded fuzzing: the generated corpus covers cut, if-then-else,
+# negation and deep-recursion shapes the hand-written query grammar
+# above never produces.  Seeds are fixed (the corpus is deterministic),
+# so a failure here names an exactly reproducible program.
+
+def _corpus_sources(count, base_seed):
+    from repro.corpus.generate import corpus_programs
+    return [(p.name, p.source)
+            for p in corpus_programs(count, base_seed)]
+
+
+@pytest.mark.parametrize(
+    "name,source", _corpus_sources(8, 1992),
+    ids=[name for name, _ in _corpus_sources(8, 1992)])
+def test_corpus_programs_agree_with_interpreter(name, source):
+    ok, expected = interpret(source)
+    result = compile_and_run(source)
+    assert result.succeeded == ok, name
+    assert normalise_vars(result.output) == normalise_vars(expected), name
+
+
+@pytest.mark.slow
+def test_backends_agree_on_corpus_slice():
+    """Backend differential over a wide fixed slice of the corpus
+    (tier-marked slow: ~60 programs through both emulator backends,
+    straight out of the translator and after the optimiser)."""
+    for name, source in _corpus_sources(60, 1992):
+        program = translate_module(compile_source(source))
+        assert_backends_identical(program)
+        optimized, _ = optimize_program(program)
+        assert_backends_identical(optimized)
+
+
+@pytest.mark.slow
+def test_corpus_dcg_workloads_backends_identical():
+    from repro.corpus.workloads import DCG_WORKLOADS
+    for name in sorted(DCG_WORKLOADS):
+        program = translate_module(
+            compile_source(DCG_WORKLOADS[name].source))
+        assert_backends_identical(program)
 
 
 @settings(max_examples=60, deadline=None)

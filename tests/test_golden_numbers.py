@@ -88,6 +88,72 @@ def test_rendered_table1_average_line(t1):
     assert "%.2f" % t1["average"]["bb_speedup"] in line
 
 
+# -- DCG application workloads (the corpus' fixed anchor points) -------------
+#
+# Pinned from the first full corpus sweep (results/BENCH_corpus.json).
+# These are *application* numbers: grammar code branches on token
+# shape, and all three workloads sit well above the paper-suite P_fp —
+# a scheduler or emulator change that silently shifts application
+# behaviour fails here even if the 14 microbenchmarks stay put.
+
+GOLDEN_DCG = {
+    #            speedup  mem-mix  avg_p_fp
+    "dcg_grammar": (2.19,  0.352,   0.228),
+    "dcg_json":    (2.23,  0.314,   0.213),
+    "dcg_calc":    (2.22,  0.354,   0.221),
+}
+
+
+@pytest.fixture(scope="module")
+def dcg_profiles():
+    from repro.benchmarks.suite import compile_benchmark, \
+        run_program_cached
+    profiles = {}
+    for name in GOLDEN_DCG:
+        program = compile_benchmark(name)
+        profiles[name] = (program, run_program_cached(program,
+                                                      name + "-"))
+    return profiles
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_DCG))
+def test_dcg_workload_speedup(dcg_profiles, name):
+    from repro.compaction.machine_model import ideal, sequential
+    from repro.evaluation.pipeline import (
+        basic_block_regions, machine_cycles, superblock_regions)
+    program, result = dcg_profiles[name]
+    seq = machine_cycles(basic_block_regions(program, result),
+                         sequential())
+    trace = machine_cycles(
+        superblock_regions(program, result, 48, name + "-"),
+        ideal("ideal_tr"))
+    golden_speedup = GOLDEN_DCG[name][0]
+    assert seq / trace == pytest.approx(golden_speedup, abs=0.10)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_DCG))
+def test_dcg_workload_instruction_mix(dcg_profiles, name):
+    from repro.experiments.corpus_sweep import _instruction_mix
+    program, result = dcg_profiles[name]
+    mix = _instruction_mix(program, result.counts)
+    assert mix["mem"] == pytest.approx(GOLDEN_DCG[name][1], abs=0.02)
+    assert sum(mix.values()) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_DCG))
+def test_dcg_workload_branch_prediction(dcg_profiles, name):
+    """All three application workloads break the paper's section 4.4
+    predictability figure (~0.15): pinned so the corpus report's
+    headline finding cannot silently drift."""
+    from repro.analysis.branch_stats import (
+        average_p_fp, branch_records)
+    program, result = dcg_profiles[name]
+    records = branch_records(program, result.counts, result.taken)
+    p_fp = average_p_fp(records)
+    assert p_fp == pytest.approx(GOLDEN_DCG[name][2], abs=0.02)
+    assert p_fp > 0.15
+
+
 # -- dataflow-oracle pruning (repro analyze / config.analysis_prune) ---------
 
 def test_pruned_schedule_golden_cycles():
