@@ -1,10 +1,10 @@
-"""Emulator backend shoot-out: reference loop versus threaded code.
+"""Emulator backend shoot-out: reference loop, threaded code, codegen.
 
 Regenerates ``BENCH_emulator.json`` (the perf-trajectory record also
 produced by ``repro bench``) into ``results/`` and times one
 representative program per backend under pytest-benchmark.  The paper
 suite sweep doubles as a differential check: the document's
-``identical`` fields assert both backends returned bit-identical
+``identical`` fields assert all backends returned bit-identical
 results everywhere.
 """
 
@@ -13,7 +13,7 @@ import os
 from repro.benchmarks.perf import (
     bench_document, format_bench, validate_bench, write_bench)
 from repro.benchmarks.suite import compile_benchmark
-from repro.emulator import Emulator, ThreadedEmulator
+from repro.emulator import CodegenEmulator, Emulator, ThreadedEmulator
 
 from benchmarks.conftest import save_result
 
@@ -37,6 +37,18 @@ def test_backend_throughput_threaded(benchmark):
         result.steps / benchmark.stats["mean"])
 
 
+def test_backend_throughput_codegen(benchmark):
+    program = compile_benchmark("nreverse")
+    emulator = CodegenEmulator(program, persist=False)
+    emulator.run()          # warm: tier-2 recompile + template in place
+    emulator.run()
+    result = benchmark(emulator.run)
+    assert result.succeeded
+    assert result.backend == "codegen"
+    benchmark.extra_info["ici_per_second"] = (
+        result.steps / benchmark.stats["mean"])
+
+
 def test_emit_bench_emulator_json(results_dir):
     document = bench_document(repeats=3)
     problems = validate_bench(document)
@@ -45,6 +57,9 @@ def test_emit_bench_emulator_json(results_dir):
     path = write_bench(document,
                        os.path.join(results_dir, "BENCH_emulator.json"))
     assert os.path.exists(path)
+    speedups = document["summary"]["speedups"]
     save_result("bench_emulator", "\n".join(
         format_bench(entry) for entry in document["benchmarks"])
-        + "\ntotal speedup: %.2fx" % document["summary"]["speedup"])
+        + "\ntotal speedup: " + " ".join(
+            "%s %.2fx" % (backend, speedup)
+            for backend, speedup in speedups.items()))

@@ -107,7 +107,10 @@ def run_program_cached(program, key_hint="", backend=None):
             os.remove(path)
     observe.add("profile_cache.misses")
     with observe.span("pipeline.profile", backend=wanted) as sp:
-        result = run_program(program, backend=wanted)
+        # cached-profile producers are exactly the programs worth
+        # keeping compiled codegen artefacts for (sweeps re-run them)
+        result = run_program(program, backend=wanted,
+                             persist_artifacts=True)
         sp.set(steps=result.steps, status=result.status)
     # Crash-safe publish: parallel evaluation workers (and concurrent
     # CLI runs) may race on the same profile; a reader must never see

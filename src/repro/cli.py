@@ -10,6 +10,7 @@
                                               # ILP bound over the suite
     python -m repro analyze --format json --output analyze.json
     python -m repro bench [--quick]           # time emulator backends
+    python -m repro bench --backend codegen --backend reference mu
     python -m repro evaluate [--extras]       # the paper's tables/figures
     python -m repro evaluate --jobs 4 --bench qsort --bench nreverse
     python -m repro evaluate --bench conc30 --trace trace.jsonl
@@ -247,15 +248,23 @@ def cmd_bench(args, out, err):
                   % (", ".join(sorted(unknown)),
                      ", ".join(sorted(PROGRAMS))))
         return 2
-    document = bench_document(
-        names, repeats=args.repeat,
-        progress=lambda entry: out.write(format_bench(entry) + "\n"))
+    try:
+        document = bench_document(
+            names, repeats=args.repeat, backends=args.backend,
+            progress=lambda entry: out.write(format_bench(entry) + "\n"))
+    except ValueError as error:
+        err.write("bench: %s\n" % error)
+        return 2
     summary = document["summary"]
-    out.write("total: ref=%.4fs thr=%.4fs speedup=%.2fx over %d "
-              "benchmark(s)\n"
-              % (summary["total_seconds"]["reference"],
-                 summary["total_seconds"]["threaded"],
-                 summary["speedup"], summary["benchmarks"]))
+    totals = " ".join(
+        "%s=%.4fs" % (backend, seconds)
+        for backend, seconds in summary["total_seconds"].items())
+    speedups = " ".join(
+        "%s %.2fx" % (backend, speedup)
+        for backend, speedup in summary["speedups"].items())
+    out.write("total: %s%s over %d benchmark(s)\n"
+              % (totals, (" " + speedups if speedups else ""),
+                 summary["benchmarks"]))
     problems = validate_bench(document)
     if problems:
         for problem in problems:
@@ -525,7 +534,9 @@ def cmd_corpus(args, out, err):
                        policy=_supervisor_policy(args))
     try:
         document = run_corpus_sweep(count, args.base_seed, engine=engine,
-                                    budget=args.tail_dup_budget)
+                                    budget=args.tail_dup_budget,
+                                    saturation=args.quick
+                                    or args.saturation)
     except EvaluationError as error:
         err.write(str(error) + "\n")
         _write_supervisor_report(args, engine, out)
@@ -556,6 +567,11 @@ def cmd_corpus(args, out, err):
     out.write("static ILP gap: median %.2fx (p25 %.2fx, p75 %.2fx, "
               "max %.2fx)\n"
               % (gap["median"], gap["p25"], gap["p75"], gap["max"]))
+    if "saturation" in summary:
+        curve = summary["saturation"]
+        out.write("saturation (mean speedup): %s\n"
+                  % "  ".join("%s %.2fx" % (key, curve[key]["mean"])
+                              for key in sorted(curve)))
 
     problems = validate_corpus_bench(document)
     if problems:
@@ -740,7 +756,7 @@ def build_parser():
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bench",
-                       help="time both emulator backends over the "
+                       help="time the emulator backends over the "
                             "paper suite")
     p.add_argument("name", nargs="*",
                    help="suite benchmark(s) to time (default: the "
@@ -748,6 +764,10 @@ def build_parser():
     p.add_argument("--quick", action="store_true",
                    help="time only the two cheapest benchmarks (the "
                         "CI smoke subset)")
+    p.add_argument("--backend", action="append", metavar="NAME",
+                   choices=("reference", "threaded", "codegen"),
+                   help="emulator backend to time (repeatable; "
+                        "default: all backends)")
     p.add_argument("--repeat", type=int, default=3, metavar="N",
                    help="timing repeats per backend; best-of-N is "
                         "recorded (default 3)")
@@ -800,7 +820,11 @@ def build_parser():
     p.add_argument("--count", type=int, metavar="N",
                    help="generated programs to sweep (default 200)")
     p.add_argument("--quick", action="store_true",
-                   help="small fixed seed set (10 programs; CI smoke)")
+                   help="small fixed seed set (10 programs; CI smoke); "
+                        "implies --saturation")
+    p.add_argument("--saturation", action="store_true",
+                   help="also sweep the vliw1..vliw5 issue-width "
+                        "saturation curve per program")
     p.add_argument("--base-seed", type=int, default=1992, metavar="SEED",
                    help="first generator seed (default 1992)")
     p.add_argument("--tail-dup-budget", type=int, default=48)

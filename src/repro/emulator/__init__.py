@@ -1,12 +1,16 @@
 """Sequential ICI emulator and dynamic statistics.
 
-Two backends share one contract (bit-identical
+Three backends share one contract (bit-identical
 :class:`~repro.emulator.machine.EmulationResult` data):
 
 * ``reference`` — the plain interpreter loop in
   :mod:`repro.emulator.machine`;
 * ``threaded`` — the compiled threaded-code backend in
-  :mod:`repro.emulator.threaded` (the default; several times faster).
+  :mod:`repro.emulator.threaded` (basic blocks as Python closures);
+* ``codegen`` — the compiled-function backend in
+  :mod:`repro.emulator.codegen` (the default; the whole program emitted
+  as one Python function with registers as locals, an order of
+  magnitude faster than the reference loop).
 
 :func:`run_program` selects between them (``backend=`` argument or the
 ``REPRO_EMULATOR_BACKEND`` environment variable).
@@ -23,6 +27,7 @@ from repro.emulator.machine import (
     decode,
 )
 from repro.emulator.threaded import ThreadedEmulator, threaded_code
+from repro.emulator.codegen import CodegenEmulator, codegen_code
 from repro.emulator.debug import DebugMachine
 
 __all__ = [
@@ -31,6 +36,8 @@ __all__ = [
     "EmulationResult",
     "EmulatorError",
     "ThreadedEmulator",
+    "CodegenEmulator",
+    "codegen_code",
     "resolve_backend",
     "run_program",
     "render_term",

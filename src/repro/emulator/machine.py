@@ -8,11 +8,12 @@ output so compiled code can be validated against the reference interpreter.
 
 The emulator is a straight interpreter loop over pre-decoded instruction
 tuples; correctness and statistics, not speed, are its contract.  The
-fast path is the threaded-code backend in
-:mod:`repro.emulator.threaded`, which compiles basic blocks to Python
-closures and must stay bit-identical to this loop — :func:`run_program`
-selects between the two (``REPRO_EMULATOR_BACKEND``, default
-``threaded``).
+fast paths are the threaded-code backend in
+:mod:`repro.emulator.threaded` (basic blocks as Python closures) and the
+codegen backend in :mod:`repro.emulator.codegen` (the whole program
+compiled to one Python function, registers as locals); both must stay
+bit-identical to this loop — :func:`run_program` selects between the
+three (``REPRO_EMULATOR_BACKEND``, default ``codegen``).
 """
 
 import os
@@ -22,7 +23,7 @@ from repro.terms import tags, Atom, Int, Var, Struct, term_to_string
 from repro.intcode import layout
 
 _BACKEND_ENV = "REPRO_EMULATOR_BACKEND"
-BACKENDS = ("threaded", "reference")
+BACKENDS = ("codegen", "threaded", "reference")
 
 
 def resolve_backend(backend=None):
@@ -377,15 +378,20 @@ def _reify(mem, symbols, word, seen, depth=0):
     return Atom("<%s>" % tags.describe(word))
 
 
-def run_program(program, max_steps=500_000_000, backend=None):
+def run_program(program, max_steps=500_000_000, backend=None,
+                persist_artifacts=False):
     """Emulate *program* on the selected backend and return the result.
 
-    *backend* is ``"threaded"`` (compiled basic blocks, the default) or
-    ``"reference"`` (the interpreter loop above); when None the
-    ``REPRO_EMULATOR_BACKEND`` environment variable decides.  Both
-    backends produce bit-identical :class:`EmulationResult` data; the
-    threaded one falls back to the reference loop on any construct it
-    cannot compile.
+    *backend* is ``"codegen"`` (the whole program compiled to one
+    Python function, the default), ``"threaded"`` (compiled basic-block
+    closures) or ``"reference"`` (the interpreter loop above); when
+    None the ``REPRO_EMULATOR_BACKEND`` environment variable decides.
+    All backends produce bit-identical :class:`EmulationResult` data;
+    the compiled ones fall back on any construct they cannot compile.
+
+    *persist_artifacts* lets the codegen backend publish its compiled
+    artefact to the content-addressed cache (the profile cache and the
+    bench harness opt in; one-shot runs default to consult-only).
     """
     from repro.testing import faults
     from repro.observability import tracing as observe
@@ -402,9 +408,13 @@ def run_program(program, max_steps=500_000_000, backend=None):
     try:
         if name == "reference":
             result = Emulator(program, max_steps=max_steps).run()
-        else:
+        elif name == "threaded":
             from repro.emulator.threaded import ThreadedEmulator
             result = ThreadedEmulator(program, max_steps=max_steps).run()
+        else:
+            from repro.emulator.codegen import CodegenEmulator
+            result = CodegenEmulator(program, max_steps=max_steps,
+                                     persist=persist_artifacts).run()
     except BaseException as error:
         if tracer is not None:
             tracer.close(span, error=error)

@@ -115,12 +115,13 @@ _PROFILE_FILES = (
     "intcode/runtime.py",
     "intcode/layout.py",
 )
-#: the threaded backend is an implementation detail with a bit-identical
-#: output contract, so editing it (or switching backends — the active
-#: backend is a key component of profile nodes) invalidates only profile
-#: artefacts: region layouts and cycle cells consume profile *data*,
-#: which both backends produce identically.
-_PROFILE_ONLY_FILES = _PROFILE_FILES + ("emulator/threaded.py",)
+#: the threaded and codegen backends are implementation details with a
+#: bit-identical output contract, so editing them (or switching
+#: backends — the active backend is a key component of profile nodes)
+#: invalidates only profile artefacts: region layouts and cycle cells
+#: consume profile *data*, which every backend produces identically.
+_PROFILE_ONLY_FILES = _PROFILE_FILES + ("emulator/threaded.py",
+                                        "emulator/codegen.py")
 _REGION_FILES = _PROFILE_FILES + (
     "compaction/transform.py",
     "analysis/cfg.py",
@@ -144,6 +145,10 @@ _COMPONENT_FILES = {
     "wam": _CELL_FILES,
     # the static dataflow-limit bound (repro.experiments.static_ilp)
     "static_ilp": _CELL_FILES,
+    # the codegen backend's persisted compiled artefacts — keyed on the
+    # generator + the decode/layout contract it bakes into the source
+    "codegen": ("emulator/machine.py", "emulator/threaded.py",
+                "emulator/codegen.py", "intcode/layout.py"),
 }
 
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -35,6 +35,7 @@ __all__ = [
     "CORPUS_BENCH_SCHEMA",
     "CORPUS_CONFIG_KEYS",
     "PREDICTABLE_P_FP",
+    "SATURATION_WIDTHS",
     "build_corpus_specs",
     "corpus_document",
     "run_corpus_sweep",
@@ -57,6 +58,10 @@ PREDICTABLE_P_FP = 0.15
 
 #: tail-duplication budget (the evaluation default)
 DEFAULT_BUDGET = 48
+
+#: the VLIW issue widths of the saturation curve (Figure 2's sweep):
+#: how per-program speedup grows — and flattens — as units are added
+SATURATION_WIDTHS = (1, 2, 3, 4, 5)
 
 
 def _corpus_configs():
@@ -155,7 +160,7 @@ def sweep_target(spec):
         "gap": bound / achieved,
     }
 
-    return {
+    record = {
         "name": name,
         "kind": spec["kind"],
         "seed": spec["seed"],
@@ -173,9 +178,27 @@ def sweep_target(spec):
         "ilp": ilp,
     }
 
+    if spec.get("saturation"):
+        # ILP saturation: speedup over the sequential machine as the
+        # VLIW issue width grows (the corpus-scale twin of Figure 2's
+        # width sweep).  Cells land in the same memoised cache as the
+        # master evaluation, so the curve is incremental too.
+        from repro.experiments.data import master_configs
+        widths = master_configs()
+        curve = {}
+        for width in SATURATION_WIDTHS:
+            config, _regioning = widths["vliw%d" % width]
+            cycles = _cycles_cell(fingerprint, "trace", budget, config,
+                                  trace_set, True)
+            curve["vliw%d" % width] = (seq_cycles / cycles
+                                       if cycles else 0.0)
+        record["saturation"] = curve
+
+    return record
+
 
 def build_corpus_specs(count, base_seed, budget=DEFAULT_BUDGET,
-                       include_workloads=True):
+                       include_workloads=True, saturation=False):
     """The sweep's task list: *count* generated programs (+ workloads)."""
     from repro.corpus.generate import (
         GENERATOR_MAX_STEPS, corpus_programs)
@@ -189,6 +212,7 @@ def build_corpus_specs(count, base_seed, budget=DEFAULT_BUDGET,
                 "name": name, "source": workload.source, "kind": "dcg",
                 "seed": None, "schemes": [], "budget": budget,
                 "max_steps": GENERATOR_MAX_STEPS,
+                "saturation": saturation,
             })
     for generated in corpus_programs(count, base_seed):
         specs.append({
@@ -196,6 +220,7 @@ def build_corpus_specs(count, base_seed, budget=DEFAULT_BUDGET,
             "kind": "generated", "seed": generated.seed,
             "schemes": generated.schemes, "budget": budget,
             "max_steps": GENERATOR_MAX_STEPS,
+            "saturation": saturation,
         })
     return specs
 
@@ -287,7 +312,13 @@ def corpus_document(records, elapsed_seconds, count, base_seed):
     limits = [r["ilp"]["dataflow_limit_speedup"] for r in records]
     generated = [r for r in records if r["kind"] == "generated"]
     dcg = [r for r in records if r["kind"] == "dcg"]
-    return {
+    with_curve = [r for r in records if "saturation" in r]
+    saturation = {
+        "vliw%d" % width: _quantiles(
+            [r["saturation"]["vliw%d" % width] for r in with_curve])
+        for width in SATURATION_WIDTHS
+    } if with_curve else None
+    document = {
         "schema": CORPUS_BENCH_SCHEMA,
         "kind": "corpus-sweep",
         "revision": git_revision(),
@@ -313,6 +344,9 @@ def corpus_document(records, elapsed_seconds, count, base_seed):
             "claim": _claim_report(records),
         },
     }
+    if saturation is not None:
+        document["summary"]["saturation"] = saturation
+    return document
 
 
 def validate_corpus_bench(document):
@@ -367,6 +401,15 @@ def validate_corpus_bench(document):
             require(isinstance(ilp, dict)
                     and isinstance(ilp.get("gap"), (int, float)),
                     "%s: 'ilp.gap' is not a number" % where)
+            if "saturation" in record:
+                curve = record["saturation"]
+                require(isinstance(curve, dict)
+                        and sorted(curve) == sorted(
+                            "vliw%d" % w for w in SATURATION_WIDTHS)
+                        and all(isinstance(v, (int, float))
+                                for v in curve.values()),
+                        "%s: 'saturation' is not a full vliw1..vliw%d "
+                        "number curve" % (where, SATURATION_WIDTHS[-1]))
             mix = record.get("mix")
             if require(isinstance(mix, dict),
                        "%s: 'mix' is not an object" % where):
@@ -395,6 +438,15 @@ def validate_corpus_bench(document):
                         "gap"):
                 require(isinstance(ilp.get(key), dict),
                         "'summary.ilp.%s' is not an object" % key)
+        if "saturation" in summary:
+            curve = summary["saturation"]
+            require(isinstance(curve, dict)
+                    and sorted(curve) == sorted(
+                        "vliw%d" % w for w in SATURATION_WIDTHS)
+                    and all(isinstance(v, dict)
+                            for v in (curve or {}).values()),
+                    "'summary.saturation' is not a full vliw1..vliw%d "
+                    "quantile curve" % SATURATION_WIDTHS[-1])
     return problems
 
 
@@ -412,15 +464,16 @@ def write_corpus_bench(document, path="results/BENCH_corpus.json"):
 
 def run_corpus_sweep(count, base_seed, engine=None,
                      budget=DEFAULT_BUDGET, include_workloads=True,
-                     progress=None):
+                     progress=None, saturation=False):
     """Sweep the corpus through :func:`sweep_target`; returns the
     BENCH document.  Tasks fan out over *engine* (or the shared one),
-    supervised and cache-backed."""
+    supervised and cache-backed.  With *saturation*, every program
+    also sweeps the vliw1..vliw5 width curve."""
     from repro.evaluation.parallel import shared_engine
 
     engine = engine or shared_engine()
     specs = build_corpus_specs(count, base_seed, budget,
-                               include_workloads)
+                               include_workloads, saturation)
     started = time.perf_counter()
     records = engine.map(sweep_target, specs)
     elapsed = time.perf_counter() - started

@@ -26,6 +26,7 @@ class Program:
         # object's lifetime.
         self._decoded = None
         self._threaded = None
+        self._codegen = None
 
     def __len__(self):
         return len(self.instructions)

@@ -63,6 +63,7 @@ SITES = {
     "pipeline.cycles": ("error", "crash", "hang"),
     "pipeline.superblock": ("error", "crash", "hang"),
     "emulator.run": ("step-limit", "error"),
+    "emulator.codegen.block": ("bail", "error"),
 }
 
 

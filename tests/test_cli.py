@@ -97,7 +97,8 @@ def test_bench_known_name(tmp_path):
         ["bench", "conc30", "--repeat", "1", "--output", output])
     assert status == 0
     assert "steps=" in text
-    assert "speedup=" in text
+    assert "cg" in text and "ref=" in text
+    assert " ok" in text
 
 
 def test_bench_unknown_name(tmp_path):
@@ -121,8 +122,30 @@ def test_bench_quick_writes_schema_valid_record(tmp_path):
     assert [entry["name"] for entry in document["benchmarks"]] \
         == list(QUICK_BENCHMARKS)
     assert sorted(document["benchmarks"][0]["backends"]) \
-        == ["reference", "threaded"]
+        == ["codegen", "reference", "threaded"]
     assert document["summary"]["all_identical"] is True
+
+
+def test_bench_backend_subset(tmp_path):
+    import json
+    from repro.benchmarks.perf import validate_bench
+    output = str(tmp_path / "BENCH_emulator.json")
+    status, text, errors = run_cli(
+        ["bench", "conc30", "--repeat", "1",
+         "--backend", "codegen", "--backend", "reference",
+         "--output", output])
+    assert status == 0, errors
+    with open(output) as handle:
+        document = json.load(handle)
+    assert validate_bench(document) == []
+    assert document["backends_timed"] == ["codegen", "reference"]
+    entry = document["benchmarks"][0]
+    assert sorted(entry["backends"]) == ["codegen", "reference"]
+    # each row names the backend that actually produced its profile
+    assert entry["backends"]["reference"]["produced_by"] == "reference"
+    assert entry["backends"]["codegen"]["produced_by"] == "codegen"
+    assert "codegen" in entry["speedups"]
+    assert "threaded" not in entry["backends"]
 
 
 def test_bench_rejects_names_with_quick(tmp_path):
@@ -227,7 +250,7 @@ def _profile_column(text, benchmark):
     return row.split()[-1]
 
 
-@pytest.mark.parametrize("backend", ("reference", "threaded"))
+@pytest.mark.parametrize("backend", ("reference", "threaded", "codegen"))
 def test_bench_quick_records_env_backend(tmp_path, monkeypatch, backend):
     import json
     monkeypatch.setenv("REPRO_EMULATOR_BACKEND", backend)
@@ -248,7 +271,7 @@ def test_evaluate_profile_backend_follows_env_override(
     the profile provenance of a sweep run under the other."""
     from repro.evaluation import parallel
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    for backend in ("reference", "threaded", "reference"):
+    for backend in ("reference", "codegen", "threaded", "reference"):
         monkeypatch.setenv("REPRO_EMULATOR_BACKEND", backend)
         monkeypatch.setattr(parallel, "_worker_programs", {})
         monkeypatch.setattr(parallel, "_worker_regions", {})

@@ -8,9 +8,9 @@ import pytest
 
 from repro.evaluation.parallel import EvaluationEngine
 from repro.experiments.corpus_sweep import (
-    CORPUS_BENCH_SCHEMA, CORPUS_CONFIG_KEYS, build_corpus_specs,
-    run_corpus_sweep, sweep_target, validate_corpus_bench,
-    write_corpus_bench)
+    CORPUS_BENCH_SCHEMA, CORPUS_CONFIG_KEYS, SATURATION_WIDTHS,
+    build_corpus_specs, run_corpus_sweep, sweep_target,
+    validate_corpus_bench, write_corpus_bench)
 
 
 def test_build_corpus_specs():
@@ -42,6 +42,25 @@ def test_sweep_target_record_shape():
     # scheduling, which dominates the sequential machine
     assert ilp["dataflow_limit_speedup"] >= ilp["achieved_speedup"] >= 1.0
     assert ilp["gap"] >= 1.0
+
+
+def test_sweep_target_saturation_curve():
+    spec = build_corpus_specs(1, 1992, include_workloads=False,
+                              saturation=True)[0]
+    assert spec["saturation"] is True
+    record = sweep_target(spec)
+    curve = record["saturation"]
+    assert sorted(curve) == sorted("vliw%d" % w
+                                   for w in SATURATION_WIDTHS)
+    # more units never slow the trace schedule down: the curve is
+    # monotone in width, and it saturates rather than scaling linearly
+    speedups = [curve["vliw%d" % w] for w in SATURATION_WIDTHS]
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] < len(SATURATION_WIDTHS)
+    # without the flag the record has no curve
+    plain = sweep_target(build_corpus_specs(
+        1, 1992, include_workloads=False)[0])
+    assert "saturation" not in plain
 
 
 @pytest.fixture(scope="module")
@@ -137,6 +156,44 @@ def test_corpus_cli_quick(tmp_path):
         document = json.load(handle)
     assert validate_corpus_bench(document) == []
     assert document["summary"]["programs"] == 5
+
+
+def test_corpus_sweep_saturation_summary():
+    engine = EvaluationEngine(jobs=1)
+    try:
+        document = run_corpus_sweep(2, 1992, engine=engine,
+                                    include_workloads=False,
+                                    saturation=True)
+    finally:
+        engine.close()
+    assert validate_corpus_bench(document) == []
+    curve = document["summary"]["saturation"]
+    assert sorted(curve) == sorted("vliw%d" % w
+                                   for w in SATURATION_WIDTHS)
+    means = [curve["vliw%d" % w]["mean"] for w in SATURATION_WIDTHS]
+    assert all(b >= a for a, b in zip(means, means[1:]))
+    # tampering with the curve is caught
+    broken = json.loads(json.dumps(document))
+    del broken["summary"]["saturation"]["vliw3"]
+    assert validate_corpus_bench(broken)
+    broken = json.loads(json.dumps(document))
+    broken["programs"][0]["saturation"]["vliw2"] = "fast"
+    assert validate_corpus_bench(broken)
+
+
+def test_corpus_cli_saturation_output(tmp_path):
+    from repro.cli import main
+    output = tmp_path / "BENCH_corpus.json"
+    out, err = io.StringIO(), io.StringIO()
+    status = main(["corpus", "--count", "2", "--jobs", "1",
+                   "--saturation", "--output", str(output)],
+                  out=out, err=err)
+    assert status == 0, err.getvalue()
+    assert "saturation (mean speedup): vliw1" in out.getvalue()
+    with open(output) as handle:
+        document = json.load(handle)
+    assert validate_corpus_bench(document) == []
+    assert "saturation" in document["summary"]
 
 
 def test_corpus_cli_rejects_count_with_quick():

@@ -11,7 +11,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bam import compile_source
 from repro.intcode import translate_module, optimize_program
-from repro.emulator import Emulator, ThreadedEmulator
+from repro.emulator import CodegenEmulator, Emulator, ThreadedEmulator
+from repro.testing import faults
 
 from tests.conftest import (
     assert_lint_clean, compile_and_run, interpret, normalise_vars)
@@ -133,17 +134,19 @@ def test_random_unification_agrees(left, right):
 
 
 # --------------------------------------------------------------------------
-# Backend differential fuzzing: the threaded-code backend must be
-# bit-identical to the reference loop on every observable field.
+# Backend differential fuzzing: the threaded-code and codegen backends
+# must be bit-identical to the reference loop on every observable field.
 
 def assert_backends_identical(program, max_steps=50_000_000):
     reference = Emulator(program, max_steps=max_steps).run()
-    threaded = ThreadedEmulator(program, max_steps=max_steps).run()
-    assert threaded.status == reference.status
-    assert threaded.steps == reference.steps
-    assert threaded.output == reference.output
-    assert threaded.counts == reference.counts
-    assert threaded.taken == reference.taken
+    for cls in (ThreadedEmulator, CodegenEmulator):
+        kwargs = {"persist": False} if cls is CodegenEmulator else {}
+        other = cls(program, max_steps=max_steps, **kwargs).run()
+        assert other.status == reference.status, cls.__name__
+        assert other.steps == reference.steps, cls.__name__
+        assert other.output == reference.output, cls.__name__
+        assert other.counts == reference.counts, cls.__name__
+        assert other.taken == reference.taken, cls.__name__
 
 
 @settings(max_examples=30, deadline=None)
@@ -178,6 +181,63 @@ def test_backends_agree_on_paper_suite():
     from repro.benchmarks.suite import compile_benchmark
     for name in TABLE_BENCHMARKS:
         assert_backends_identical(compile_benchmark(name))
+
+
+# --------------------------------------------------------------------------
+# Fault injection inside compiled blocks: a ``bail`` fired mid-block
+# must leave the codegen backend's observable result bit-identical
+# (the fallback re-runs the reference loop from scratch), and an
+# ``error`` must surface as InjectedFault rather than corrupt state.
+# Each arming gets a fresh fuse state directory: in-process fuse
+# accounting is keyed on the spec string, so re-arming an identical
+# spec would otherwise find its fuse already spent.
+
+def _result_fields(result):
+    return (result.status, result.steps, result.output, result.counts,
+            result.taken)
+
+
+def test_codegen_block_fault_bail_falls_back_identically(tmp_path):
+    source = LIBRARY + "main :- rev([1,2,3,4,5], [], R), write(R), nl."
+    program = translate_module(compile_source(source))
+    reference = Emulator(program).run()
+    with faults.injected("emulator.codegen.block=bail:1",
+                         str(tmp_path / "fuses")):
+        result = CodegenEmulator(program, persist=False).run()
+    assert result.backend == "reference"
+    assert _result_fields(result) == _result_fields(reference)
+
+
+def test_codegen_block_fault_error_raises(tmp_path):
+    source = LIBRARY + "main :- len([1,2,3], N), write(N), nl."
+    program = translate_module(compile_source(source))
+    with faults.injected("emulator.codegen.block=error:1",
+                         str(tmp_path / "fuses")):
+        with pytest.raises(faults.InjectedFault):
+            CodegenEmulator(program, persist=False).run()
+
+
+def test_codegen_block_fault_on_paper_benchmark(tmp_path):
+    from repro.benchmarks.suite import compile_benchmark
+    program = compile_benchmark("mu")
+    reference = Emulator(program).run()
+    with faults.injected("emulator.codegen.block=bail:1",
+                         str(tmp_path / "fuses")):
+        result = CodegenEmulator(program, persist=False).run()
+    assert result.backend == "reference"
+    assert _result_fields(result) == _result_fields(reference)
+
+
+@pytest.mark.slow
+def test_codegen_block_faults_on_corpus_slice(tmp_path):
+    for name, source in _corpus_sources(12, 2025):
+        program = translate_module(compile_source(source))
+        reference = Emulator(program).run()
+        with faults.injected("emulator.codegen.block=bail:1",
+                             str(tmp_path / name)):
+            result = CodegenEmulator(program, persist=False).run()
+        assert result.backend == "reference", name
+        assert _result_fields(result) == _result_fields(reference), name
 
 
 # --------------------------------------------------------------------------

@@ -32,9 +32,12 @@ def test_cache_roundtrip(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     program = program_for(SOURCE_A)
     def entries():
-        # The writer's advisory .lock file is bookkeeping, not an entry.
+        # The writer's advisory .lock file is bookkeeping, and the
+        # codegen backend's compiled artefact (codegen-*.json) is its
+        # own cache kind — neither is a profile entry.
         return sorted(p for p in tmp_path.iterdir()
-                      if p.suffix == ".json")
+                      if p.suffix == ".json"
+                      and not p.name.startswith("codegen-"))
 
     first = run_program_cached(program, "t-")
     files = entries()
@@ -49,7 +52,8 @@ def test_corrupt_cache_entry_recomputed(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     program = program_for(SOURCE_A)
     run_program_cached(program, "t-")
-    path = next(tmp_path.iterdir())
+    path = next(p for p in tmp_path.iterdir()
+                if p.name.startswith("t-"))
     path.write_text("{not json")
     result = run_program_cached(program, "t-")
     assert result.output == "1\n"

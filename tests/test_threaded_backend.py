@@ -25,14 +25,15 @@ main :- count(200), write(done), nl.
 
 # -- backend selection -----------------------------------------------------
 
-def test_backend_order_prefers_threaded():
-    assert BACKENDS == ("threaded", "reference")
-    assert resolve_backend(None) == "threaded"
+def test_backend_order_prefers_codegen():
+    assert BACKENDS == ("codegen", "threaded", "reference")
+    assert resolve_backend(None) == "codegen"
 
 
 def test_resolve_explicit_backends():
     assert resolve_backend("reference") == "reference"
     assert resolve_backend("threaded") == "threaded"
+    assert resolve_backend("codegen") == "codegen"
 
 
 def test_resolve_backend_rejects_unknown():
@@ -212,16 +213,17 @@ def test_profile_cache_records_backend(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     program = compile_program(HELLO)
     result = run_program_cached(program, "hello-")
-    assert result.backend == "threaded"
+    assert result.backend == "codegen"
     entries = [name for name in os.listdir(tmp_path)
-               if name.endswith(".json")]
+               if name.endswith(".json")
+               and not name.startswith("codegen-")]
     assert len(entries) == 1
     with open(tmp_path / entries[0]) as handle:
         payload = json.load(handle)
-    assert payload["backend"] == "threaded"
+    assert payload["backend"] == "codegen"
     # A warm read reports the backend that produced the artefact.
     cached = run_program_cached(program, "hello-")
-    assert cached.backend == "threaded"
+    assert cached.backend == "codegen"
     assert cached.counts == result.counts
 
 
