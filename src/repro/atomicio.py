@@ -141,6 +141,34 @@ class FileLock:
         self._depth = 1
         return self
 
+    def try_acquire(self):
+        """Non-blocking acquire; True on success.
+
+        Deepens the re-entrancy counter when this object already holds
+        the lock; otherwise attempts one ``LOCK_NB`` flock and reports
+        failure instead of waiting.  A False return leaves the object's
+        state untouched (depth unchanged, no descriptor leaked).
+        """
+        if self._depth:
+            self._depth += 1
+            return True
+        if fcntl is None:
+            self._depth = 1
+            return True
+        handle = open(self.path, "a+")
+        try:
+            fcntl.flock(handle.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            return False
+        except BaseException:
+            handle.close()
+            raise
+        self._handle = handle
+        self._depth = 1
+        return True
+
     def release(self):
         if self._depth == 0:
             return

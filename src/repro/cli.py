@@ -697,6 +697,100 @@ def cmd_verify(args, out, err):
     return status
 
 
+def _serve_config(args):
+    from repro.serve.service import ServiceConfig
+    return ServiceConfig(
+        host=args.host, port=args.port, jobs=_resolve_jobs(args),
+        shards=args.shards, cache_root=args.cache_dir,
+        queue_limit=args.queue_limit, batch_max=args.batch_max,
+        default_deadline=args.deadline,
+        breaker_threshold=args.breaker_threshold,
+        cell_timeout=(args.cell_timeout
+                      if getattr(args, "cell_timeout", None)
+                      else 300.0),
+        max_attempts=(args.max_attempts
+                      if getattr(args, "max_attempts", None) else 3))
+
+
+async def _serve_async(config, out):
+    import asyncio
+    import signal as signals
+
+    from repro.serve.service import EvaluationService
+    service = EvaluationService(config)
+    port = await service.start()
+    out.write("repro-serve: listening on http://%s:%d "
+              "(%d worker(s), queue limit %d)\n"
+              % (config.host, port, config.jobs, config.queue_limit))
+    out.flush()
+    loop = asyncio.get_running_loop()
+    for signum in (signals.SIGTERM, signals.SIGINT):
+        try:
+            loop.add_signal_handler(signum, service.begin_drain)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass
+    await service.wait_closed()
+    out.write("repro-serve: drained after %d request(s)\n"
+              % service.metrics.count("serve.requests"))
+    out.flush()
+
+
+def cmd_serve(args, out, err):
+    if args.load_test:
+        from repro.serve.loadtest import (
+            run_load_test, validate_serve_bench, write_serve_bench)
+        document = run_load_test(
+            requests=args.load_test, concurrency=args.concurrency,
+            jobs=_resolve_jobs(args), url=args.url,
+            shards=args.shards or 8, queue_limit=args.queue_limit,
+            progress=lambda text: out.write("serve: %s\n" % text))
+        latency = document["latency_ms"]
+        out.write("serve: %d request(s), p50 %.1fms p99 %.1fms, "
+                  "ok %d shed %d failed %d, degraded %d retried %d, "
+                  "warm hit rate %s, wrong answers %d\n"
+                  % (document["requests"], latency["p50"],
+                     latency["p99"], document["outcomes"]["ok"],
+                     document["outcomes"]["shed"],
+                     document["outcomes"]["failed"],
+                     document["responses"]["degraded"],
+                     document["responses"]["retried"],
+                     "n/a" if document["warm_hit_rate"] is None
+                     else "%.1f%%" % (100 * document["warm_hit_rate"]),
+                     document["wrong_answers"]))
+        problems = validate_serve_bench(document)
+        path = write_serve_bench(document, args.output)
+        out.write("wrote %s\n" % path)
+        if problems:
+            for problem in problems:
+                err.write("serve: schema problem: %s\n" % problem)
+            return 1
+        return 0
+    import asyncio
+    asyncio.run(_serve_async(_serve_config(args), out))
+    return 0
+
+
+def cmd_cache(args, out, err):
+    from repro.evaluation.cache import open_store
+    store = open_store(args.dir, args.shards)
+    if args.action == "stats":
+        usage = store.usage()
+        out.write("cache %s: %d entr(ies), %d byte(s), %d shard(s), "
+                  "%d quarantined (%d byte(s))\n"
+                  % (usage["root"], usage["entries"], usage["bytes"],
+                     usage["shards"], usage["quarantined_files"],
+                     usage["quarantined_bytes"]))
+        return 0
+    # gc: size-budgeted LRU eviction + quarantine purge
+    result = store.gc(args.budget)
+    out.write("cache gc: removed %d entr(ies) (%d byte(s) freed), "
+              "kept %d (%d byte(s)) within budget %d\n"
+              % (result["removed"], result["freed_bytes"],
+                 result["kept"], result["kept_bytes"],
+                 result["budget_bytes"]))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -864,6 +958,64 @@ def build_parser():
                         "cores; 1 = in-process)")
     _add_supervisor_flags(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("serve",
+                       help="run the evaluation service (HTTP/JSON); "
+                            "--load-test drives it instead")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0 = ephemeral, printed "
+                        "at startup)")
+    p.add_argument("-j", "--jobs", type=int, metavar="N",
+                   help="evaluation worker processes (default: all "
+                        "cores; 1 = in-process)")
+    p.add_argument("--shards", type=int, metavar="N",
+                   help="cache shard count (default: "
+                        "REPRO_CACHE_SHARDS, else unsharded)")
+    p.add_argument("--cache-dir", metavar="PATH",
+                   help="cache root (default: REPRO_CACHE_DIR)")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="admission queue bound; beyond it requests "
+                        "are shed with 429 (default 64)")
+    p.add_argument("--batch-max", type=int, default=16, metavar="N",
+                   help="max requests fused into one engine sweep "
+                        "(default 16)")
+    p.add_argument("--deadline", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="default per-request deadline (default 120)")
+    p.add_argument("--breaker-threshold", type=int, default=2,
+                   metavar="N",
+                   help="pool deaths before the backend's circuit "
+                        "breaker opens (default 2)")
+    p.add_argument("--load-test", type=int, metavar="N",
+                   help="run the load test (N mixed requests) instead "
+                        "of serving")
+    p.add_argument("--concurrency", type=int, default=64, metavar="N",
+                   help="load-test client concurrency (default 64)")
+    p.add_argument("--url", metavar="URL",
+                   help="load-test an already running service instead "
+                        "of self-hosting one")
+    p.add_argument("--output", default="BENCH_serve.json",
+                   metavar="PATH",
+                   help="load-test document path (default "
+                        "BENCH_serve.json)")
+    _add_supervisor_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache",
+                       help="inspect or garbage-collect the "
+                            "content-addressed artefact cache")
+    p.add_argument("action", choices=("stats", "gc"))
+    p.add_argument("--dir", metavar="PATH",
+                   help="cache root (default: REPRO_CACHE_DIR)")
+    p.add_argument("--shards", type=int, metavar="N",
+                   help="shard count of the store layout (default: "
+                        "REPRO_CACHE_SHARDS, else unsharded)")
+    p.add_argument("--budget", type=int, default=256 * 1024 * 1024,
+                   metavar="BYTES",
+                   help="gc: evict least-recently-used entries until "
+                        "the cache fits (default 256 MiB)")
+    p.set_defaults(func=cmd_cache)
     return parser
 
 
@@ -871,6 +1023,14 @@ def main(argv=None, out=None, err=None):
     out = out or sys.stdout
     err = err or sys.stderr
     args = build_parser().parse_args(argv)
+    # Fail fast on a typo'd fault-injection spec: an armed fault that
+    # can never fire is itself a bug, not a no-op.
+    from repro.testing import faults
+    try:
+        faults.validate_environment()
+    except ValueError as error:
+        err.write("repro: %s\n" % error)
+        return 2
     if args.command == "speedup" and not args.machine:
         args.machine = ["vliw3"]
     try:

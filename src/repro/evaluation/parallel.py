@@ -44,54 +44,53 @@ failed cell; the per-cell outcomes are recorded in the engine's
 keeps ``pdb`` and coverage usable.
 
 Cache artefact writes are crash-safe (temp file + fsync + atomic
-rename via :mod:`repro.atomicio`) and serialised by an advisory
-inter-process lock, so concurrent CLI runs sharing one cache directory
-never clobber each other.  The deterministic fault-injection sites the
-chaos suite drives (``parallel.task``, ``cache.read``,
-``cache.write``) are described in :mod:`repro.testing.faults`.
+rename via :mod:`repro.atomicio`) and serialised by per-key advisory
+locks, so concurrent CLI runs sharing one cache directory never
+clobber each other.  The store itself is pluggable — see
+:mod:`repro.evaluation.cache` for the single-directory and sharded
+backends and :func:`~repro.evaluation.cache.open_store`.  The
+deterministic fault-injection sites the chaos suite drives
+(``parallel.task``, ``cache.read``, ``cache.write``,
+``cache.shard``) are described in :mod:`repro.testing.faults`.
 """
 
 import hashlib
-import json
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.atomicio import FileLock, atomic_write_json
 from repro.benchmarks.suite import (
-    cache_dir, compile_benchmark, program_fingerprint, run_program_cached)
+    compile_benchmark, program_fingerprint, run_program_cached)
 from repro.emulator import resolve_backend
+# Re-exported for compatibility: the store grew into its own module.
+from repro.evaluation.cache import (        # noqa: F401
+    CACHE_SCHEMA, CacheStore, ShardedCacheStore, open_store)
 from repro.evaluation.supervisor import (
     EvaluationReport, Supervisor, SupervisorPolicy, kill_pool)
 from repro.observability import tracing as obs
 from repro.testing import faults
 
 __all__ = [
+    "CACHE_SCHEMA",
     "CacheStore",
     "EvaluationEngine",
     "EvaluationError",
     "EvaluationReport",
+    "ShardedCacheStore",
     "SupervisorPolicy",
     "code_version",
     "config_signature",
     "configure",
     "memoised",
+    "open_store",
     "shared_engine",
 ]
-
-#: bump to invalidate every cached artefact (layout/format changes)
-CACHE_SCHEMA = 1
 
 _JOBS_ENV = "REPRO_JOBS"
 
 
 # --------------------------------------------------------------------------
-# Cache keys: canonical encoding, config signatures, code versions.
-
-def _canonical(value):
-    """Deterministic JSON encoding used for every hashed key."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
-
+# Cache keys: config signatures and code versions.
 
 def config_signature(config):
     """The semantic fields of a :class:`MachineConfig` as a JSON value.
@@ -149,6 +148,10 @@ _COMPONENT_FILES = {
     # generator + the decode/layout contract it bakes into the source
     "codegen": ("emulator/machine.py", "emulator/threaded.py",
                 "emulator/codegen.py", "intcode/layout.py"),
+    # whole-request results memoised by the evaluation service: they
+    # wrap cell/verify/analyze outputs, so they depend on everything a
+    # cell depends on plus the service's own result shaping
+    "serve": _CELL_FILES + ("serve/ops.py",),
 }
 
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -174,103 +177,34 @@ def code_version(kind):
 
 
 # --------------------------------------------------------------------------
-# The content-addressed store.
-
-class CacheStore:
-    """Content-addressed JSON artefacts with integrity checking.
-
-    Entries live as ``cas-<kind>-<keyhash>.json`` files wrapping the
-    payload together with a checksum of its canonical encoding; a
-    missing, truncated, corrupt or checksum-mismatched entry reads as a
-    miss (and is deleted) so it is recomputed, never trusted.  Writes
-    are crash-safe (:func:`repro.atomicio.atomic_write_json`: temp file
-    + fsync + atomic rename) and serialised under the cache directory's
-    advisory ``.lock`` file, so concurrent workers — or two whole CLI
-    runs sharing the directory — can race on the same key without ever
-    exposing a torn file.
-    """
-
-    def __init__(self, root=None):
-        self._root = root
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
-
-    @property
-    def root(self):
-        return self._root or cache_dir()
-
-    def key(self, kind, components):
-        payload = {"schema": CACHE_SCHEMA, "kind": kind,
-                   "components": components}
-        digest = hashlib.sha256(_canonical(payload).encode()).hexdigest()
-        return "cas-%s-%s" % (kind, digest[:32])
-
-    def path(self, key):
-        return os.path.join(self.root, key + ".json")
-
-    def _lock(self):
-        return FileLock(os.path.join(self.root, ".lock"))
-
-    def get(self, key):
-        """The payload stored under *key*, or None (a miss)."""
-        path = self.path(key)
-        if faults.armed("cache.read") and os.path.exists(path) \
-                and faults.fire("cache.read") == "corrupt":
-            faults.corrupt_file(path)
-        try:
-            with open(path) as handle:
-                entry = json.load(handle)
-            payload = entry["payload"]
-            checksum = hashlib.sha256(
-                _canonical(payload).encode()).hexdigest()
-            if entry["sha256"] != checksum:
-                raise ValueError("payload checksum mismatch")
-        except FileNotFoundError:
-            self.misses += 1
-            obs.add("cache.misses")
-            return None
-        except (ValueError, KeyError, TypeError):
-            self.corrupt += 1
-            self.misses += 1
-            obs.add("cache.corrupt")
-            obs.add("cache.misses")
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        obs.add("cache.hits")
-        return payload
-
-    def put(self, key, payload):
-        obs.add("cache.writes")
-        root = self.root
-        os.makedirs(root, exist_ok=True)
-        entry = {"key": key, "schema": CACHE_SCHEMA, "payload": payload,
-                 "sha256": hashlib.sha256(
-                     _canonical(payload).encode()).hexdigest()}
-        with self._lock():
-            atomic_write_json(self.path(key), entry)
-
-    def stats(self):
-        return {"hits": self.hits, "misses": self.misses,
-                "corrupt": self.corrupt}
-
+# Content-addressed memoisation (the store lives in evaluation.cache).
 
 def memoised(kind, components, compute, store=None, use_cache=True):
-    """Content-addressed memoisation for experiment-level cells.
+    """Single-flight content-addressed memoisation.
 
     *components* identifies the inputs (fingerprints, parameters); the
-    appropriate :func:`code_version` is appended automatically.  Safe to
-    call from pool workers — the store is re-opened from the environment
-    in each process.
+    appropriate :func:`code_version` is appended automatically.  Safe
+    to call from pool workers — the store is re-opened from the
+    environment in each process.
+
+    A cold key is computed under the key's inter-process lock: two
+    workers racing the same key no longer both compute and both write.
+    The loser of the race re-reads under the lock, finds the winner's
+    entry, and the dodged duplicate compute is counted as
+    ``cache.races``.
     """
-    store = store or CacheStore()
+    store = store or open_store()
     key = store.key(kind, dict(components, code=code_version(kind)))
     payload = store.get(key) if use_cache else None
-    if payload is None:
+    if payload is not None:
+        return payload
+    with store.lock_for(key):
+        if use_cache:
+            payload = store.get(key)
+            if payload is not None:
+                store.races += 1
+                obs.add("cache.races")
+                return payload
         payload = compute()
         store.put(key, payload)
     return payload
@@ -433,7 +367,7 @@ class EvaluationEngine:
     def __init__(self, jobs=None, store=None, policy=None):
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
-        self.store = store or CacheStore()
+        self.store = store or open_store()
         self.policy = policy or SupervisorPolicy()
         self.report = EvaluationReport()
         self._pool = None

@@ -35,6 +35,7 @@ The supervisor is deliberately engine-agnostic: it sees nodes with
 verify`` reuses the same machinery as the evaluation DAG.
 """
 
+import contextlib
 import signal
 import threading
 import time
@@ -70,6 +71,25 @@ class SupervisorPolicy:
         self.seed = seed
         self.max_pool_restarts = max(0, max_pool_restarts)
         self.poll = poll
+
+    @contextlib.contextmanager
+    def clamped(self, deadline):
+        """Temporarily cap the watchdog deadline at *deadline* seconds.
+
+        The evaluation service propagates each request's remaining
+        deadline into the per-cell timeouts this way: a request with
+        2 s left must not sit behind a 300 s cell watchdog.  ``None``
+        leaves the policy untouched; the previous deadline is restored
+        on exit either way.
+        """
+        saved = self.deadline
+        if deadline is not None:
+            self.deadline = (deadline if saved is None
+                             else min(saved, deadline))
+        try:
+            yield self
+        finally:
+            self.deadline = saved
 
     def backoff(self, label, attempt):
         """Delay before retry *attempt* (1-based) of the task *label*.

@@ -1,0 +1,144 @@
+"""Minimal asyncio HTTP/1.1 framing for the evaluation service.
+
+Only what ``repro serve`` needs, hardened at the edges: request lines
+and headers are size-capped, bodies are bounded by ``Content-Length``
+(no chunked encoding), and every malformed input maps to a clean 4xx
+instead of an exception escaping into the connection handler.  The
+stdlib's ``http.server`` is threaded and blocking, which is exactly
+what the single-loop service must not be — hence this ~150-line
+parser instead of a dependency.
+"""
+
+import asyncio
+import json
+
+__all__ = ["HttpError", "Request", "read_request", "response_bytes"]
+
+MAX_LINE = 16 * 1024
+MAX_HEADERS = 64
+MAX_BODY = 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem that maps to one 4xx/5xx response."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method, path, headers, body):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self):
+        """The request body as JSON; raises :class:`HttpError` 400."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpError(400, "invalid JSON body: %s" % error)
+
+
+async def _read_line(reader, timeout):
+    try:
+        line = await asyncio.wait_for(
+            reader.readuntil(b"\n"), timeout=timeout)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return b""                       # clean EOF between requests
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    except asyncio.TimeoutError:
+        raise HttpError(408, "timed out reading request")
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "request line too long")
+    return line
+
+
+async def read_request(reader, timeout=None):
+    """Parse one request from *reader*; None on a clean EOF.
+
+    *timeout* bounds each read (idle keep-alive connections are
+    reaped with :class:`HttpError` 408).
+    """
+    line = await _read_line(reader, timeout)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers = {}
+    while True:
+        line = await _read_line(reader, timeout)
+        if line in (b"", b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        try:
+            name, value = line.decode("latin-1").split(":", 1)
+        except ValueError:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY:
+            raise HttpError(413, "request body exceeds %d bytes"
+                            % MAX_BODY)
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=timeout)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+        except asyncio.TimeoutError:
+            raise HttpError(408, "timed out reading request body")
+    elif "transfer-encoding" in headers:
+        raise HttpError(400, "chunked bodies are not supported")
+    path = target.split("?", 1)[0]
+    return Request(method, path, headers, body)
+
+
+def response_bytes(status, payload, headers=None, keep_alive=True):
+    """Serialise one JSON response (deterministic key order)."""
+    body = (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+    lines = [
+        "HTTP/1.1 %d %s" % (status, STATUS_TEXT.get(status, "Status")),
+        "Content-Type: application/json",
+        "Content-Length: %d" % len(body),
+        "Connection: %s" % ("keep-alive" if keep_alive else "close"),
+    ]
+    for name, value in (headers or {}).items():
+        lines.append("%s: %s" % (name, value))
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

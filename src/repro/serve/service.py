@@ -1,0 +1,632 @@
+"""The evaluation service: admission, batching, failure management.
+
+One asyncio loop owns the sockets; one worker thread owns the
+evaluation engine (whose process pool does the heavy lifting).  The
+request path is engineered for failure first:
+
+* **bounded admission** — requests wait in a fixed-size queue; when it
+  is full the service sheds load explicitly with 429 + ``Retry-After``
+  instead of buffering without bound.
+* **deadline propagation** — each request carries a wall-clock budget
+  (default :attr:`ServiceConfig.default_deadline`); the remaining
+  budget is clamped onto the supervisor's per-cell watchdog
+  (:meth:`SupervisorPolicy.clamped`) so a request with two seconds
+  left never sits behind a five-minute cell timeout.  An expired
+  budget is a 504, never a silent stall.
+* **server-side retry** — transient failures (injected or real) retry
+  up to :attr:`ServiceConfig.max_attempts` times with the supervisor's
+  crc32-seeded deterministic backoff, bounded by the deadline.
+* **circuit breaker** — repeated pool deaths under one emulator
+  backend trip a per-backend breaker; while it is open, requests are
+  served by an in-process reference-interpreter engine (results are
+  byte-identical by the backend contract, responses are flagged
+  ``degraded``).  After a cooldown one probe request tests the
+  primary again.
+* **graceful drain** — SIGTERM/SIGINT stop the listener, let queued
+  and in-flight requests finish, flush the engine, and exit 0.
+
+Whole-request results are memoised in the shared content-addressed
+store under the ``serve`` kind, which is what makes a repeated-query
+workload (the memoing access pattern of the or-parallel papers) serve
+from cache instead of recomputing.
+"""
+
+import asyncio
+import contextlib
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.emulator.machine import _BACKEND_ENV, resolve_backend
+from repro.evaluation.cache import open_store
+from repro.evaluation.parallel import EvaluationEngine, memoised
+from repro.evaluation.supervisor import SupervisorPolicy
+from repro.observability.metrics import MetricsRegistry
+from repro.serve import http
+from repro.serve.ops import (
+    OPS, RequestError, compute_result, parse_request, request_label)
+from repro.testing import faults
+
+__all__ = ["CircuitBreaker", "EvaluationService", "ServiceConfig",
+           "ServiceThread"]
+
+_STOP = object()
+
+
+class ServiceConfig:
+    """Tunable service parameters (every knob has a CLI flag)."""
+
+    def __init__(self, host="127.0.0.1", port=0, jobs=1, shards=None,
+                 cache_root=None, queue_limit=64, batch_max=16,
+                 default_deadline=120.0, max_deadline=600.0,
+                 max_attempts=3, retry_after=1.0,
+                 breaker_threshold=2, breaker_cooldown=30.0,
+                 cell_timeout=300.0, pool_restarts=2,
+                 idle_timeout=30.0, drain_grace=60.0,
+                 backoff_base=0.02, backoff_cap=0.5, seed=0):
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.shards = shards
+        self.cache_root = cache_root
+        self.queue_limit = max(1, queue_limit)
+        self.batch_max = max(1, batch_max)
+        self.default_deadline = default_deadline
+        self.max_deadline = max_deadline
+        self.max_attempts = max(1, max_attempts)
+        self.retry_after = retry_after
+        self.breaker_threshold = max(1, breaker_threshold)
+        self.breaker_cooldown = breaker_cooldown
+        self.cell_timeout = cell_timeout
+        self.pool_restarts = max(0, pool_restarts)
+        self.idle_timeout = idle_timeout
+        self.drain_grace = drain_grace
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.seed = seed
+
+    def policy(self):
+        return SupervisorPolicy(
+            max_attempts=self.max_attempts, deadline=self.cell_timeout,
+            backoff_base=self.backoff_base, backoff_cap=self.backoff_cap,
+            seed=self.seed, max_pool_restarts=self.pool_restarts)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over one emulator backend.
+
+    ``record_failure`` counts pool deaths (restarts reported by the
+    supervisor); at *threshold* the breaker opens and :meth:`allow`
+    answers False until *cooldown* seconds pass, after which exactly
+    one probe request is let through — its success closes the breaker,
+    its failure re-opens it.  Driven from the single batch-executor
+    thread, so no locking is needed.
+    """
+
+    def __init__(self, threshold=2, cooldown=30.0, clock=time.monotonic):
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self.trips = 0
+        self.opened_at = None
+        self._probing = False
+
+    def allow(self):
+        """True when the primary backend may be tried."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self.opened_at < self.cooldown:
+                return False
+            self.state = "half-open"
+            self._probing = False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self):
+        self._probing = False
+        self.failures = 0
+        self.state = "closed"
+
+    def record_failure(self, count=1):
+        self._probing = False
+        self.failures += count
+        if self.state != "open" and self.failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = self.clock()
+            self.trips += 1
+
+    def snapshot(self):
+        return {"state": self.state, "failures": self.failures,
+                "trips": self.trips}
+
+
+class _Pending:
+    """One admitted request travelling queue → batch → future."""
+
+    __slots__ = ("spec", "label", "deadline", "future")
+
+    def __init__(self, spec, label, deadline, future):
+        self.spec = spec
+        self.label = label
+        self.deadline = deadline
+        self.future = future
+
+
+@contextlib.contextmanager
+def _backend_override(backend):
+    """Temporarily pin ``REPRO_EMULATOR_BACKEND`` (degraded mode)."""
+    if backend is None:
+        yield
+        return
+    saved = os.environ.get(_BACKEND_ENV)
+    os.environ[_BACKEND_ENV] = backend
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(_BACKEND_ENV, None)
+        else:
+            os.environ[_BACKEND_ENV] = saved
+
+
+class EvaluationService:
+    """The asyncio HTTP service wrapping one evaluation engine."""
+
+    def __init__(self, config=None):
+        self.config = config or ServiceConfig()
+        faults.validate_environment()
+        self.store = open_store(self.config.cache_root,
+                                self.config.shards)
+        self.engine = EvaluationEngine(jobs=self.config.jobs,
+                                       store=self.store,
+                                       policy=self.config.policy())
+        self.metrics = MetricsRegistry()
+        self.breakers = {}
+        self.port = None
+        self._fallback = None
+        self._loop = None
+        self._server = None
+        self._queue = None
+        self._batcher = None
+        self._done = None
+        self._draining = False
+        self._drain_started = False
+        self._inflight = 0
+        self._started = time.monotonic()
+        self._writers = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Bind the listener and start the batcher; returns the port."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher = self._loop.create_task(self._batch_loop())
+        return self.port
+
+    async def wait_closed(self):
+        await self._done.wait()
+
+    def begin_drain(self):
+        """Start a graceful drain (idempotent; loop thread only)."""
+        if self._loop is None or self._drain_started:
+            return
+        self._drain_started = True
+        self._loop.create_task(self._drain())
+
+    def drain_threadsafe(self):
+        """Schedule :meth:`begin_drain` from any thread."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.begin_drain)
+        except RuntimeError:
+            pass                            # loop already closed: drained
+
+    async def _drain(self):
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        grace = self.config.drain_grace
+        deadline = None if grace is None \
+            else time.monotonic() + grace
+        while self._queue.qsize() or self._inflight:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+        await self._queue.put(_STOP)
+        try:
+            await self._batcher
+        except asyncio.CancelledError:
+            pass
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._executor.shutdown(wait=True)
+        self.engine.close()
+        if self._fallback is not None:
+            self._fallback.close()
+        self._done.set()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _client(self, reader, writer):
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await http.read_request(
+                        reader, timeout=self.config.idle_timeout)
+                except http.HttpError as error:
+                    writer.write(http.response_bytes(
+                        error.status, {"ok": False,
+                                       "error": error.message},
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload, headers = await self._handle(request)
+                close = request.headers.get(
+                    "connection", "").lower() == "close"
+                writer.write(http.response_bytes(
+                    status, payload, headers=headers,
+                    keep_alive=not close))
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle(self, request):
+        """Route one request; returns ``(status, payload, headers)``."""
+        path = request.path
+        if request.method == "GET":
+            if path == "/healthz":
+                return 200, self._health(), None
+            if path == "/readyz":
+                ready = not self._draining
+                return (200 if ready else 503), self._readiness(), None
+            if path == "/metrics":
+                return 200, self._metric_state(), None
+            if path.startswith("/v1/"):
+                return 405, {"ok": False,
+                             "error": "use POST for operations"}, None
+            return 404, {"ok": False, "error": "not found"}, None
+        if request.method == "POST" and path.startswith("/v1/"):
+            op = path[len("/v1/"):]
+            if op not in OPS:
+                return 404, {"ok": False,
+                             "error": "unknown operation %r (expected "
+                             "one of %s)" % (op, ", ".join(OPS))}, None
+            return await self._admit(op, request)
+        return 405, {"ok": False, "error": "method not allowed"}, None
+
+    async def _admit(self, op, request):
+        if self._draining:
+            self.metrics.add("serve.rejected.draining")
+            return 503, {"ok": False, "error": "draining"}, None
+        try:
+            body = request.json()
+            spec, deadline = parse_request(op, body)
+        except (http.HttpError, RequestError) as error:
+            self.metrics.add("serve.rejected.invalid")
+            message = getattr(error, "message", None) or str(error)
+            return 400, {"ok": False, "error": message}, None
+        budget = min(deadline or self.config.default_deadline,
+                     self.config.max_deadline)
+        pending = _Pending(spec, request_label(spec),
+                           time.monotonic() + budget,
+                           self._loop.create_future())
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.metrics.add("serve.shed")
+            return 429, {"ok": False, "error": "admission queue full",
+                         "retry_after": self.config.retry_after}, \
+                {"Retry-After": "%g" % self.config.retry_after}
+        self.metrics.add("serve.requests")
+        outcome = await pending.future
+        headers = outcome.get("headers")
+        return outcome["status"], outcome["payload"], headers
+
+    # -- batching ----------------------------------------------------------
+
+    async def _batch_loop(self):
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            while len(batch) < self.config.batch_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is _STOP:
+                    # re-park the sentinel; it is only enqueued once
+                    # the queue is otherwise empty, so this is safety
+                    self._queue.put_nowait(extra)
+                    break
+                batch.append(extra)
+            self.metrics.add("serve.batches")
+            self._inflight += len(batch)
+            try:
+                await self._loop.run_in_executor(
+                    self._executor, self._run_batch, batch)
+            except Exception as error:
+                detail = "batch execution failed: %s" % error
+                for pending in batch:
+                    self._resolve(pending, {
+                        "status": 500,
+                        "payload": {"ok": False, "error": detail}})
+            finally:
+                self._inflight -= len(batch)
+
+    def _resolve(self, pending, outcome):
+        def deliver():
+            if not pending.future.done():
+                pending.future.set_result(outcome)
+        self._loop.call_soon_threadsafe(deliver)
+
+    # -- execution (batch-executor thread from here down) ------------------
+
+    def _run_batch(self, batch):
+        self._prewarm(batch)
+        for pending in batch:
+            try:
+                outcome = self._run_one(pending)
+            except Exception as error:
+                self.metrics.add("serve.failed")
+                outcome = {"status": 500,
+                           "payload": {"ok": False,
+                                       "error": "internal error: %s"
+                                       % error}}
+            self._resolve(pending, outcome)
+
+    def _prewarm(self, batch):
+        """Fan every distinct evaluate spec of *batch* into one DAG.
+
+        This is where batching pays: profile and region nodes shared
+        between requests are computed once by one supervisor sweep.
+        Failures are ignored here — the per-request path retries and
+        reports them individually.
+        """
+        requests = []
+        seen = set()
+        remaining = []
+        from repro.experiments.data import master_configs
+        known = master_configs()
+        for pending in batch:
+            spec = pending.spec
+            if spec["op"] != "evaluate":
+                continue
+            key = (spec["benchmark"], tuple(spec["configs"]),
+                   spec["tail_dup_budget"])
+            if key in seen:
+                continue
+            seen.add(key)
+            remaining.append(pending.deadline - time.monotonic())
+            requests.append({
+                "name": spec["benchmark"],
+                "configs": {k: known[k] for k in spec["configs"]},
+                "tail_dup_budget": spec["tail_dup_budget"]})
+        if len(requests) < 2:
+            return
+        try:
+            with self.engine.policy.clamped(max(0.1, min(remaining))):
+                self.engine.evaluate_many(requests)
+        except Exception:
+            pass
+
+    def _engine_for(self, degraded):
+        if not degraded:
+            return self.engine
+        if self._fallback is None:
+            self._fallback = EvaluationEngine(
+                jobs=1, store=self.store, policy=self.config.policy())
+        return self._fallback
+
+    def _breaker(self, backend):
+        breaker = self.breakers.get(backend)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config.breaker_threshold,
+                                     self.config.breaker_cooldown)
+            self.breakers[backend] = breaker
+        return breaker
+
+    def _run_one(self, pending):
+        attempts = 0
+        while True:
+            attempts += 1
+            now = time.monotonic()
+            if now >= pending.deadline:
+                self.metrics.add("serve.deadline_exceeded")
+                return {"status": 504, "payload": {
+                    "ok": False, "error": "deadline exceeded",
+                    "meta": {"attempts": attempts - 1}}}
+            backend = resolve_backend(None)
+            breaker = self._breaker(backend)
+            degraded = not breaker.allow()
+            try:
+                if faults.armed("serve.request") \
+                        and faults.fire("serve.request") == "shed":
+                    self.metrics.add("serve.shed")
+                    return {"status": 429, "payload": {
+                        "ok": False, "error": "shed by fault injection",
+                        "retry_after": self.config.retry_after},
+                        "headers": {"Retry-After": "%g"
+                                    % self.config.retry_after}}
+                payload, cached, pain, swept_degraded = \
+                    self._compute(pending, degraded)
+            except RequestError as error:
+                self.metrics.add("serve.rejected.invalid")
+                return {"status": 400, "payload": {
+                    "ok": False, "error": str(error)}}
+            except Exception as error:
+                if attempts >= self.config.max_attempts:
+                    self.metrics.add("serve.failed")
+                    return {"status": 500, "payload": {
+                        "ok": False, "error": str(error),
+                        "meta": {"attempts": attempts}}}
+                self.metrics.add("serve.retries")
+                delay = self.engine.policy.backoff(pending.label,
+                                                   attempts)
+                time.sleep(max(0.0, min(
+                    delay, pending.deadline - time.monotonic())))
+                continue
+            if not degraded:
+                if pain:
+                    breaker.record_failure(pain)
+                    self.metrics.add("serve.breaker.failures", pain)
+                else:
+                    breaker.record_success()
+            was_degraded = degraded or swept_degraded
+            if was_degraded:
+                self.metrics.add("serve.degraded")
+            self.metrics.add("serve.cache_hits" if cached
+                             else "serve.computed")
+            self.metrics.add("serve.ok")
+            meta = {
+                "attempts": attempts,
+                "cached": cached,
+                "degraded": was_degraded,
+                "backend": "reference" if degraded else backend,
+            }
+            return {"status": 200, "payload": {
+                "ok": True, "result": payload, "meta": meta}}
+
+    def _compute(self, pending, degraded):
+        """Run one spec; returns (payload, cached, pool_pain, swept)."""
+        engine = self._engine_for(degraded)
+        restarts_before = engine.report.pool_restarts
+        degraded_before = engine.report.degraded
+        remaining = max(0.1, pending.deadline - time.monotonic())
+        computed = []
+
+        def compute():
+            computed.append(True)
+            return compute_result(pending.spec, engine)
+
+        with engine.policy.clamped(remaining):
+            with _backend_override("reference" if degraded else None):
+                payload = memoised("serve",
+                                   {"request": pending.spec}, compute,
+                                   store=self.store)
+        pain = engine.report.pool_restarts - restarts_before
+        swept = engine.report.degraded and not degraded_before
+        return payload, not computed, pain, swept
+
+    # -- introspection (loop thread) ---------------------------------------
+
+    def _health(self):
+        return {
+            "status": "ok",
+            "draining": self._draining,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests": self.metrics.count("serve.requests"),
+        }
+
+    def _readiness(self):
+        return {
+            "ready": not self._draining,
+            "draining": self._draining,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+            "inflight": self._inflight,
+            "jobs": self.config.jobs,
+            "breakers": {name: breaker.snapshot()
+                         for name, breaker in
+                         sorted(self.breakers.items())},
+            "cache": self.store.counters(),
+            "supervisor": self.engine.report.counts(),
+        }
+
+    def _metric_state(self):
+        return {
+            "counters": {name: self.metrics.counters[name]
+                         for name in sorted(self.metrics.counters)},
+            "cache": self.store.counters(),
+            "breakers": {name: breaker.snapshot()
+                         for name, breaker in
+                         sorted(self.breakers.items())},
+            "queue_depth": self._queue.qsize(),
+            "inflight": self._inflight,
+            "supervisor": self.engine.report.counts(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+
+class ServiceThread:
+    """Run an :class:`EvaluationService` on a private loop thread.
+
+    The in-process harness used by the tests and the self-hosted load
+    test: enter the context manager to get a bound, running service;
+    exit drains it gracefully and joins the thread.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or ServiceConfig()
+        self.service = None
+        self._thread = None
+        self._ready = threading.Event()
+        self._error = None
+
+    @property
+    def port(self):
+        return self.service.port
+
+    def __enter__(self):
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-serve-loop",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=60.0):
+            raise RuntimeError("service failed to start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _main(self):
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:    # surfaced to the entering thread
+            self._error = error
+        finally:
+            self._ready.set()
+
+    async def _amain(self):
+        self.service = EvaluationService(self.config)
+        await self.service.start()
+        self._ready.set()
+        await self.service.wait_closed()
+
+    def stop(self, timeout=300.0):
+        if self.service is not None:
+            self.service.drain_threadsafe()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __exit__(self, *exc_info):
+        self.stop()

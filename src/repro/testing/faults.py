@@ -35,6 +35,11 @@ Sites and the kinds each supports:
 ``pipeline.superblock``  ``error`` — the superblock transform
 ``emulator.run``       ``step-limit`` — emulation raises the step-limit
                        machine fault
+``serve.request``      ``error`` / ``shed`` / ``hang`` — one request
+                       inside the evaluation service (transient
+                       failure, forced 429, slow execution)
+``cache.shard``        ``corrupt`` / ``error`` — the sharded store's
+                       read path (on-disk damage, transient I/O)
 =====================  ============================================
 
 ``crash`` sends ``SIGKILL`` to the current process — but only inside a
@@ -64,6 +69,12 @@ SITES = {
     "pipeline.superblock": ("error", "crash", "hang"),
     "emulator.run": ("step-limit", "error"),
     "emulator.codegen.block": ("bail", "error"),
+    # the evaluation service (repro serve): per-request transient
+    # failures, forced load shedding, and slow-request hangs
+    "serve.request": ("error", "shed", "hang"),
+    # the sharded cache backend: on-disk corruption and transient
+    # shard I/O errors on the read path
+    "cache.shard": ("corrupt", "error"),
 }
 
 
@@ -125,6 +136,32 @@ def parse_spec(text):
         specs.append(FaultSpec(site.strip(), kind.strip(), times,
                                param, index=index))
     return specs
+
+
+def known_sites_text():
+    """One line per site: ``site: kind|kind|...`` (for error texts)."""
+    return "\n".join("  %s: %s" % (site, " | ".join(SITES[site]))
+                     for site in sorted(SITES))
+
+
+def validate_environment(environ=None):
+    """Eagerly validate the ``REPRO_FAULT_INJECT`` value, if any.
+
+    A typo'd site or kind used to arm a fault that silently never
+    fired; callers that honour injection (the CLI entry point, the
+    evaluation service) validate at startup instead and fail fast.
+    Returns the parsed specs (empty when nothing is armed); raises
+    :class:`ValueError` naming every known site and kind otherwise.
+    """
+    text = (os.environ if environ is None else environ).get(ENV_SPEC)
+    if not text:
+        return []
+    try:
+        return parse_spec(text)
+    except ValueError as error:
+        raise ValueError(
+            "invalid %s=%r: %s\nknown fault sites:\n%s"
+            % (ENV_SPEC, text, error, known_sites_text())) from error
 
 
 # --------------------------------------------------------------------------

@@ -104,6 +104,82 @@ def test_distinct_objects_still_exclude_each_other(tmp_path):
 
 
 # --------------------------------------------------------------------------
+# LockTimeout: a failed acquire must leave the loser fully usable.
+
+def test_lock_timeout_names_path_and_is_an_oserror(tmp_path):
+    path = str(tmp_path / ".lock")
+    with FileLock(path):
+        loser = FileLock(path, timeout=0.1)
+        with pytest.raises(LockTimeout) as caught:
+            loser.acquire()
+        assert path in str(caught.value)
+        assert isinstance(caught.value, OSError)
+
+
+def test_failed_acquire_leaves_depth_and_state_clean(tmp_path):
+    path = str(tmp_path / ".lock")
+    loser = FileLock(path, timeout=0.1)
+    with FileLock(path):
+        with pytest.raises(LockTimeout):
+            loser.acquire()
+        assert not loser.held
+        assert loser._depth == 0
+        assert loser._handle is None
+    # The same object acquires cleanly once the holder releases, and
+    # re-entrancy still counts from zero.
+    with loser:
+        with loser:
+            assert loser._depth == 2
+    assert not loser.held
+
+
+def test_lock_file_is_reusable_after_timeout(tmp_path):
+    path = str(tmp_path / ".lock")
+    holder = FileLock(path)
+    holder.acquire()
+    with pytest.raises(LockTimeout):
+        FileLock(path, timeout=0.1).acquire()
+    holder.release()
+    # The lock file was not deleted or wedged by the failed attempt.
+    assert os.path.exists(path)
+    with FileLock(path, timeout=2.0) as fresh:
+        assert fresh.held
+
+
+# --------------------------------------------------------------------------
+# try_acquire: the non-blocking path used by the cache store's
+# bounded put-lock wait.
+
+def test_try_acquire_succeeds_uncontended_and_deepens_when_held(
+        tmp_path):
+    lock = FileLock(str(tmp_path / ".lock"))
+    assert lock.try_acquire()
+    assert lock.held
+    assert lock.try_acquire()               # re-entrant deepen
+    assert lock._depth == 2
+    lock.release()
+    assert lock.held
+    lock.release()
+    assert not lock.held
+
+
+def test_try_acquire_contended_returns_false_without_waiting(
+        tmp_path):
+    import time
+    path = str(tmp_path / ".lock")
+    with FileLock(path):
+        loser = FileLock(path)
+        started = time.monotonic()
+        assert not loser.try_acquire()
+        assert time.monotonic() - started < 1.0
+        assert not loser.held
+        assert loser._depth == 0 and loser._handle is None
+    # After the holder releases, the refused object succeeds.
+    assert loser.try_acquire()
+    loser.release()
+
+
+# --------------------------------------------------------------------------
 # Publishing over a read-only target.
 
 def test_replace_over_readonly_target(tmp_path):

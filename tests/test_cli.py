@@ -349,3 +349,35 @@ def test_analyze_single_file_still_reports_mix(program_file):
     status, text, errors = run_cli(["analyze", program_file])
     assert status == 0
     assert "mix" in text.lower() or "branch" in text.lower()
+
+
+# --------------------------------------------------------------------------
+# Cache maintenance commands and eager fault-spec validation.
+
+def test_cache_stats_on_fresh_directory(tmp_path):
+    status, text, errors = run_cli(
+        ["cache", "stats", "--dir", str(tmp_path / "nothing")])
+    assert status == 0, errors
+    assert "0 entr" in text
+
+
+def test_cache_gc_evicts_to_budget(tmp_path):
+    from repro.evaluation.cache import ShardedCacheStore
+    store = ShardedCacheStore(str(tmp_path / "cas"), shards=2)
+    for n in range(4):
+        store.put(store.key("cell", {"n": n}), {"pad": "x" * 128})
+    status, text, errors = run_cli(
+        ["cache", "gc", "--dir", str(tmp_path / "cas"),
+         "--shards", "2", "--budget", "1"])
+    assert status == 0, errors
+    assert "removed 4" in text
+    assert store.usage()["entries"] == 0
+
+
+def test_typoed_fault_spec_fails_fast_with_site_menu(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "serve.request=bogus:1")
+    status, text, errors = run_cli(["cache", "stats"])
+    assert status == 2
+    assert "invalid REPRO_FAULT_INJECT" in errors
+    assert "known fault sites:" in errors
+    assert "serve.request: error | shed | hang" in errors

@@ -45,6 +45,42 @@ def test_parse_spec_rejects_bad_input(text, fragment):
 
 
 # --------------------------------------------------------------------------
+# Eager environment validation: a typo'd spec fails fast at startup
+# with the full site/kind menu, instead of arming a fault that
+# silently never fires.
+
+def test_validate_environment_accepts_unset_and_valid(monkeypatch):
+    monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+    assert faults.validate_environment() == []
+    monkeypatch.setenv(faults.ENV_SPEC, "serve.request=error:2")
+    specs = faults.validate_environment()
+    assert [(s.site, s.kind, s.times) for s in specs] \
+        == [("serve.request", "error", 2)]
+
+
+def test_validate_environment_lists_every_site_on_error():
+    environ = {faults.ENV_SPEC: "serve.request=bogus:1"}
+    with pytest.raises(ValueError) as caught:
+        faults.validate_environment(environ)
+    message = str(caught.value)
+    assert "invalid %s=" % faults.ENV_SPEC in message
+    assert "known fault sites:" in message
+    for site, kinds in faults.SITES.items():
+        assert site in message
+        for kind in kinds:
+            assert kind in message
+
+
+def test_known_sites_text_is_one_line_per_site():
+    lines = faults.known_sites_text().splitlines()
+    assert len(lines) == len(faults.SITES)
+    assert any(line.strip().startswith("serve.request:")
+               for line in lines)
+    assert any(line.strip().startswith("cache.shard:")
+               for line in lines)
+
+
+# --------------------------------------------------------------------------
 # Fire accounting.
 
 def test_unarmed_sites_are_free():
