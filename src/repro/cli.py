@@ -770,6 +770,132 @@ def cmd_serve(args, out, err):
     return 0
 
 
+def cmd_query(args, out, err):
+    if args.sweep:
+        return _query_sweep(args, out, err)
+    if bool(args.benchmark) == bool(args.file):
+        err.write("query: give a suite benchmark name or --file "
+                  "(one of them, not both)\n")
+        return 2
+    if args.file:
+        try:
+            with open(args.file) as handle:
+                source = handle.read()
+        except OSError as error:
+            err.write("query: cannot read %s: %s\n"
+                      % (args.file, error))
+            return 2
+    else:
+        from repro.benchmarks.suite import resolve_program
+        try:
+            source = resolve_program(args.benchmark).source
+        except KeyError as error:
+            err.write("query: %s\n" % error.args[0])
+            return 2
+
+    from repro.evaluation.parallel import EvaluationError, configure
+    from repro.interp.engine import PrologError
+    from repro.interp.orparallel import or_solutions, sequential_answers
+    engine = configure(jobs=max(1, args.or_jobs),
+                       policy=_supervisor_policy(args))
+    try:
+        result = or_solutions(source, args.goal, engine=engine,
+                              use_memo=not args.no_memo,
+                              limit=args.limit)
+    except PrologError as error:
+        err.write("query: %s\n" % error)
+        return 1
+    except EvaluationError as error:
+        err.write(str(error) + "\n")
+        _write_supervisor_report(args, engine, out)
+        return 1
+
+    if result["output"]:
+        out.write(result["output"])
+        if not result["output"].endswith("\n"):
+            out.write("\n")
+    for answer in result["answers"]:
+        out.write(answer + "\n")
+    summary = ("query: mode=%s branches=%d answers=%d or-jobs=%d"
+               % (result["mode"], result["branches"], result["count"],
+                  engine.jobs))
+    if result.get("fallback"):
+        summary += " (fallback: %s)" % result["fallback"]
+    if result["truncated"]:
+        summary += " [truncated at %d]" % args.limit
+    out.write(summary + "\n")
+
+    status = 0
+    if args.compare:
+        oracle = sequential_answers(source, args.goal,
+                                    limit=args.limit)
+        if (result["answers"] == oracle["answers"]
+                and result["output"] == oracle["output"]):
+            out.write("differential: answers and output match the "
+                      "sequential engine\n")
+        else:
+            err.write("differential: MISMATCH against the sequential "
+                      "engine (%d vs %d answer(s))\n"
+                      % (result["count"], oracle["count"]))
+            status = 1
+    _write_supervisor_report(args, engine, out)
+    return status
+
+
+def _query_sweep(args, out, err):
+    from repro.evaluation.parallel import EvaluationError
+    from repro.experiments.orparallel_bench import (
+        run_orparallel_bench, validate_orparallel_bench,
+        write_orparallel_bench)
+    try:
+        document = run_orparallel_bench(
+            quick=args.quick, policy=_supervisor_policy(args),
+            progress=lambda name: out.write("query: %s\n" % name))
+    except EvaluationError as error:
+        err.write(str(error) + "\n")
+        return 1
+
+    differential = document["differential"]
+    out.write("differential: %d program(s) x or-jobs %s: "
+              "%d mismatch(es), %d split / %d fallback run(s)\n"
+              % (differential["checked"],
+                 ",".join(str(level)
+                          for level in differential["jobs_levels"]),
+                 len(differential["mismatches"]),
+                 differential["splits"], differential["fallbacks"]))
+    for workload in document["search"]["workloads"]:
+        speedups = workload["or_speedup_by_jobs"]
+        out.write("search %-13s %d branch(es), %d answer(s): %s, "
+                  "memo hit rate %.0f%%\n"
+                  % (workload["name"], workload["branches"],
+                     workload["answers"],
+                     "  ".join("j%s %.2fx" % (jobs, speedups[jobs])
+                               for jobs in sorted(speedups, key=int)),
+                     100 * workload["memo"]["hit_rate"]))
+    for entry in document["stacking"]["benchmarks"]:
+        out.write("stacking %-10s ilp %.2fx x or %.2fx = %.2fx\n"
+                  % (entry["name"], entry["ilp_speedup"],
+                     entry["or_speedup"], entry["stacked_speedup"]))
+
+    problems = validate_orparallel_bench(document)
+    if problems:
+        for problem in problems:
+            err.write("query: schema problem: %s\n" % problem)
+        return 1
+    path = write_orparallel_bench(
+        document, args.output or "results/BENCH_orparallel.json")
+    out.write("wrote %s\n" % path)
+    if differential["mismatches"]:
+        err.write("query: differential mismatches: %s\n"
+                  % ", ".join(differential["mismatches"]))
+        return 1
+    if differential["fallback_violations"]:
+        err.write("query: fallback expectation violated: %s\n"
+                  % ", ".join(differential["fallback_violations"]))
+        return 1
+    return 0
+
+
 def cmd_cache(args, out, err):
     from repro.evaluation.cache import open_store
     store = open_store(args.dir, args.shards)
@@ -1001,6 +1127,41 @@ def build_parser():
                         "BENCH_serve.json)")
     _add_supervisor_flags(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="enumerate a goal with the or-parallel "
+                            "search engine (answers memoized; "
+                            "--sweep measures ILP x or stacking)")
+    p.add_argument("benchmark", nargs="?",
+                   help="suite benchmark whose program to query "
+                        "(or use --file)")
+    p.add_argument("--file", metavar="PATH",
+                   help="query a Prolog source file instead of a "
+                        "suite benchmark")
+    p.add_argument("--goal", default="main", metavar="GOAL",
+                   help="goal to enumerate (default main)")
+    p.add_argument("--or-jobs", type=int, default=1, metavar="N",
+                   help="or-parallel branch workers (default 1 = "
+                        "sequential)")
+    p.add_argument("--limit", type=int, metavar="N",
+                   help="stop after N answers")
+    p.add_argument("--no-memo", action="store_true",
+                   help="bypass the answer-memo table")
+    p.add_argument("--compare", action="store_true",
+                   help="differentially check answers + output "
+                        "against the sequential engine (exit 1 on "
+                        "mismatch)")
+    p.add_argument("--sweep", action="store_true",
+                   help="run the differential + stacking bench and "
+                        "write results/BENCH_orparallel.json")
+    p.add_argument("--quick", action="store_true",
+                   help="with --sweep: the CI smoke subset (or-jobs "
+                        "1,2; fewer programs)")
+    p.add_argument("--output", metavar="PATH",
+                   help="with --sweep: bench document path (default "
+                        "results/BENCH_orparallel.json)")
+    _add_supervisor_flags(p)
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("cache",
                        help="inspect or garbage-collect the "

@@ -111,6 +111,7 @@ class CacheStore:
         self.races = 0
         self.contention = 0
         self._locks = {}
+        self._kind_counts = {}
 
     @property
     def root(self):
@@ -158,15 +159,32 @@ class CacheStore:
         except FileNotFoundError:
             self.misses += 1
             obs.add("cache.misses")
+            self._note_kind(key, "misses")
             return None
         except _CorruptEntry:
             payload = self._recover(key, path)
             if payload is None:
+                self._note_kind(key, "misses")
                 return None
         self.hits += 1
         obs.add("cache.hits")
+        self._note_kind(key, "hits")
         self._touch(path)
         return payload
+
+    def _note_kind(self, key, outcome):
+        """Count *outcome* against the key's artefact kind.
+
+        Keys are ``cas-<kind>-<hash>``, so the kind is recoverable from
+        the key itself; the per-kind breakdown lets a caller report the
+        answer-memo hit rate separately from pipeline artefacts sharing
+        the same store (see :meth:`kind_stats`).
+        """
+        parts = key.split("-", 2)
+        if len(parts) == 3 and parts[0] == "cas":
+            counts = self._kind_counts.setdefault(
+                parts[1], {"hits": 0, "misses": 0})
+            counts[outcome] += 1
 
     def _pre_read_faults(self, path):
         if faults.armed("cache.read") and os.path.exists(path) \
@@ -365,6 +383,18 @@ class CacheStore:
         return {"hits": self.hits, "misses": self.misses,
                 "corrupt": self.corrupt}
 
+    def kind_stats(self, kind=None):
+        """Hit/miss counts broken down by artefact kind.
+
+        With *kind* given, that kind's ``{"hits": H, "misses": M}``
+        (zeros when never looked up); otherwise the whole mapping."""
+        if kind is not None:
+            counts = self._kind_counts.get(kind, {"hits": 0,
+                                                  "misses": 0})
+            return dict(counts)
+        return {name: dict(counts)
+                for name, counts in sorted(self._kind_counts.items())}
+
     def counters(self):
         """Every robustness counter (superset of :meth:`stats`)."""
         counters = self.stats()
@@ -428,6 +458,7 @@ class ShardedCacheStore(CacheStore):
             self.misses += 1
             obs.add("cache.shard.errors")
             obs.add("cache.misses")
+            self._note_kind(key, "misses")
             return None
 
     def _pre_read_faults(self, path):

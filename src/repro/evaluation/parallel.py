@@ -152,6 +152,14 @@ _COMPONENT_FILES = {
     # wrap cell/verify/analyze outputs, so they depend on everything a
     # cell depends on plus the service's own result shaping
     "serve": _CELL_FILES + ("serve/ops.py",),
+    # answer-memo entries of the or-parallel search engine: canonical
+    # (predicate, call-pattern) fingerprints map to rendered answer
+    # lists, so they depend on the whole term/reader/interpreter stack
+    # that produces and replays those renderings
+    "orparallel": ("interp/engine.py", "interp/orparallel.py",
+                   "interp/database.py", "interp/unify.py",
+                   "terms/term.py", "reader/lexer.py",
+                   "reader/parser.py", "reader/operators.py"),
 }
 
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

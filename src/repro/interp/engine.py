@@ -155,6 +155,34 @@ class Engine:
             undo_to(self.trail, mark)
         return
 
+    def solve_clause(self, goal, clause):
+        """Generator yielding once per proof of *goal* via *clause* only.
+
+        This is one choice-point branch of the user-predicate loop in
+        :meth:`solve`, exposed so the or-parallel engine
+        (:mod:`repro.interp.orparallel`) can explore the alternatives
+        of a single predicate call independently: branch *i* resolves
+        the goal against clause *i* alone, and concatenating the
+        branch answer streams in clause order reproduces the
+        sequential answer order exactly.  A cut executed in the body
+        is honoured within the branch (it prunes the body's own
+        choices); the or-parallel splitter refuses goals whose cut
+        would prune *sibling* clauses, so the barrier never outlives
+        this call.
+        """
+        goal = deref(goal)
+        barrier = self._new_barrier()
+        mark = len(self.trail)
+        head, body = _rename(clause)
+        if unify(goal, head, self.trail):
+            yield from self.solve(body, barrier)
+            if self._cut_to is not None:
+                undo_to(self.trail, mark)
+                if self._cut_to == barrier:
+                    self._cut_to = None
+                return
+        undo_to(self.trail, mark)
+
     def _if_then_else(self, cond, then, else_, depth):
         mark = len(self.trail)
         found = False

@@ -30,7 +30,7 @@ __all__ = [
 ]
 
 #: the operations the service accepts, as POST /v1/<op>
-OPS = ("compile", "evaluate", "verify", "analyze")
+OPS = ("compile", "evaluate", "verify", "analyze", "query")
 
 #: configs evaluated when a request names none
 DEFAULT_CONFIG_KEYS = ("seq", "vliw3")
@@ -78,6 +78,8 @@ def parse_request(op, body):
         raise RequestError("'benchmark' must be a non-empty string")
     if benchmark not in suite_catalogue():
         raise RequestError("unknown benchmark %r" % benchmark)
+    if op == "query":
+        return _parse_query_request(body, benchmark)
     config_keys = body.get("configs", list(DEFAULT_CONFIG_KEYS))
     if (not isinstance(config_keys, (list, tuple)) or not config_keys
             or not all(isinstance(key, str) for key in config_keys)):
@@ -112,6 +114,47 @@ def parse_request(op, body):
         "benchmark": benchmark,
         "configs": sorted(set(config_keys)),
         "tail_dup_budget": budget,
+    }
+    return spec, deadline
+
+
+def _parse_query_request(body, benchmark):
+    """The ``query`` op: enumerate a goal with the or-parallel engine.
+
+    ``or_jobs`` is part of the spec — it is what the client asked the
+    service to *do* — but the result payload carries no execution
+    provenance, so the same query at any ``or_jobs`` is byte-identical
+    (the invariant the serve suite pins)."""
+    goal = body.get("goal", "main")
+    if not isinstance(goal, str) or not goal.strip():
+        raise RequestError("'goal' must be a non-empty string")
+    limit = body.get("limit", 64)
+    if not isinstance(limit, int) or isinstance(limit, bool) \
+            or not 1 <= limit <= 10000:
+        raise RequestError("'limit' must be an integer in 1..10000")
+    or_jobs = body.get("or_jobs", 1)
+    if not isinstance(or_jobs, int) or isinstance(or_jobs, bool) \
+            or not 1 <= or_jobs <= 64:
+        raise RequestError("'or_jobs' must be an integer in 1..64")
+    deadline = body.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool) or deadline <= 0:
+            raise RequestError("'deadline' must be a positive number "
+                               "of seconds")
+        deadline = float(deadline)
+    unknown_fields = sorted(set(body)
+                            - {"benchmark", "goal", "limit", "or_jobs",
+                               "deadline", "op"})
+    if unknown_fields:
+        raise RequestError("unknown request field(s): %s"
+                           % ", ".join(unknown_fields))
+    spec = {
+        "op": "query",
+        "benchmark": benchmark,
+        "goal": goal.strip(),
+        "limit": limit,
+        "or_jobs": or_jobs,
     }
     return spec, deadline
 
@@ -179,4 +222,19 @@ def _compute_result(spec, engine):
         record = analyze_benchmark(name,
                                    budget=spec["tail_dup_budget"])
         return {"op": op, "benchmark": name, "record": record}
+    if op == "query":
+        from repro.benchmarks.suite import resolve_program
+        from repro.interp.orparallel import or_solutions
+        source = resolve_program(name).source
+        result = or_solutions(source, spec["goal"], engine=engine,
+                              jobs=spec["or_jobs"],
+                              limit=spec["limit"])
+        # Execution provenance (mode, branch count, memo hits) is
+        # deliberately dropped: the answers at or_jobs=4 must be
+        # byte-identical to the answers at or_jobs=1.
+        return {"op": op, "benchmark": name, "goal": spec["goal"],
+                "answers": result["answers"],
+                "output": result["output"],
+                "count": result["count"],
+                "truncated": result["truncated"]}
     raise RequestError("unknown operation %r" % op)

@@ -28,7 +28,12 @@ request path is engineered for failure first:
 Whole-request results are memoised in the shared content-addressed
 store under the ``serve`` kind, which is what makes a repeated-query
 workload (the memoing access pattern of the or-parallel papers) serve
-from cache instead of recomputing.
+from cache instead of recomputing.  The ``query`` op runs a goal
+through the or-parallel search engine (:mod:`repro.interp.orparallel`)
+on the service's evaluation engine, so its branch fan-out inherits the
+same pool, supervisor policy and clamped deadlines as evaluation
+cells; its answer-memo hit/miss counts surface per cache kind in
+``/metrics`` (``cache.kinds``).
 """
 
 import asyncio
@@ -567,7 +572,8 @@ class EvaluationService:
         return {
             "counters": {name: self.metrics.counters[name]
                          for name in sorted(self.metrics.counters)},
-            "cache": self.store.counters(),
+            "cache": dict(self.store.counters(),
+                          kinds=self.store.kind_stats()),
             "breakers": {name: breaker.snapshot()
                          for name, breaker in
                          sorted(self.breakers.items())},

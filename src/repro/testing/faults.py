@@ -40,6 +40,8 @@ Sites and the kinds each supports:
                        failure, forced 429, slow execution)
 ``cache.shard``        ``corrupt`` / ``error`` — the sharded store's
                        read path (on-disk damage, transient I/O)
+``orparallel.task``    ``error`` / ``crash`` / ``hang`` — one stolen
+                       branch of an or-parallel search
 =====================  ============================================
 
 ``crash`` sends ``SIGKILL`` to the current process — but only inside a
@@ -75,6 +77,10 @@ SITES = {
     # the sharded cache backend: on-disk corruption and transient
     # shard I/O errors on the read path
     "cache.shard": ("corrupt", "error"),
+    # one stolen branch task of the or-parallel search engine
+    # (repro.interp.orparallel): transient failure, worker SIGKILL,
+    # a branch hanging past the supervisor's deadline
+    "orparallel.task": ("error", "crash", "hang"),
 }
 
 

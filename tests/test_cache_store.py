@@ -352,3 +352,115 @@ def test_counters_superset_of_stats(sharded):
     for name in ("quarantined", "evictions", "races", "contention"):
         assert name in counters
     assert counters["shards"] == 4
+
+
+# --------------------------------------------------------------------------
+# The or-parallel answer-memo table: entries must survive both
+# backends, corruption must quarantine-and-recompute, and the store's
+# per-kind counters must reconcile with the trace counters.
+
+ORP_SOURCE = """
+color(red). color(green). color(blue).
+pair(X, Y) :- color(X), color(Y).
+"""
+
+
+def _memo_engine(store):
+    from repro.evaluation.parallel import EvaluationEngine
+    from repro.evaluation.supervisor import SupervisorPolicy
+    return EvaluationEngine(
+        jobs=2, store=store,
+        policy=SupervisorPolicy(max_attempts=2, deadline=60.0,
+                                backoff_base=0.01, backoff_cap=0.05,
+                                seed=1992, poll=0.02))
+
+
+def _memo_entries(root):
+    """Every persisted cache entry under *root* (both layouts)."""
+    paths = []
+    for dirpath, _, names in os.walk(str(root)):
+        if os.path.basename(dirpath) == "quarantine":
+            continue
+        paths.extend(os.path.join(dirpath, name) for name in names
+                     if name.startswith("cas-")
+                     and name.endswith(".json"))
+    return sorted(paths)
+
+
+@pytest.mark.parametrize("backend", ["plain", "sharded"])
+def test_orparallel_memo_roundtrips_through_both_backends(tmp_path,
+                                                          backend):
+    from repro.interp.orparallel import or_solutions
+    root = tmp_path / "memo"
+    if backend == "plain":
+        store = CacheStore(str(root))
+    else:
+        store = ShardedCacheStore(str(root), shards=4)
+    with _memo_engine(store) as engine:
+        cold = or_solutions(ORP_SOURCE, "pair(X, Y)", engine=engine)
+        assert cold["mode"] == "parallel"
+        # call-scope entry + one entry per branch
+        assert len(_memo_entries(root)) == 1 + cold["branches"]
+        # A second store over the same directory (a later process)
+        # serves the same bytes without recomputing.
+        if backend == "plain":
+            reopened = CacheStore(str(root))
+        else:
+            reopened = ShardedCacheStore(str(root), shards=4)
+        warm = or_solutions(ORP_SOURCE, "pair(X, Y)", engine=engine,
+                            store=reopened)
+        assert warm["mode"] == "memo"
+        assert warm["answers"] == cold["answers"]
+        assert warm["output"] == cold["output"]
+
+
+def test_corrupt_orparallel_memo_is_quarantined_and_recomputed(
+        tmp_path):
+    from repro.interp.orparallel import or_solutions, sequential_answers
+    root = tmp_path / "memo"
+    store = ShardedCacheStore(str(root), shards=4)
+    with _memo_engine(store) as engine:
+        cold = or_solutions(ORP_SOURCE, "pair(X, Y)", engine=engine)
+        for path in _memo_entries(root):
+            faults.corrupt_file(path)
+        recomputed = or_solutions(ORP_SOURCE, "pair(X, Y)",
+                                  engine=engine)
+    # The damaged entries were misses, not answers: the query fell
+    # through to a fresh parallel run with the oracle's answers...
+    assert recomputed["mode"] == "parallel"
+    oracle = sequential_answers(ORP_SOURCE, "pair(X, Y)")
+    assert recomputed["answers"] == oracle["answers"]
+    assert recomputed["output"] == oracle["output"]
+    assert recomputed["answers"] == cold["answers"]
+    # ...every damaged entry was quarantined for post-mortem, and the
+    # recomputed entries are readable again.
+    assert store.corrupt >= 1 + cold["branches"]
+    assert store.quarantined >= 1 + cold["branches"]
+    assert os.listdir(os.path.join(store.root, "quarantine"))
+    assert len(_memo_entries(root)) == 1 + cold["branches"]
+
+
+def test_orparallel_kind_stats_reconcile_with_trace_counters(
+        tmp_path, traced_run):
+    from repro.interp.orparallel import MEMO_KIND, or_solutions
+    store = CacheStore(str(tmp_path / "memo"))
+    with _memo_engine(store) as engine:
+        or_solutions(ORP_SOURCE, "pair(X, Y)", engine=engine)
+        or_solutions(ORP_SOURCE, "pair(X, Y)", engine=engine)
+    counters = traced_run.metrics.counters
+    stats = store.kind_stats(MEMO_KIND)
+    # Call scope: one traced miss then one traced hit.
+    assert counters["orparallel.memo.misses"] == 1
+    assert counters["orparallel.memo.hits"] == 1
+    # Branch scope: each branch was a cold miss; none re-dispatched.
+    assert counters["orparallel.branch_memo.misses"] == 3
+    assert "orparallel.branch_memo.hits" not in counters
+    # The store's per-kind ledger tells the same story: one hit (the
+    # warm call), misses for the cold call + its three branches (the
+    # single-flight re-check under the lock may add more misses, never
+    # hits).
+    assert stats["hits"] == counters["orparallel.memo.hits"]
+    assert stats["misses"] >= (counters["orparallel.memo.misses"]
+                               + counters["orparallel.branch_memo"
+                                          ".misses"])
+    assert store.corrupt == 0

@@ -120,6 +120,63 @@ def test_spelling_variants_share_one_cache_entry(server):
 
 
 # --------------------------------------------------------------------------
+# The query op: or-parallel goal enumeration over HTTP.
+
+def test_query_answers_match_the_sequential_oracle(server):
+    from repro.benchmarks.suite import resolve_program
+    from repro.interp.orparallel import sequential_answers
+    status, payload, _ = request(server.port, "POST", "/v1/query",
+                                 {"benchmark": BENCH})
+    assert status == 200, payload
+    result = payload["result"]
+    oracle = sequential_answers(resolve_program(BENCH).source, "main",
+                                limit=64)
+    assert result["answers"] == oracle["answers"]
+    assert result["output"] == oracle["output"]
+    assert result["count"] == oracle["count"]
+    assert result["truncated"] == oracle["truncated"]
+
+
+def test_query_results_are_byte_identical_across_or_jobs(server):
+    """``or_jobs`` shapes execution, never the payload: no provenance
+    field may leak into the result."""
+    results = {}
+    for or_jobs in (1, 4):
+        status, payload, _ = request(
+            server.port, "POST", "/v1/query",
+            {"benchmark": BENCH, "or_jobs": or_jobs})
+        assert status == 200, payload
+        results[or_jobs] = canonical_json(payload["result"])
+        assert "mode" not in payload["result"]
+        assert "branches" not in payload["result"]
+    assert results[1] == results[4]
+
+
+def test_repeat_query_is_served_from_cache(server):
+    body = {"benchmark": BENCH, "goal": "main", "limit": 8}
+    first = request(server.port, "POST", "/v1/query", body)
+    second = request(server.port, "POST", "/v1/query", body)
+    assert first[0] == second[0] == 200
+    assert second[1]["meta"]["cached"] is True
+    assert canonical_json(first[1]["result"]) \
+        == canonical_json(second[1]["result"])
+
+
+@pytest.mark.parametrize("body,fragment", [
+    ({"benchmark": BENCH, "goal": "  "}, "'goal' must be"),
+    ({"benchmark": BENCH, "limit": 0}, "'limit' must be"),
+    ({"benchmark": BENCH, "limit": True}, "'limit' must be"),
+    ({"benchmark": BENCH, "or_jobs": 0}, "'or_jobs' must be"),
+    ({"benchmark": BENCH, "configs": ["seq"]}, "unknown request field"),
+], ids=["goal", "limit", "bool-limit", "or-jobs", "configs"])
+def test_invalid_query_requests_are_400(server, body, fragment):
+    status, payload, _ = request(server.port, "POST", "/v1/query",
+                                 body)
+    assert status == 400
+    assert fragment in payload["error"]
+
+
+# --------------------------------------------------------------------------
 # Error mapping.
 
 @pytest.mark.parametrize("body,fragment", [
